@@ -1,0 +1,43 @@
+//! Ablation — EGG-SynC's individual optimizations.
+//!
+//! Toggles the two structural optimizations DESIGN.md calls out:
+//!
+//! * the per-cell sin/cos **summaries** (§4.3.1) that let fully covered
+//!   cells be consumed without touching their points, and
+//! * the **precomputed surrounding non-empty cells** (§4.2.5) that stop
+//!   threads from probing empty space.
+//!
+//! All four combinations produce identical clusterings (enforced by the
+//! test suite); this bench quantifies what each trick buys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use egg_bench::default_synthetic;
+use egg_sync_core::egg::update::UpdateOptions;
+use egg_sync_core::{ClusterAlgorithm, EggSync};
+
+fn bench_toggles(c: &mut Criterion) {
+    let data = default_synthetic(2_000);
+    let mut group = c.benchmark_group("egg_ablation");
+    group.sample_size(10);
+    for (label, use_summaries, use_pregrid) in [
+        ("full", true, true),
+        ("no_summaries", false, true),
+        ("no_pregrid", true, false),
+        ("neither", false, false),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut algo = EggSync::new(0.05);
+                algo.options = UpdateOptions {
+                    use_summaries,
+                    use_pregrid,
+                };
+                algo.cluster(&data)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_toggles);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation — grid access strategies (§4.2.2–4.2.4).
+//!
+//! Compares a full EGG-SynC run under the three grid variants the paper
+//! discusses: sequential access (`d' = 0`), random access (`d' = d`) and
+//! the mixed-access heuristic (`Auto`). On low-dimensional data random
+//! access is fastest per query but memory-infeasible in high d; the mixed
+//! structure is the compromise the paper adopts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use egg_bench::default_synthetic;
+use egg_data::generator::GaussianSpec;
+use egg_sync_core::grid::GridVariant;
+use egg_sync_core::{ClusterAlgorithm, EggSync};
+
+fn bench_variants(c: &mut Criterion) {
+    let data2d = default_synthetic(2_000);
+    let mut group = c.benchmark_group("grid_variant_2d");
+    group.sample_size(10);
+    for (label, variant) in [
+        ("sequential", GridVariant::Sequential),
+        ("random_access", GridVariant::RandomAccess),
+        ("mixed_auto", GridVariant::Auto),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| EggSync::with_variant(0.05, variant).cluster(&data2d))
+        });
+    }
+    group.finish();
+
+    // higher-dimensional: random access is infeasible, compare the rest
+    let data8d = GaussianSpec {
+        n: 1_000,
+        dim: 8,
+        ..GaussianSpec::default()
+    }
+    .generate_normalized()
+    .0;
+    let mut group = c.benchmark_group("grid_variant_8d");
+    group.sample_size(10);
+    for (label, variant) in [
+        ("sequential", GridVariant::Sequential),
+        ("mixed_auto", GridVariant::Auto),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| EggSync::with_variant(0.3, variant).cluster(&data8d))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 3a — runtime vs number of points (default synthetic workload:
+//! 2-D, 5 Gaussian clusters, σ = 5, ε = 0.05).
+//!
+//! Paper shape: EGG-SynC is 2–3 orders of magnitude faster than SynC,
+//! MP-SynC and FSynC and almost one order faster than GPU-SynC, with the
+//! gap growing in n. The O(n²) baselines are capped at smaller sizes here
+//! (single-core host); EGG-SynC runs the full sweep.
+
+use egg_bench::{default_synthetic, measure, scaled, Experiment};
+use egg_sync_core::{EggSync, FSync, GpuSync, MpSync, Sync};
+
+fn main() {
+    let mut exp = Experiment::new("fig3a_scalability", "n");
+    let sweep = [1_000, 2_000, 4_000, 8_000, 16_000, 32_000];
+    let brute_cap = scaled(8_000);
+    let gpu_cap = scaled(4_000);
+    for &raw_n in &sweep {
+        let n = scaled(raw_n);
+        let data = default_synthetic(n);
+        if n <= brute_cap {
+            exp.push(measure(&Sync::new(0.05), &data, n as f64));
+            exp.push(measure(&FSync::new(0.05), &data, n as f64));
+            exp.push(measure(&MpSync::new(0.05), &data, n as f64));
+        }
+        if n <= gpu_cap {
+            exp.push(measure(&GpuSync::new(0.05), &data, n as f64));
+        }
+        exp.push(measure(&EggSync::new(0.05), &data, n as f64));
+    }
+    exp.finish();
+}

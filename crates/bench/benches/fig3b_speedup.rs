@@ -1,0 +1,47 @@
+//! Figure 3b — EGG-SynC's speedup over SynC and GPU-SynC as n grows.
+//!
+//! Paper shape: both speedup curves increase with n (the summarized cells
+//! absorb ever more of the neighborhood as density grows). Wall-clock
+//! speedups on this host carry the CPU-side comparison; for GPU-SynC the
+//! simulated-GPU times are also compared, which restores the device-side
+//! shape.
+
+use egg_bench::{default_synthetic, measure, scaled, Experiment};
+use egg_sync_core::{EggSync, GpuSync, Sync};
+
+fn main() {
+    let mut exp = Experiment::new("fig3b_speedup", "n");
+    let mut speedups: Vec<(usize, f64, f64, Option<f64>)> = Vec::new();
+    for &raw_n in &[1_000usize, 2_000, 4_000] {
+        let n = scaled(raw_n);
+        let data = default_synthetic(n);
+        let sync = measure(&Sync::new(0.05), &data, n as f64);
+        let gpu = measure(&GpuSync::new(0.05), &data, n as f64);
+        let egg = measure(&EggSync::new(0.05), &data, n as f64);
+        let vs_sync = sync.wall_seconds / egg.wall_seconds;
+        let vs_gpu_wall = gpu.wall_seconds / egg.wall_seconds;
+        let vs_gpu_sim = match (gpu.sim_seconds, egg.sim_seconds) {
+            (Some(g), Some(e)) if e > 0.0 => Some(g / e),
+            _ => None,
+        };
+        speedups.push((n, vs_sync, vs_gpu_wall, vs_gpu_sim));
+        exp.push(sync);
+        exp.push(gpu);
+        exp.push(egg);
+    }
+    println!("\nEGG-SynC speedup:");
+    println!(
+        "{:>8} {:>12} {:>16} {:>18}",
+        "n", "vs SynC", "vs GPU-SynC", "vs GPU-SynC (sim)"
+    );
+    for (n, s, g, gs) in &speedups {
+        println!(
+            "{:>8} {:>11.1}x {:>15.1}x {:>17}",
+            n,
+            s,
+            g,
+            gs.map_or_else(|| "-".to_owned(), |v| format!("{v:.1}x"))
+        );
+    }
+    exp.finish();
+}

@@ -1,0 +1,29 @@
+//! Figure 3c — runtime vs dimensionality (n fixed, ε = 0.05).
+//!
+//! Paper shape: runtime rises with d at first, then *drops* for the
+//! highest dimensionalities — the curse of dimensionality spreads the
+//! points out, neighborhoods shrink, and synchronization needs fewer
+//! iterations. EGG-SynC's speedup is largest at low d and converges to a
+//! still-substantial factor at high d.
+
+use egg_bench::{measure, scaled, Experiment};
+use egg_data::generator::GaussianSpec;
+use egg_sync_core::{EggSync, GpuSync, Sync};
+
+fn main() {
+    let mut exp = Experiment::new("fig3c_dimensionality", "d");
+    let n = scaled(2_000);
+    for &dim in &[2usize, 4, 8, 16, 32] {
+        let data = GaussianSpec {
+            n,
+            dim,
+            ..GaussianSpec::default()
+        }
+        .generate_normalized()
+        .0;
+        exp.push(measure(&Sync::new(0.05), &data, dim as f64));
+        exp.push(measure(&GpuSync::new(0.05), &data, dim as f64));
+        exp.push(measure(&EggSync::new(0.05), &data, dim as f64));
+    }
+    exp.finish();
+}

@@ -1,0 +1,28 @@
+//! Figure 3d — runtime vs number of generated clusters.
+//!
+//! Paper shape: all algorithms get faster as the cluster count grows
+//! (smaller clusters synchronize in fewer iterations and neighborhoods
+//! stay smaller); the effect is strongest for the index-based FSynC and
+//! EGG-SynC.
+
+use egg_bench::{measure, scaled, Experiment};
+use egg_data::generator::GaussianSpec;
+use egg_sync_core::{EggSync, FSync, Sync};
+
+fn main() {
+    let mut exp = Experiment::new("fig3d_clusters", "k");
+    let n = scaled(2_000);
+    for &k in &[2usize, 5, 10, 20, 50] {
+        let data = GaussianSpec {
+            n,
+            clusters: k,
+            ..GaussianSpec::default()
+        }
+        .generate_normalized()
+        .0;
+        exp.push(measure(&Sync::new(0.05), &data, k as f64));
+        exp.push(measure(&FSync::new(0.05), &data, k as f64));
+        exp.push(measure(&EggSync::new(0.05), &data, k as f64));
+    }
+    exp.finish();
+}

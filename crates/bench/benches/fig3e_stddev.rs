@@ -1,0 +1,27 @@
+//! Figure 3e — runtime vs the generated clusters' standard deviation.
+//!
+//! Paper shape: several orders of magnitude speedup for EGG-SynC across
+//! the sweep; all three algorithms are fastest for small σ (tight clusters
+//! reach local synchronization in fewer iterations).
+
+use egg_bench::{measure, scaled, Experiment};
+use egg_data::generator::GaussianSpec;
+use egg_sync_core::{EggSync, FSync, Sync};
+
+fn main() {
+    let mut exp = Experiment::new("fig3e_stddev", "sigma");
+    let n = scaled(2_000);
+    for &sigma in &[1.0f64, 2.5, 5.0, 10.0, 20.0] {
+        let data = GaussianSpec {
+            n,
+            std_dev: sigma,
+            ..GaussianSpec::default()
+        }
+        .generate_normalized()
+        .0;
+        exp.push(measure(&Sync::new(0.05), &data, sigma));
+        exp.push(measure(&FSync::new(0.05), &data, sigma));
+        exp.push(measure(&EggSync::new(0.05), &data, sigma));
+    }
+    exp.finish();
+}

@@ -1,0 +1,19 @@
+//! Figure 3f — runtime vs the neighborhood radius ε.
+//!
+//! Paper shape: EGG-SynC keeps a multi-order speedup over SynC and FSynC
+//! for all ε; at very small ε the index-based methods' advantage shrinks
+//! slightly (cells get small, points spread over many of them).
+
+use egg_bench::{default_synthetic, measure, scaled, Experiment};
+use egg_sync_core::{EggSync, FSync, Sync};
+
+fn main() {
+    let mut exp = Experiment::new("fig3f_epsilon", "epsilon");
+    let data = default_synthetic(scaled(2_000));
+    for &eps in &[0.0125f64, 0.025, 0.05, 0.1, 0.2] {
+        exp.push(measure(&Sync::new(eps), &data, eps));
+        exp.push(measure(&FSync::new(eps), &data, eps));
+        exp.push(measure(&EggSync::new(eps), &data, eps));
+    }
+    exp.finish();
+}

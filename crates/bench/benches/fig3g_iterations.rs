@@ -1,0 +1,52 @@
+//! Figure 3g — per-iteration runtime of GPU-SynC vs EGG-SynC.
+//!
+//! Paper shape: GPU-SynC's iterations get slightly *more* expensive over
+//! the run (neighborhoods densify and each brute-force pass touches more
+//! of them), while EGG-SynC's get *cheaper* — the denser the
+//! neighborhoods, the more cells are fully covered and served from the
+//! precomputed sin/cos summaries.
+
+use egg_bench::{scaled, Experiment, Measurement};
+use egg_data::generator::GaussianSpec;
+use egg_sync_core::{ClusterAlgorithm, EggSync, GpuSync};
+
+fn main() {
+    let mut exp = Experiment::new("fig3g_iterations", "iteration");
+    // wider clusters → more iterations to observe the trend
+    let data = GaussianSpec {
+        n: scaled(4_000),
+        std_dev: 10.0,
+        ..GaussianSpec::default()
+    }
+    .generate_normalized()
+    .0;
+
+    for result in [
+        ("GPU-SynC", GpuSync::new(0.05).cluster(&data)),
+        ("EGG-SynC", EggSync::new(0.05).cluster(&data)),
+    ] {
+        let (name, clustering) = result;
+        for rec in &clustering.trace.iterations {
+            exp.push(Measurement {
+                algorithm: name.to_owned(),
+                x: rec.iteration as f64,
+                wall_seconds: rec.seconds,
+                sim_seconds: rec.sim_seconds,
+                iterations: clustering.iterations,
+                clusters: clustering.num_clusters,
+                structure_bytes: clustering.trace.peak_structure_bytes,
+            });
+        }
+        let times: Vec<f64> = clustering.trace.iterations.iter().map(|r| r.seconds).collect();
+        if times.len() >= 4 {
+            let half = times.len() / 2;
+            let first: f64 = times[..half].iter().sum::<f64>() / half as f64;
+            let second: f64 = times[half..].iter().sum::<f64>() / (times.len() - half) as f64;
+            println!(
+                "  {name}: mean iteration {:.4}s (first half) → {:.4}s (second half)",
+                first, second
+            );
+        }
+    }
+    exp.finish();
+}

@@ -1,0 +1,42 @@
+//! Figure 3h — space usage vs number of points.
+//!
+//! Paper shape: EGG-SynC's grid structure costs a constant factor more
+//! memory than GPU-SynC's bare buffers, and both grow *linearly* in n —
+//! the O(n·d) guarantee of the mixed-access grid (§4.2.4).
+//!
+//! Space is measured on the simulated device's allocation accounting, with
+//! a single-iteration run (the structures are identical in every
+//! iteration).
+
+use egg_bench::{default_synthetic, measure, scaled, Experiment};
+use egg_sync_core::{EggSync, GpuSync};
+
+fn main() {
+    let mut exp = Experiment::new("fig3h_space", "n");
+    // GPU-SynC's buffers are linear by construction; its O(n²) gathering
+    // pass makes measuring beyond 8k pointless on one core
+    let gpu_cap = scaled(8_000);
+    for &raw_n in &[1_000usize, 2_000, 4_000, 8_000, 16_000, 32_000] {
+        let n = scaled(raw_n);
+        let data = default_synthetic(n);
+        if n <= gpu_cap {
+            let mut gpu = GpuSync::new(0.05);
+            gpu.params.max_iterations = 1;
+            exp.push(measure(&gpu, &data, n as f64));
+        }
+        let mut egg = EggSync::new(0.05);
+        egg.max_iterations = 1;
+        exp.push(measure(&egg, &data, n as f64));
+    }
+    println!("\nbytes per point (should be ~constant in n):");
+    for m in exp.rows() {
+        println!(
+            "  {:<10} n={:<8} {:>12} bytes  ({:.1} bytes/point)",
+            m.algorithm,
+            m.x,
+            m.structure_bytes,
+            m.structure_bytes as f64 / m.x
+        );
+    }
+    exp.finish();
+}

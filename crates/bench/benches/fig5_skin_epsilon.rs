@@ -1,0 +1,29 @@
+//! Figure 5 — varying ε on the Skin dataset (proxy).
+//!
+//! Paper shape: EGG-SynC is substantially faster than GPU-SynC for most ε,
+//! but at the particular ε where Skin's small border cluster bridges two
+//! big ones (ε = 0.05 in the proxy), the exact criterion must run through
+//! a long, slow merge that λ-termination cuts short — so EGG-SynC pays for
+//! correctness exactly there, and nowhere else.
+
+use egg_bench::{measure, scaled, Experiment};
+use egg_data::catalog::UciDataset;
+use egg_sync_core::{EggSync, GpuSync};
+
+fn main() {
+    let mut exp = Experiment::new("fig5_skin_epsilon", "epsilon");
+    let data = UciDataset::Skin.generate_scaled(scaled(3_000));
+    println!("Skin proxy, n = {}", data.len());
+    for &eps in &[0.01f64, 0.025, 0.05, 0.1, 0.2] {
+        exp.push(measure(&GpuSync::new(eps), &data, eps));
+        exp.push(measure(&EggSync::new(eps), &data, eps));
+    }
+    println!("\niteration counts (the ε = 0.05 anomaly):");
+    for m in exp.rows() {
+        println!(
+            "  {:<10} ε={:<6} → {:>5} iterations, {} clusters",
+            m.algorithm, m.x, m.iterations, m.clusters
+        );
+    }
+    exp.finish();
+}

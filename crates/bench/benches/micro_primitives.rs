@@ -1,0 +1,48 @@
+//! Micro — the simulated device's parallel primitives (§4.2.1's
+//! size → scan → populate idiom): inclusive scan, reduction, stream
+//! compaction, and the raw atomic-increment list-claim pattern.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use egg_gpu_sim::{grid_for, primitives, Device, DeviceConfig};
+
+fn bench_primitives(c: &mut Criterion) {
+    let device = Device::new(DeviceConfig::default());
+    let n = 100_000usize;
+    let input = device.alloc_from_slice::<u64>(&(0..n as u64).map(|i| i % 7).collect::<Vec<_>>());
+    let output = device.alloc::<u64>(n);
+
+    let mut group = c.benchmark_group("device_primitives");
+    group.sample_size(20);
+    group.bench_function("inclusive_scan_100k", |b| {
+        b.iter(|| primitives::inclusive_scan(&device, &input, &output, n))
+    });
+    group.bench_function("reduce_sum_100k", |b| {
+        b.iter(|| primitives::reduce_sum(&device, &input, n))
+    });
+    group.bench_function("compact_100k", |b| {
+        let flags = device.alloc_from_slice::<u64>(
+            &(0..n as u64).map(|i| u64::from(i % 3 == 0)).collect::<Vec<_>>(),
+        );
+        let out = device.alloc::<u64>(n);
+        b.iter(|| primitives::compact_indices(&device, &flags, &out, n))
+    });
+    group.bench_function("atomic_list_claims_100k", |b| {
+        let counters = device.alloc::<u64>(64);
+        b.iter_batched(
+            || primitives::fill(&device, &counters, 0),
+            |()| {
+                device.launch("claims", grid_for(n, 128), 128, |t| {
+                    let i = t.global_id();
+                    if i < n {
+                        counters.atomic_inc(i % 64);
+                    }
+                });
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro — index-structure construction and query costs: the simulated-GPU
+//! grid (Algorithm 2) vs the R-Tree (FSynC's index), both of which are
+//! rebuilt every iteration by their algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use egg_bench::default_synthetic;
+use egg_gpu_sim::{Device, DeviceConfig};
+use egg_spatial::RTree;
+use egg_sync_core::grid::{GridGeometry, GridVariant, GridWorkspace};
+
+fn bench_structures(c: &mut Criterion) {
+    let data = default_synthetic(10_000);
+    let coords = data.coords();
+    let n = data.len();
+    let eps = 0.05;
+
+    let mut group = c.benchmark_group("structures");
+    group.sample_size(10);
+
+    group.bench_function("grid_construct_10k", |b| {
+        let device = Device::new(DeviceConfig::default());
+        let geo = GridGeometry::new(2, eps, n, GridVariant::Auto);
+        let mut ws = GridWorkspace::new(&device, geo, n);
+        let buf = device.alloc_from_slice(coords);
+        b.iter(|| ws.construct(&buf))
+    });
+
+    group.bench_function("grid_construct_plus_pregrid_10k", |b| {
+        let device = Device::new(DeviceConfig::default());
+        let geo = GridGeometry::new(2, eps, n, GridVariant::Auto);
+        let mut ws = GridWorkspace::new(&device, geo, n);
+        let buf = device.alloc_from_slice(coords);
+        b.iter(|| {
+            let grid = ws.construct(&buf);
+            ws.build_pregrid(&grid)
+        })
+    });
+
+    group.bench_function("rtree_bulk_load_10k", |b| {
+        b.iter(|| RTree::bulk_load(coords, 2, 100))
+    });
+
+    group.bench_function("rtree_insert_10k", |b| {
+        b.iter(|| {
+            let mut tree = RTree::new(2, 100);
+            for p in coords.chunks_exact(2) {
+                tree.insert(p);
+            }
+            tree
+        })
+    });
+
+    group.bench_function("rtree_1k_ball_queries", |b| {
+        let tree = RTree::bulk_load(coords, 2, 100);
+        b.iter(|| {
+            let mut total = 0usize;
+            for p in coords.chunks_exact(2).take(1_000) {
+                tree.for_each_in_ball(p, eps, |_, _| total += 1);
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_structures);
+criterion_main!(benches);

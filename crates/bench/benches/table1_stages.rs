@@ -1,0 +1,75 @@
+//! Table 1 — per-stage runtime breakdown of GPU-SynC vs EGG-SynC.
+//!
+//! Paper shape: as n grows, EGG-SynC's grid construction stays minuscule
+//! next to the update it accelerates, its update is several times cheaper
+//! than GPU-SynC's, and its cluster gathering is nearly free while
+//! GPU-SynC's label propagation is a major cost.
+//!
+//! Sizes are scaled down from the paper's 256k/512k/1024k for the
+//! single-core host; both host wall-clock and simulated-GPU stage times
+//! are printed.
+
+use egg_bench::{default_synthetic, results_dir, scaled};
+use egg_sync_core::instrument::Stage;
+use egg_sync_core::{ClusterAlgorithm, EggSync, GpuSync};
+use std::io::Write;
+
+fn main() {
+    println!("=== table1_stages ===");
+    let mut json_rows = Vec::new();
+    println!(
+        "{:<8} {:<10} {:>11} {:>16} {:>11} {:>12} {:>11} {:>12}",
+        "n", "method", "Allocating", "Build structure", "Update", "Extra check", "Clustering", "Free Memory"
+    );
+    for &raw_n in &[2_000usize, 4_000, 8_000] {
+        let n = scaled(raw_n);
+        let data = default_synthetic(n);
+        for (name, result) in [
+            ("GPU-SynC", GpuSync::new(0.05).cluster(&data)),
+            ("EGG-SynC", EggSync::new(0.05).cluster(&data)),
+        ] {
+            let stages = &result.trace.stages;
+            println!(
+                "{:<8} {:<10} {:>11.6} {:>16.6} {:>11.6} {:>12.6} {:>11.6} {:>12.6}",
+                n,
+                name,
+                stages.get(Stage::Allocating),
+                stages.get(Stage::BuildStructure),
+                stages.get(Stage::Update),
+                stages.get(Stage::ExtraCheck),
+                stages.get(Stage::Clustering),
+                stages.get(Stage::FreeMemory),
+            );
+            if let Some(sim) = &result.trace.sim_stages {
+                println!(
+                    "{:<8} {:<10} {:>11.6} {:>16.6} {:>11.6} {:>12.6} {:>11.6} {:>12.6}  (simulated GPU)",
+                    "", "",
+                    sim.get(Stage::Allocating),
+                    sim.get(Stage::BuildStructure),
+                    sim.get(Stage::Update),
+                    sim.get(Stage::ExtraCheck),
+                    sim.get(Stage::Clustering),
+                    sim.get(Stage::FreeMemory),
+                );
+            }
+            json_rows.push(serde_json::json!({
+                "n": n,
+                "method": name,
+                "host_stages": stages,
+                "sim_stages": result.trace.sim_stages,
+                "iterations": result.iterations,
+            }));
+        }
+    }
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("table1_stages.json");
+    let mut f = std::fs::File::create(&path).expect("create results file");
+    f.write_all(
+        serde_json::to_string_pretty(&serde_json::json!({"experiment": "table1_stages", "rows": json_rows}))
+            .expect("serializable")
+            .as_bytes(),
+    )
+    .expect("write results");
+    println!("(series written to {})", path.display());
+}

@@ -1,0 +1,213 @@
+//! Shared infrastructure for the paper-figure benchmark harnesses.
+//!
+//! Every figure and table of the EGG-SynC paper's evaluation has a bench
+//! target in `benches/` that regenerates it: a workload generator, the
+//! parameter sweep, and a printer that emits the same rows/series the
+//! paper reports. Each harness prints a human-readable table to stdout
+//! and writes a machine-readable JSON series to
+//! `target/paper_results/<experiment>.json`.
+//!
+//! Host context: this reproduction runs on a single CPU core with a
+//! *simulated* GPU, so two time columns are reported — `wall` (host
+//! seconds, which cannot show device parallelism) and `sim` (the cost
+//! model's estimate on the paper's RTX 3090, which carries the paper's
+//! relative shape for the GPU algorithms). Dataset sizes are scaled down
+//! accordingly; EXPERIMENTS.md records paper-vs-measured per figure.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use egg_data::Dataset;
+use egg_sync_core::{ClusterAlgorithm, Clustering};
+use serde::Serialize;
+
+/// One measured run: the unit every figure's series is built from.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Sweep coordinate (n, d, k, σ, ε, … — the figure's x-axis).
+    pub x: f64,
+    /// Host wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Simulated-GPU seconds (None for CPU algorithms).
+    pub sim_seconds: Option<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Clusters found.
+    pub clusters: usize,
+    /// Peak auxiliary-structure bytes.
+    pub structure_bytes: usize,
+}
+
+/// Run one algorithm on one dataset and record a [`Measurement`].
+pub fn measure(algo: &dyn ClusterAlgorithm, data: &Dataset, x: f64) -> Measurement {
+    let start = Instant::now();
+    let result = algo.cluster(data);
+    let wall = start.elapsed().as_secs_f64();
+    measurement_from(algo.name(), x, wall, &result)
+}
+
+/// Build a [`Measurement`] from an existing clustering result.
+pub fn measurement_from(name: &str, x: f64, wall: f64, result: &Clustering) -> Measurement {
+    Measurement {
+        algorithm: name.to_owned(),
+        x,
+        wall_seconds: wall,
+        sim_seconds: result.trace.total_sim_seconds,
+        iterations: result.iterations,
+        clusters: result.num_clusters,
+        structure_bytes: result.trace.peak_structure_bytes,
+    }
+}
+
+/// Collects an experiment's measurements, prints the paper-style table and
+/// persists the JSON series.
+pub struct Experiment {
+    /// Experiment id, e.g. `fig3a_scalability`.
+    pub name: String,
+    /// Label of the sweep coordinate, e.g. `n` or `epsilon`.
+    pub x_label: String,
+    rows: Vec<Measurement>,
+}
+
+impl Experiment {
+    /// Start an experiment.
+    pub fn new(name: &str, x_label: &str) -> Self {
+        println!("=== {name} ===");
+        Self {
+            name: name.to_owned(),
+            x_label: x_label.to_owned(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Record (and echo) one measurement.
+    pub fn push(&mut self, m: Measurement) {
+        let sim = m
+            .sim_seconds
+            .map_or_else(|| "      -".to_owned(), |s| format!("{s:>9.6}"));
+        println!(
+            "  {:<10} {}={:<9} wall {:>9.3}s  sim {}s  iters {:>5}  clusters {:>5}",
+            m.algorithm, self.x_label, m.x, m.wall_seconds, sim, m.iterations, m.clusters
+        );
+        self.rows.push(m);
+    }
+
+    /// All measurements so far.
+    pub fn rows(&self) -> &[Measurement] {
+        &self.rows
+    }
+
+    /// Wall-clock seconds of the named series at a given x, if measured.
+    pub fn wall_of(&self, algorithm: &str, x: f64) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|m| m.algorithm == algorithm && m.x == x)
+            .map(|m| m.wall_seconds)
+    }
+
+    /// Print the final grouped table and write the JSON series.
+    pub fn finish(self) {
+        // grouped summary, one line per (algorithm, x)
+        println!("\n{} summary ({} on the x-axis):", self.name, self.x_label);
+        let mut algorithms: Vec<&str> = Vec::new();
+        for m in &self.rows {
+            if !algorithms.contains(&m.algorithm.as_str()) {
+                algorithms.push(m.algorithm.as_str());
+            }
+        }
+        for algo in algorithms {
+            let series: Vec<String> = self
+                .rows
+                .iter()
+                .filter(|m| m.algorithm == algo)
+                .map(|m| format!("{}={} → {:.3}s", self.x_label, m.x, m.wall_seconds))
+                .collect();
+            println!("  {:<10} {}", algo, series.join(", "));
+        }
+        if let Err(e) = self.write_json() {
+            eprintln!("warning: could not persist results: {e}");
+        }
+    }
+
+    fn write_json(&self) -> std::io::Result<()> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        let mut file = std::fs::File::create(&path)?;
+        let payload = serde_json::json!({
+            "experiment": self.name,
+            "x_label": self.x_label,
+            "rows": self.rows,
+        });
+        file.write_all(serde_json::to_string_pretty(&payload).expect("serializable").as_bytes())?;
+        println!("(series written to {})\n", path.display());
+        Ok(())
+    }
+}
+
+/// Directory where all figure harnesses persist their JSON series:
+/// `<workspace>/target/paper_results`. Bench binaries run with the crate
+/// directory as CWD, so the path is anchored at this crate's manifest and
+/// resolved to the workspace's target directory (or `CARGO_TARGET_DIR`).
+pub fn results_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").map(PathBuf::from).unwrap_or_else(|_| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target")
+    });
+    target.join("paper_results")
+}
+
+/// The paper's default synthetic workload at size `n` (2-D, 5 Gaussian
+/// clusters, σ = 5), normalized.
+pub fn default_synthetic(n: usize) -> Dataset {
+    egg_data::generator::GaussianSpec {
+        n,
+        ..egg_data::generator::GaussianSpec::default()
+    }
+    .generate_normalized()
+    .0
+}
+
+/// Scale factor for quick runs: set `EGG_BENCH_SCALE` (e.g. `0.25`) to
+/// shrink every harness's dataset sizes.
+pub fn scaled(n: usize) -> usize {
+    let factor: f64 = std::env::var("EGG_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    ((n as f64 * factor) as usize).max(64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egg_sync_core::EggSync;
+
+    #[test]
+    fn measure_records_everything() {
+        let data = default_synthetic(200);
+        let m = measure(&EggSync::new(0.05), &data, 200.0);
+        assert_eq!(m.algorithm, "EGG-SynC");
+        assert!(m.wall_seconds > 0.0);
+        assert!(m.sim_seconds.unwrap() > 0.0);
+        assert!(m.clusters >= 1);
+    }
+
+    #[test]
+    fn experiment_lookup() {
+        let data = default_synthetic(150);
+        let mut exp = Experiment::new("unit_test", "n");
+        exp.push(measure(&EggSync::new(0.05), &data, 150.0));
+        assert!(exp.wall_of("EGG-SynC", 150.0).is_some());
+        assert!(exp.wall_of("EGG-SynC", 99.0).is_none());
+        assert!(exp.wall_of("SynC", 150.0).is_none());
+    }
+
+    #[test]
+    fn scaled_respects_floor() {
+        assert!(scaled(10) >= 64);
+    }
+}

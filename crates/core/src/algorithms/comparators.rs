@@ -1,0 +1,306 @@
+//! Classic clustering comparators: DBSCAN and k-means.
+//!
+//! The paper's introduction motivates SynC by contrast with these two:
+//! DBSCAN (Ester et al. 1996) needs a global density threshold and cannot
+//! separate clusters of different densities; k-means (Lloyd) needs the
+//! cluster count and only finds convex clusters. Both are implemented here
+//! so the reproduction can demonstrate those claims end to end (see the
+//! `shape_quality` integration test and the `arbitrary_shapes` example).
+//!
+//! DBSCAN reuses the reproduction's grid for its ε-range queries; k-means
+//! uses k-means++ seeding and Lloyd iterations.
+
+use egg_data::Dataset;
+use egg_spatial::distance::{row, squared_euclidean};
+
+use crate::grid::{GridGeometry, GridVariant, HostGrid};
+use crate::instrument::{timed, RunTrace, Stage};
+use crate::result::{ClusterAlgorithm, Clustering};
+
+/// Label DBSCAN gives to noise points; converted to singleton clusters in
+/// the returned [`Clustering`] so the interface stays uniform.
+const NOISE: u32 = u32::MAX;
+
+/// DBSCAN (Ester et al. 1996) with grid-accelerated region queries.
+#[derive(Debug, Clone)]
+pub struct Dbscan {
+    /// Neighborhood radius ε.
+    pub epsilon: f64,
+    /// Minimum neighborhood size (including the point) for a core point.
+    pub min_pts: usize,
+}
+
+impl Dbscan {
+    /// DBSCAN with the given ε and `min_pts` = 5.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        Self {
+            epsilon,
+            min_pts: 5,
+        }
+    }
+}
+
+impl ClusterAlgorithm for Dbscan {
+    fn name(&self) -> &'static str {
+        "DBSCAN"
+    }
+
+    fn cluster(&self, data: &Dataset) -> Clustering {
+        let dim = data.dim();
+        let n = data.len();
+        let mut trace = RunTrace::default();
+        if n == 0 {
+            return Clustering::from_labels(Vec::new(), 0, true, data.clone(), trace);
+        }
+        let coords = data.coords();
+        let (labels, secs) = timed(|| {
+            let geometry = GridGeometry::new(dim, self.epsilon, n, GridVariant::Auto);
+            let grid = HostGrid::build(&geometry, coords);
+            let mut labels = vec![NOISE; n];
+            let mut visited = vec![false; n];
+            let mut next_cluster = 0u32;
+            let mut queue = Vec::new();
+            for start in 0..n {
+                if visited[start] {
+                    continue;
+                }
+                visited[start] = true;
+                let nb = grid.ball_indices(row(coords, dim, start), self.epsilon);
+                if nb.len() < self.min_pts {
+                    continue; // noise (may be claimed by a cluster later)
+                }
+                let cluster = next_cluster;
+                next_cluster += 1;
+                labels[start] = cluster;
+                queue.clear();
+                queue.extend(nb);
+                while let Some(q) = queue.pop() {
+                    let q = q as usize;
+                    if labels[q] == NOISE {
+                        labels[q] = cluster; // border point
+                    }
+                    if visited[q] {
+                        continue;
+                    }
+                    visited[q] = true;
+                    let nb_q = grid.ball_indices(row(coords, dim, q), self.epsilon);
+                    if nb_q.len() >= self.min_pts {
+                        labels[q] = cluster;
+                        queue.extend(nb_q);
+                    }
+                }
+            }
+            // map noise to fresh singleton labels so the Clustering API
+            // (outliers = singletons) applies uniformly
+            for l in labels.iter_mut() {
+                if *l == NOISE {
+                    *l = next_cluster;
+                    next_cluster += 1;
+                }
+            }
+            labels
+        });
+        trace.stages.add(Stage::Clustering, secs);
+        trace.total_seconds = secs;
+        Clustering::from_labels(labels, 1, true, data.clone(), trace)
+    }
+}
+
+/// Lloyd's k-means with k-means++ seeding.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iterations: usize,
+    /// Seed for the deterministic k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl KMeans {
+    /// k-means with the given `k`, 100 iterations, fixed seed.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            max_iterations: 100,
+            seed: 0x5EED_004B,
+        }
+    }
+}
+
+/// Tiny deterministic xorshift for the seeding (no external RNG needed in
+/// the hot path; quality is irrelevant here).
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+impl ClusterAlgorithm for KMeans {
+    fn name(&self) -> &'static str {
+        "k-means"
+    }
+
+    fn cluster(&self, data: &Dataset) -> Clustering {
+        let dim = data.dim();
+        let n = data.len();
+        let mut trace = RunTrace::default();
+        if n == 0 {
+            return Clustering::from_labels(Vec::new(), 0, true, data.clone(), trace);
+        }
+        let k = self.k.min(n);
+        let coords = data.coords();
+        let mut iterations = 0usize;
+        let (labels, secs) = timed(|| {
+            // k-means++ seeding
+            let mut rng = self.seed | 1;
+            let mut centers: Vec<f64> = Vec::with_capacity(k * dim);
+            let first = (xorshift(&mut rng) % n as u64) as usize;
+            centers.extend_from_slice(row(coords, dim, first));
+            let mut dist_sq: Vec<f64> = (0..n)
+                .map(|i| squared_euclidean(row(coords, dim, i), &centers[..dim]))
+                .collect();
+            while centers.len() < k * dim {
+                let total: f64 = dist_sq.iter().sum();
+                let mut target = if total > 0.0 {
+                    (xorshift(&mut rng) as f64 / u64::MAX as f64) * total
+                } else {
+                    0.0
+                };
+                let mut chosen = n - 1;
+                for (i, &d) in dist_sq.iter().enumerate() {
+                    target -= d;
+                    if target <= 0.0 {
+                        chosen = i;
+                        break;
+                    }
+                }
+                let c0 = centers.len();
+                centers.extend_from_slice(row(coords, dim, chosen));
+                for i in 0..n {
+                    let d = squared_euclidean(row(coords, dim, i), &centers[c0..c0 + dim]);
+                    if d < dist_sq[i] {
+                        dist_sq[i] = d;
+                    }
+                }
+            }
+
+            // Lloyd iterations
+            let mut labels = vec![0u32; n];
+            for _ in 0..self.max_iterations {
+                iterations += 1;
+                let mut changed = false;
+                for i in 0..n {
+                    let p = row(coords, dim, i);
+                    let mut best = 0u32;
+                    let mut best_d = f64::INFINITY;
+                    for c in 0..k {
+                        let d = squared_euclidean(p, &centers[c * dim..(c + 1) * dim]);
+                        if d < best_d {
+                            best_d = d;
+                            best = c as u32;
+                        }
+                    }
+                    if labels[i] != best {
+                        labels[i] = best;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+                let mut counts = vec![0usize; k];
+                let mut sums = vec![0.0f64; k * dim];
+                for (i, &l) in labels.iter().enumerate() {
+                    counts[l as usize] += 1;
+                    for (s, &x) in sums[l as usize * dim..(l as usize + 1) * dim]
+                        .iter_mut()
+                        .zip(row(coords, dim, i))
+                    {
+                        *s += x;
+                    }
+                }
+                for c in 0..k {
+                    if counts[c] > 0 {
+                        for d in 0..dim {
+                            centers[c * dim + d] = sums[c * dim + d] / counts[c] as f64;
+                        }
+                    }
+                }
+            }
+            labels
+        });
+        trace.stages.add(Stage::Update, secs);
+        trace.total_seconds = secs;
+        Clustering::from_labels(labels, iterations, true, data.clone(), trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egg_data::generator::GaussianSpec;
+    use egg_data::metrics::purity;
+
+    fn blobs(n: usize, k: usize, seed: u64) -> (Dataset, Vec<u32>) {
+        GaussianSpec {
+            n,
+            clusters: k,
+            std_dev: 3.0,
+            seed,
+            ..GaussianSpec::default()
+        }
+        .generate_normalized()
+    }
+
+    #[test]
+    fn dbscan_recovers_blobs() {
+        let (data, truth) = blobs(300, 3, 11);
+        let result = Dbscan::new(0.05).cluster(&data);
+        assert!(purity(&truth, &result.labels) > 0.95);
+        assert!(result.num_clusters >= 3);
+    }
+
+    #[test]
+    fn dbscan_isolated_points_are_noise_singletons() {
+        let mut rows = vec![vec![0.5, 0.05]];
+        for i in 0..40 {
+            rows.push(vec![0.2 + (i % 7) as f64 * 1e-3, 0.2 + (i % 5) as f64 * 1e-3]);
+        }
+        let data = Dataset::from_rows(&rows);
+        let result = Dbscan::new(0.05).cluster(&data);
+        assert_eq!(result.outliers(), vec![0]);
+    }
+
+    #[test]
+    fn kmeans_recovers_blobs_given_true_k() {
+        let (data, truth) = blobs(300, 3, 11);
+        let result = KMeans::new(3).cluster(&data);
+        assert!(purity(&truth, &result.labels) > 0.95);
+        assert_eq!(result.num_clusters, 3);
+    }
+
+    #[test]
+    fn kmeans_k_capped_at_n() {
+        let data = Dataset::from_coords(vec![0.1, 0.1, 0.9, 0.9], 2);
+        let result = KMeans::new(10).cluster(&data);
+        assert_eq!(result.num_clusters, 2);
+    }
+
+    #[test]
+    fn both_handle_empty_input() {
+        assert_eq!(Dbscan::new(0.05).cluster(&Dataset::empty(2)).num_clusters, 0);
+        assert_eq!(KMeans::new(3).cluster(&Dataset::empty(2)).num_clusters, 0);
+    }
+
+    #[test]
+    fn kmeans_is_deterministic() {
+        let (data, _) = blobs(150, 3, 7);
+        let a = KMeans::new(3).cluster(&data);
+        let b = KMeans::new(3).cluster(&data);
+        assert_eq!(a.labels, b.labels);
+    }
+}

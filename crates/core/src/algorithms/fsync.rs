@@ -1,0 +1,131 @@
+//! FSynC — SynC accelerated with an R-Tree neighborhood index
+//! (Chen 2018).
+//!
+//! Identical model and λ-termination to [`crate::Sync`]; the only change is
+//! that each ε-neighborhood query descends an R-Tree (fanout `B`, paper
+//! default 100) instead of scanning all points. Because the update moves
+//! every point, the index is rebuilt every iteration — exactly the
+//! overhead/benefit trade-off the original FSynC evaluation reports
+//! (≈10× over SynC while neighborhoods are small, degrading as clusters
+//! densify and each query returns `O(n/k)` points anyway).
+
+use egg_data::Dataset;
+use egg_spatial::RTree;
+
+use crate::algorithms::run_lambda_terminated;
+use crate::instrument::{timed, Stage};
+use crate::model::{update_point_with_neighbors, SyncParams};
+use crate::result::{ClusterAlgorithm, Clustering};
+
+/// FSynC: R-Tree-indexed SynC with λ-termination.
+#[derive(Debug, Clone)]
+pub struct FSync {
+    /// Hyper-parameters (ε, λ, γ, iteration cap).
+    pub params: SyncParams,
+    /// Maximum R-Tree fanout `B` (paper default 100).
+    pub fanout: usize,
+}
+
+impl FSync {
+    /// FSynC with the given ε, default λ = 0.999 and `B` = 100.
+    pub fn new(epsilon: f64) -> Self {
+        Self {
+            params: SyncParams::new(epsilon),
+            fanout: 100,
+        }
+    }
+
+    /// FSynC with explicit parameters and fanout.
+    pub fn with_params(params: SyncParams, fanout: usize) -> Self {
+        Self { params, fanout }
+    }
+}
+
+impl ClusterAlgorithm for FSync {
+    fn name(&self) -> &'static str {
+        "FSynC"
+    }
+
+    fn cluster(&self, data: &Dataset) -> Clustering {
+        let dim = data.dim();
+        let n = data.len();
+        let eps = self.params.epsilon;
+        let fanout = self.fanout;
+        let mut neighbor_buf: Vec<f64> = Vec::new();
+        run_lambda_terminated(data, &self.params, |coords, next, trace| {
+            let (tree, build_secs) = timed(|| RTree::bulk_load(coords, dim, fanout));
+            trace.stages.add(Stage::BuildStructure, build_secs);
+            trace.observe_structure_bytes(tree.size_bytes());
+            let mut rc_sum = 0.0;
+            for p_idx in 0..n {
+                let p = &coords[p_idx * dim..(p_idx + 1) * dim];
+                neighbor_buf.clear();
+                tree.for_each_in_ball(p, eps, |_, q| neighbor_buf.extend_from_slice(q));
+                let out = &mut next[p_idx * dim..(p_idx + 1) * dim];
+                rc_sum +=
+                    update_point_with_neighbors(p, neighbor_buf.chunks_exact(dim), out);
+            }
+            rc_sum / n as f64
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::sync::Sync;
+    use egg_data::generator::GaussianSpec;
+    use egg_data::metrics::same_partition;
+
+    fn blobs(n: usize, seed: u64) -> Dataset {
+        GaussianSpec {
+            n,
+            clusters: 3,
+            std_dev: 3.0,
+            seed,
+            ..GaussianSpec::default()
+        }
+        .generate_normalized()
+        .0
+    }
+
+    #[test]
+    fn matches_sync_exactly() {
+        // same model, same termination — the index must not change results
+        let data = blobs(250, 21);
+        let a = Sync::new(0.05).cluster(&data);
+        let b = FSync::new(0.05).cluster(&data);
+        assert_eq!(a.iterations, b.iterations);
+        assert!(same_partition(&a.labels, &b.labels));
+        for (pa, pb) in a.final_coords.iter().zip(b.final_coords.iter()) {
+            for (x, y) in pa.iter().zip(pb) {
+                assert!((x - y).abs() < 1e-9, "coordinates diverged: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_fanout_also_matches() {
+        let data = blobs(150, 5);
+        let a = Sync::new(0.05).cluster(&data);
+        let mut fsync = FSync::new(0.05);
+        fsync.fanout = 4;
+        let b = fsync.cluster(&data);
+        assert!(same_partition(&a.labels, &b.labels));
+    }
+
+    #[test]
+    fn records_structure_bytes() {
+        let data = blobs(300, 9);
+        let result = FSync::new(0.05).cluster(&data);
+        assert!(result.trace.peak_structure_bytes > 0);
+        assert!(result.trace.stages.get(Stage::BuildStructure) > 0.0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let result = FSync::new(0.05).cluster(&Dataset::empty(3));
+        assert!(result.converged);
+        assert_eq!(result.num_clusters, 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! The paper's comparison algorithms: SynC (Böhm et al. 2010), FSynC
+//! (Chen 2018), and the paper's own straightforward parallelizations
+//! MP-SynC (CPU threads) and GPU-SynC (simulated-GPU kernels).
+//!
+//! All four use the *inexact* λ-termination of the original SynC: iterate
+//! until the cluster order parameter `r_c` (Equation 2) exceeds λ, then
+//! gather clusters with a transitive γ-radius pass over the approximately
+//! synchronized locations. The exact algorithms live in [`crate::egg`].
+
+pub mod comparators;
+pub mod fsync;
+pub mod gpu_sync;
+pub mod mp_sync;
+pub mod sync;
+
+use egg_data::Dataset;
+
+use crate::instrument::{timed, IterationRecord, RunTrace, Stage};
+use crate::model::{gather_gamma, SyncParams};
+use crate::result::Clustering;
+
+/// Shared driver for the CPU λ-terminated baselines.
+///
+/// `step` computes one synchronous iteration: read the current coordinates,
+/// write the moved points into the second buffer, attribute any
+/// structure-building time to the trace itself, and return the iteration's
+/// cluster order parameter `r_c`. The driver double-buffers, records
+/// per-iteration timings, applies λ-termination and γ-gathering, and
+/// assembles the [`Clustering`].
+pub(crate) fn run_lambda_terminated(
+    data: &Dataset,
+    params: &SyncParams,
+    mut step: impl FnMut(&[f64], &mut [f64], &mut RunTrace) -> f64,
+) -> Clustering {
+    let dim = data.dim();
+    let n = data.len();
+    let mut trace = RunTrace::default();
+    if n == 0 {
+        return Clustering::from_labels(Vec::new(), 0, true, data.clone(), trace);
+    }
+    let mut coords = data.coords().to_vec();
+    let mut next = vec![0.0f64; coords.len()];
+    let mut iterations = 0usize;
+    let mut converged = false;
+    while iterations < params.max_iterations {
+        let build_before = trace.stages.get(Stage::BuildStructure);
+        let (rc, secs) = timed(|| step(&coords, &mut next, &mut trace));
+        let build_secs = trace.stages.get(Stage::BuildStructure) - build_before;
+        std::mem::swap(&mut coords, &mut next);
+        trace.stages.add(Stage::Update, secs - build_secs);
+        trace.iterations.push(IterationRecord {
+            iteration: iterations,
+            seconds: secs,
+            sim_seconds: None,
+            rc: Some(rc),
+        });
+        iterations += 1;
+        if rc >= params.lambda {
+            converged = true;
+            break;
+        }
+    }
+    let (labels, secs) = timed(|| gather_gamma(&coords, dim, params.gamma));
+    trace.stages.add(Stage::Clustering, secs);
+    trace.total_seconds = trace.stages.total();
+    Clustering::from_labels(
+        labels,
+        iterations,
+        converged,
+        Dataset::from_coords(coords, dim),
+        trace,
+    )
+}

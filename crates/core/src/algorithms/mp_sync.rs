@@ -1,0 +1,145 @@
+//! MP-SynC — the paper's straightforward CPU-multiprocessor baseline.
+//!
+//! Identical model and λ-termination to [`crate::Sync`]; the per-point
+//! updates of one iteration are distributed over host threads (the paper:
+//! "distribute updates of all points among threads"). The update is
+//! synchronous — all threads read the same iteration-`t` coordinates and
+//! write disjoint slices of the iteration-`t+1` buffer — so the result is
+//! bit-identical to sequential SynC.
+
+use egg_data::Dataset;
+
+use crate::algorithms::run_lambda_terminated;
+use crate::model::{update_point, SyncParams};
+use crate::result::{ClusterAlgorithm, Clustering};
+
+/// CPU-thread-parallel SynC with λ-termination.
+#[derive(Debug, Clone)]
+pub struct MpSync {
+    /// Hyper-parameters (ε, λ, γ, iteration cap).
+    pub params: SyncParams,
+    /// Worker threads; `None` uses the host's available parallelism.
+    pub threads: Option<usize>,
+}
+
+impl MpSync {
+    /// MP-SynC with the given ε, default λ = 0.999 and one worker per host
+    /// core.
+    pub fn new(epsilon: f64) -> Self {
+        Self {
+            params: SyncParams::new(epsilon),
+            threads: None,
+        }
+    }
+
+    /// MP-SynC with explicit parameters and worker count.
+    pub fn with_params(params: SyncParams, threads: Option<usize>) -> Self {
+        Self { params, threads }
+    }
+
+    fn workers(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .max(1)
+    }
+}
+
+impl ClusterAlgorithm for MpSync {
+    fn name(&self) -> &'static str {
+        "MP-SynC"
+    }
+
+    fn cluster(&self, data: &Dataset) -> Clustering {
+        let dim = data.dim();
+        let n = data.len();
+        let eps = self.params.epsilon;
+        let workers = self.workers();
+        run_lambda_terminated(data, &self.params, |coords, next, _trace| {
+            if workers == 1 || n < 2 * workers {
+                let mut rc_sum = 0.0;
+                for p_idx in 0..n {
+                    let out = &mut next[p_idx * dim..(p_idx + 1) * dim];
+                    rc_sum += update_point(coords, dim, p_idx, eps, out);
+                }
+                return rc_sum / n as f64;
+            }
+            let chunk_points = n.div_ceil(workers);
+            let mut rc_parts = vec![0.0f64; workers];
+            crossbeam::scope(|scope| {
+                let mut rest = &mut next[..];
+                for (w, rc_part) in rc_parts.iter_mut().enumerate() {
+                    let start = w * chunk_points;
+                    let end = ((w + 1) * chunk_points).min(n);
+                    if start >= end {
+                        break;
+                    }
+                    let (mine, tail) = rest.split_at_mut((end - start) * dim);
+                    rest = tail;
+                    scope.spawn(move |_| {
+                        let mut acc = 0.0;
+                        for p_idx in start..end {
+                            let out = &mut mine[(p_idx - start) * dim..(p_idx - start + 1) * dim];
+                            acc += update_point(coords, dim, p_idx, eps, out);
+                        }
+                        *rc_part = acc;
+                    });
+                }
+            })
+            .expect("MP-SynC worker panicked");
+            rc_parts.iter().sum::<f64>() / n as f64
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::sync::Sync;
+    use egg_data::generator::GaussianSpec;
+    use egg_data::metrics::same_partition;
+
+    fn blobs(n: usize, seed: u64) -> Dataset {
+        GaussianSpec {
+            n,
+            clusters: 3,
+            std_dev: 3.0,
+            seed,
+            ..GaussianSpec::default()
+        }
+        .generate_normalized()
+        .0
+    }
+
+    #[test]
+    fn bit_identical_to_sequential_sync() {
+        let data = blobs(200, 31);
+        let seq = Sync::new(0.05).cluster(&data);
+        let par = MpSync::with_params(SyncParams::new(0.05), Some(4)).cluster(&data);
+        assert_eq!(seq.iterations, par.iterations);
+        assert!(same_partition(&seq.labels, &par.labels));
+        assert_eq!(seq.final_coords, par.final_coords, "updates must be bit-identical");
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sync() {
+        let data = blobs(120, 8);
+        let seq = Sync::new(0.05).cluster(&data);
+        let par = MpSync::with_params(SyncParams::new(0.05), Some(1)).cluster(&data);
+        assert_eq!(seq.final_coords, par.final_coords);
+    }
+
+    #[test]
+    fn more_workers_than_points() {
+        let data = blobs(6, 8);
+        let par = MpSync::with_params(SyncParams::new(0.05), Some(64)).cluster(&data);
+        assert!(par.converged);
+        assert_eq!(par.labels.len(), 6);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let result = MpSync::new(0.05).cluster(&Dataset::empty(2));
+        assert!(result.converged);
+        assert!(result.labels.is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! SynC — the original clustering-by-synchronization algorithm
+//! (Böhm et al., KDD 2010; the paper's Algorithm 1).
+//!
+//! Every iteration applies the Kuramoto update (Equation 1) to every point
+//! using a brute-force `O(n²·d)` neighborhood scan, computes the cluster
+//! order parameter `r_c` (Equation 2), and terminates once `r_c ≥ λ`.
+//! Clusters are then gathered by a transitive γ-radius pass.
+//!
+//! This is the reproduction's faithful port of the slowest baseline. It is
+//! deliberately unoptimized beyond the original's structure: the whole
+//! point of the paper's evaluation is how far EGG-SynC pulls ahead of it.
+
+use egg_data::Dataset;
+
+use crate::algorithms::run_lambda_terminated;
+use crate::model::{update_point, SyncParams};
+use crate::result::{ClusterAlgorithm, Clustering};
+
+/// The original SynC algorithm with λ-termination.
+#[derive(Debug, Clone)]
+pub struct Sync {
+    /// Hyper-parameters (ε, λ, γ, iteration cap).
+    pub params: SyncParams,
+}
+
+impl Sync {
+    /// SynC with the given ε and paper-default λ = 0.999.
+    pub fn new(epsilon: f64) -> Self {
+        Self {
+            params: SyncParams::new(epsilon),
+        }
+    }
+
+    /// SynC with fully explicit parameters.
+    pub fn with_params(params: SyncParams) -> Self {
+        Self { params }
+    }
+}
+
+impl ClusterAlgorithm for Sync {
+    fn name(&self) -> &'static str {
+        "SynC"
+    }
+
+    fn cluster(&self, data: &Dataset) -> Clustering {
+        let dim = data.dim();
+        let n = data.len();
+        let eps = self.params.epsilon;
+        run_lambda_terminated(data, &self.params, |coords, next, _trace| {
+            let mut rc_sum = 0.0;
+            for p_idx in 0..n {
+                let out = &mut next[p_idx * dim..(p_idx + 1) * dim];
+                rc_sum += update_point(coords, dim, p_idx, eps, out);
+            }
+            rc_sum / n as f64
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egg_data::generator::GaussianSpec;
+    use egg_data::metrics::purity;
+
+    fn blobs(n: usize, k: usize, seed: u64) -> (Dataset, Vec<u32>) {
+        GaussianSpec {
+            n,
+            clusters: k,
+            std_dev: 3.0,
+            seed,
+            ..GaussianSpec::default()
+        }
+        .generate_normalized()
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let (data, truth) = blobs(300, 3, 11);
+        let result = Sync::new(0.05).cluster(&data);
+        assert!(result.converged);
+        assert!(result.iterations >= 1);
+        // every true cluster should be recovered (possibly plus outliers)
+        assert!(
+            purity(&truth, &result.labels) > 0.99,
+            "purity too low, {} clusters",
+            result.num_clusters
+        );
+        assert!(result.num_clusters >= 3);
+    }
+
+    #[test]
+    fn single_point_terminates_immediately() {
+        let data = Dataset::from_coords(vec![0.5, 0.5], 2);
+        let result = Sync::new(0.05).cluster(&data);
+        assert!(result.converged);
+        assert_eq!(result.iterations, 1);
+        assert_eq!(result.num_clusters, 1);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let data = Dataset::empty(2);
+        let result = Sync::new(0.05).cluster(&data);
+        assert!(result.converged);
+        assert_eq!(result.num_clusters, 0);
+        assert!(result.labels.is_empty());
+    }
+
+    #[test]
+    fn identical_points_form_one_cluster() {
+        let data = Dataset::from_coords([0.5, 0.5].repeat(10), 2);
+        let result = Sync::new(0.05).cluster(&data);
+        assert!(result.converged);
+        assert_eq!(result.num_clusters, 1);
+        assert_eq!(result.iterations, 1); // already synchronized: r_c = 1
+    }
+
+    #[test]
+    fn max_iterations_respected() {
+        let (data, _) = blobs(100, 2, 3);
+        let mut params = SyncParams::new(0.05);
+        params.max_iterations = 2;
+        params.lambda = 2.0; // unreachable
+        let result = Sync::with_params(params).cluster(&data);
+        assert!(!result.converged);
+        assert_eq!(result.iterations, 2);
+    }
+
+    #[test]
+    fn rc_is_monotone_enough_to_terminate() {
+        let (data, _) = blobs(150, 2, 5);
+        let result = Sync::new(0.05).cluster(&data);
+        let rcs: Vec<f64> = result.trace.iterations.iter().map(|r| r.rc.unwrap()).collect();
+        assert!(rcs.last().unwrap() >= &0.999);
+        assert!(rcs.first().unwrap() < rcs.last().unwrap() || rcs.len() == 1);
+    }
+
+    #[test]
+    fn final_coords_are_contracted() {
+        let (data, _) = blobs(200, 2, 7);
+        let result = Sync::new(0.05).cluster(&data);
+        // points assigned to the same cluster ended up almost coincident
+        for (i, pi) in result.final_coords.iter().enumerate() {
+            for (j, pj) in result.final_coords.iter().enumerate().skip(i + 1) {
+                if result.labels[i] == result.labels[j] {
+                    let dist: f64 = pi
+                        .iter()
+                        .zip(pj)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt();
+                    assert!(dist <= 2.0 * 0.025, "same-cluster points {i},{j} apart by {dist}");
+                }
+            }
+        }
+    }
+}

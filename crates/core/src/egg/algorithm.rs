@@ -1,0 +1,316 @@
+//! EGG-SynC — Algorithm 4, the full driver.
+//!
+//! Per iteration: (re)construct the grid and its summaries from the
+//! current positions (Algorithm 2, §4.3.1), precompute the non-empty
+//! surrounding cells (§4.2.5), run the EGG-update (Algorithm 3, which also
+//! certifies the first term of Definition 4.2), and — only when the first
+//! term survived — run the second-term check (§4.3.3). When both hold the
+//! synchronization criterion is met, neighborhoods can never change again
+//! (Theorem 4.7), and the non-empty grid cells are returned as the final
+//! clustering.
+//!
+//! There is **no λ parameter**: termination is exact, which is the paper's
+//! headline correctness contribution.
+
+use egg_data::Dataset;
+use egg_gpu_sim::{Device, DeviceConfig};
+
+use crate::grid::{GridGeometry, GridVariant, GridWorkspace};
+use crate::instrument::{timed, IterationRecord, RunTrace, Stage, StageTimings};
+use crate::result::{ClusterAlgorithm, Clustering};
+
+use super::gather::gather_labels;
+use super::termination::second_term_holds;
+use super::update::{egg_update, UpdateOptions};
+
+/// Exact GPU-parallelized Grid-based clustering by Synchronization.
+#[derive(Debug, Clone)]
+pub struct EggSync {
+    /// Neighborhood radius ε — the algorithm's only model parameter.
+    pub epsilon: f64,
+    /// Safety cap on iterations (the exact criterion terminates on its
+    /// own; the cap guards pathological floating-point stalemates).
+    pub max_iterations: usize,
+    /// Grid access strategy (§4.2.2–4.2.4). `Auto` is the paper's mixed
+    /// heuristic.
+    pub variant: GridVariant,
+    /// Optimization toggles for the ablation benches.
+    pub options: UpdateOptions,
+    /// Simulated-device configuration.
+    pub device_config: DeviceConfig,
+}
+
+impl EggSync {
+    /// EGG-SynC with the given ε, mixed-access grid, all optimizations on,
+    /// on the default simulated RTX 3090.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        Self {
+            epsilon,
+            max_iterations: 10_000,
+            variant: GridVariant::Auto,
+            options: UpdateOptions::default(),
+            device_config: DeviceConfig::default(),
+        }
+    }
+
+    /// Same as [`EggSync::new`] with an explicit grid variant.
+    pub fn with_variant(epsilon: f64, variant: GridVariant) -> Self {
+        Self {
+            variant,
+            ..Self::new(epsilon)
+        }
+    }
+}
+
+impl ClusterAlgorithm for EggSync {
+    fn name(&self) -> &'static str {
+        "EGG-SynC"
+    }
+
+    fn cluster(&self, data: &Dataset) -> Clustering {
+        let dim = data.dim();
+        let n = data.len();
+        let mut trace = RunTrace::default();
+        if n == 0 {
+            return Clustering::from_labels(Vec::new(), 0, true, data.clone(), trace);
+        }
+        let device = Device::new(self.device_config.clone());
+        let mut sim_stages = StageTimings::default();
+        let mut sim_mark = 0u64;
+        let mut take_sim = |device: &Device, stages: &mut StageTimings, stage: Stage| {
+            let now = device.sim_kernel_nanos();
+            stages.add(stage, (now - sim_mark) as f64 / 1e9);
+            sim_mark = now;
+        };
+
+        // --- allocate everything once (Algorithm 4 reuses all arrays) ----
+        let geometry = GridGeometry::new(dim, self.epsilon, n, self.variant);
+        let ((mut coords_cur, mut coords_next, sync_flag, mut workspace), alloc_secs) =
+            timed(|| {
+                let coords = device.alloc_from_slice::<f64>(data.coords());
+                let next = device.alloc::<f64>(n * dim);
+                let flag = device.alloc::<u64>(1);
+                let workspace = GridWorkspace::new(&device, geometry, n);
+                (coords, next, flag, workspace)
+            });
+        trace.stages.add(Stage::Allocating, alloc_secs);
+        take_sim(&device, &mut sim_stages, Stage::Allocating);
+        trace.observe_structure_bytes(device.memory_used() as usize);
+
+        let mut iterations = 0usize;
+        let mut converged = false;
+        let mut last_grid = None;
+        while iterations < self.max_iterations {
+            let iter_start = std::time::Instant::now();
+            let sim_iter_start = device.sim_kernel_nanos();
+
+            // construct grid + summaries + preGrid from state t
+            let ((grid, pre), build_secs) = timed(|| {
+                let grid = workspace.construct(&coords_cur);
+                let pre = workspace.build_pregrid(&grid);
+                (grid, pre)
+            });
+            trace.stages.add(Stage::BuildStructure, build_secs);
+            take_sim(&device, &mut sim_stages, Stage::BuildStructure);
+            trace.observe_structure_bytes(device.memory_used() as usize);
+
+            // update t → t+1, certifying the first term on state t
+            let (first_term, update_secs) = timed(|| {
+                sync_flag.store(0, 1);
+                egg_update(
+                    &device,
+                    &grid,
+                    &pre,
+                    &coords_cur,
+                    &coords_next,
+                    &sync_flag,
+                    n,
+                    self.epsilon,
+                    self.options,
+                );
+                sync_flag.load(0) == 1
+            });
+            trace.stages.add(Stage::Update, update_secs);
+            take_sim(&device, &mut sim_stages, Stage::Update);
+
+            // second term, only when the first survived (state t!)
+            let mut done = false;
+            if first_term {
+                let (second, check_secs) = timed(|| {
+                    second_term_holds(&device, &grid, &pre, &coords_cur, n, self.epsilon)
+                });
+                trace.stages.add(Stage::ExtraCheck, check_secs);
+                take_sim(&device, &mut sim_stages, Stage::ExtraCheck);
+                done = second;
+            }
+
+            std::mem::swap(&mut coords_cur, &mut coords_next);
+            iterations += 1;
+            trace.iterations.push(IterationRecord {
+                iteration: iterations - 1,
+                seconds: iter_start.elapsed().as_secs_f64(),
+                sim_seconds: Some((device.sim_kernel_nanos() - sim_iter_start) as f64 / 1e9),
+                rc: None,
+            });
+            last_grid = Some(grid);
+            if done {
+                converged = true;
+                break;
+            }
+        }
+
+        // --- gather: non-empty cells of the certified grid are clusters --
+        let (labels, gather_secs) = timed(|| {
+            last_grid
+                .as_ref()
+                .map(gather_labels)
+                .unwrap_or_default()
+        });
+        trace.stages.add(Stage::Clustering, gather_secs);
+        take_sim(&device, &mut sim_stages, Stage::Clustering);
+
+        let final_coords = Dataset::from_coords(coords_cur.to_vec(), dim);
+        trace.observe_structure_bytes(device.memory_used() as usize);
+        let (_, free_secs) = timed(|| {
+            drop(workspace);
+            drop(last_grid);
+            drop(coords_next);
+        });
+        trace.stages.add(Stage::FreeMemory, free_secs);
+        trace.total_seconds = trace.stages.total();
+        trace.total_sim_seconds = Some(sim_stages.total());
+        trace.sim_stages = Some(sim_stages);
+        Clustering::from_labels(labels, iterations, converged, final_coords, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::egg::reference::ExactSync;
+    use egg_data::generator::{bridged_clusters, GaussianSpec};
+    use egg_data::metrics::{purity, same_partition};
+
+    fn blobs(n: usize, k: usize, seed: u64) -> (Dataset, Vec<u32>) {
+        GaussianSpec {
+            n,
+            clusters: k,
+            std_dev: 3.0,
+            seed,
+            ..GaussianSpec::default()
+        }
+        .generate_normalized()
+    }
+
+    #[test]
+    fn matches_exact_oracle() {
+        let (data, _) = blobs(200, 3, 77);
+        let oracle = ExactSync::new(0.05).cluster(&data);
+        let egg = EggSync::new(0.05).cluster(&data);
+        assert!(egg.converged);
+        // the cell-based first-term check is stricter than Definition 4.2's
+        // term 1, so EGG may run a few extra iterations — never fewer
+        assert!(egg.iterations >= oracle.iterations, "iteration count");
+        assert!(
+            same_partition(&oracle.labels, &egg.labels),
+            "partitions differ: oracle {} vs egg {} clusters",
+            oracle.num_clusters,
+            egg.num_clusters
+        );
+    }
+
+    #[test]
+    fn all_grid_variants_agree() {
+        let (data, _) = blobs(150, 3, 13);
+        let reference = EggSync::new(0.05).cluster(&data);
+        for variant in [
+            GridVariant::Sequential,
+            GridVariant::RandomAccess,
+            GridVariant::Mixed(1),
+        ] {
+            let other = EggSync::with_variant(0.05, variant).cluster(&data);
+            assert!(
+                same_partition(&reference.labels, &other.labels),
+                "variant {variant:?} diverged"
+            );
+            assert_eq!(reference.iterations, other.iterations, "variant {variant:?}");
+        }
+    }
+
+    #[test]
+    fn ablation_toggles_do_not_change_results() {
+        let (data, _) = blobs(150, 3, 19);
+        let reference = EggSync::new(0.05).cluster(&data);
+        for (summaries, pregrid) in [(false, true), (true, false), (false, false)] {
+            let mut algo = EggSync::new(0.05);
+            algo.options = UpdateOptions {
+                use_summaries: summaries,
+                use_pregrid: pregrid,
+            };
+            let other = algo.cluster(&data);
+            assert!(
+                same_partition(&reference.labels, &other.labels),
+                "summaries={summaries} pregrid={pregrid} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_ground_truth_blobs() {
+        // purity is not exactly 1: points in overlapping Gaussian tails
+        // legitimately synchronize with the nearer cluster
+        let (data, truth) = blobs(300, 5, 3);
+        let result = EggSync::new(0.05).cluster(&data);
+        assert!(result.converged);
+        assert!(purity(&truth, &result.labels) > 0.95);
+    }
+
+    #[test]
+    fn bridge_merges_into_single_cluster() {
+        let (data, eps) = bridged_clusters(60, 12, 9);
+        let result = EggSync::new(eps).cluster(&data);
+        assert!(result.converged);
+        assert_eq!(result.num_clusters, 1);
+    }
+
+    #[test]
+    fn stage_timings_are_populated() {
+        let (data, _) = blobs(120, 2, 1);
+        let result = EggSync::new(0.05).cluster(&data);
+        let st = &result.trace.stages;
+        assert!(st.get(Stage::BuildStructure) > 0.0);
+        assert!(st.get(Stage::Update) > 0.0);
+        assert!(result.trace.total_sim_seconds.unwrap() > 0.0);
+        assert!(result.trace.peak_structure_bytes > 0);
+        assert_eq!(result.trace.iterations.len(), result.iterations);
+    }
+
+    #[test]
+    fn empty_single_duplicate_inputs() {
+        assert_eq!(EggSync::new(0.05).cluster(&Dataset::empty(2)).num_clusters, 0);
+        let single = EggSync::new(0.05).cluster(&Dataset::from_coords(vec![0.4, 0.6], 2));
+        assert!(single.converged);
+        assert_eq!(single.num_clusters, 1);
+        let dup = EggSync::new(0.05).cluster(&Dataset::from_coords([0.5, 0.5].repeat(7), 2));
+        assert!(dup.converged);
+        assert_eq!(dup.num_clusters, 1);
+        assert_eq!(dup.labels, vec![0; 7]);
+    }
+
+    #[test]
+    fn high_dimensional_run() {
+        let (data, truth) = GaussianSpec {
+            n: 150,
+            dim: 10,
+            clusters: 3,
+            std_dev: 3.0,
+            seed: 4,
+            ..GaussianSpec::default()
+        }
+        .generate_normalized();
+        let result = EggSync::new(0.4).cluster(&data);
+        assert!(result.converged);
+        assert!(purity(&truth, &result.labels) > 0.95);
+    }
+}

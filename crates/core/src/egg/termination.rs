@@ -1,0 +1,218 @@
+//! Grid-accelerated check of the second term of Definition 4.2 (§4.3.3).
+//!
+//! Only launched in iterations where the first term already holds (every
+//! neighborhood is confined to its own grid cell — checked for free inside
+//! the update kernel). For every point `p`, the kernel scans the
+//! surrounding cells for points `q₁` in the `(ε, ε+δ]` shell; for each
+//! such `q₁` it scans `q₁`'s surroundings for `q₂ ∈ N_{ε/2}(q₁)` and tests
+//! whether the MBR of the pair intersects the ε-ball of `p` — the
+//! conservative "could `q₁` be dragged in?" test of Lemma 4.6.
+
+use egg_gpu_sim::{grid_for, Device, DeviceBuffer};
+
+use crate::algorithms::gpu_sync::{BLOCK, MAX_DIM};
+use crate::grid::device::seg_start;
+use crate::grid::{DeviceGrid, PreGrid};
+use crate::model::delta;
+
+/// Launch the second-term kernel over the state `coords` (the positions the
+/// grid was built from). Returns `true` when no point can be dragged into
+/// any neighborhood — together with a surviving first-term flag this
+/// certifies Definition 4.2 and the algorithm may gather and stop.
+pub fn second_term_holds(
+    device: &Device,
+    grid: &DeviceGrid,
+    pre: &PreGrid,
+    coords: &DeviceBuffer<f64>,
+    n: usize,
+    epsilon: f64,
+) -> bool {
+    let geo = grid.geometry;
+    let dim = geo.dim;
+    let eps_sq = epsilon * epsilon;
+    let shell = epsilon + delta(epsilon);
+    let shell_sq = shell * shell;
+    let half_sq = (epsilon / 2.0) * (epsilon / 2.0);
+    let flag = device.alloc::<u64>(1);
+    flag.store(0, 1);
+    {
+        let flag = &flag;
+        device.launch("egg_second_term", grid_for(n, BLOCK), BLOCK, |t| {
+            let p_idx = t.global_id();
+            if p_idx >= n || flag.load(0) == 0 {
+                return;
+            }
+            let mut p = [0.0f64; MAX_DIM];
+            for i in 0..dim {
+                p[i] = coords.load(p_idx * dim + i);
+            }
+            let c_oid = geo.outer_id_of_point(&p[..dim]);
+            let k = pre.index_of.load(c_oid) as usize;
+            let mut cell_coords = [0u64; MAX_DIM];
+
+            let lo = seg_start(&pre.ends, k) as usize;
+            let hi = pre.ends.load(k) as usize;
+            for s in lo..hi {
+                let oid = pre.cells.load(s) as usize;
+                let cells_lo = seg_start(&grid.o_ends, oid) as usize;
+                let cells_hi = grid.o_ends.load(oid) as usize;
+                for c in cells_lo..cells_hi {
+                    for i in 0..dim {
+                        cell_coords[i] = grid.i_ids.load(c * dim + i);
+                    }
+                    if geo.min_sq_dist_to_cell(&p[..dim], &cell_coords[..dim]) > shell_sq {
+                        continue;
+                    }
+                    let pts_lo = grid.cell_start(c) as usize;
+                    let pts_hi = grid.i_ends.load(c) as usize;
+                    for e in pts_lo..pts_hi {
+                        let q1_idx = grid.i_points.load(e) as usize;
+                        let mut q1 = [0.0f64; MAX_DIM];
+                        let mut d_sq = 0.0;
+                        for i in 0..dim {
+                            q1[i] = coords.load(q1_idx * dim + i);
+                            let d = q1[i] - p[i];
+                            d_sq += d * d;
+                        }
+                        if d_sq <= eps_sq || d_sq > shell_sq {
+                            continue;
+                        }
+                        // q1 hovers in the shell: can one of its
+                        // ε/2-neighbors drag it towards p?
+                        if shell_pair_reaches(
+                            grid, pre, coords, &geo, &p[..dim], &q1[..dim], eps_sq, half_sq, dim,
+                        ) {
+                            flag.store(0, 0);
+                            return;
+                        }
+                    }
+                }
+            }
+        });
+    }
+    flag.load(0) == 1
+}
+
+/// Scan `q₁`'s surrounding cells for a partner `q₂ ∈ N_{ε/2}(q₁)` whose
+/// pair-MBR with `q₁` intersects the ε-ball of `p`.
+#[allow(clippy::too_many_arguments)]
+fn shell_pair_reaches(
+    grid: &DeviceGrid,
+    pre: &PreGrid,
+    coords: &DeviceBuffer<f64>,
+    geo: &crate::grid::GridGeometry,
+    p: &[f64],
+    q1: &[f64],
+    eps_sq: f64,
+    half_sq: f64,
+    dim: usize,
+) -> bool {
+    let q1_oid = geo.outer_id_of_point(q1);
+    let k1 = pre.index_of.load(q1_oid) as usize;
+    let mut cell_coords = [0u64; MAX_DIM];
+    let lo = seg_start(&pre.ends, k1) as usize;
+    let hi = pre.ends.load(k1) as usize;
+    for s in lo..hi {
+        let oid = pre.cells.load(s) as usize;
+        let cells_lo = seg_start(&grid.o_ends, oid) as usize;
+        let cells_hi = grid.o_ends.load(oid) as usize;
+        for c in cells_lo..cells_hi {
+            for i in 0..dim {
+                cell_coords[i] = grid.i_ids.load(c * dim + i);
+            }
+            if geo.min_sq_dist_to_cell(q1, &cell_coords[..dim]) > half_sq {
+                continue;
+            }
+            let pts_lo = grid.cell_start(c) as usize;
+            let pts_hi = grid.i_ends.load(c) as usize;
+            for e in pts_lo..pts_hi {
+                let q2_idx = grid.i_points.load(e) as usize;
+                let mut d_sq = 0.0;
+                let mut q2 = [0.0f64; MAX_DIM];
+                for i in 0..dim {
+                    q2[i] = coords.load(q2_idx * dim + i);
+                    let d = q2[i] - q1[i];
+                    d_sq += d * d;
+                }
+                if d_sq > half_sq {
+                    continue;
+                }
+                // MBR of {q1, q2} against the ε-ball of p
+                let mut mbr_sq = 0.0;
+                for i in 0..dim {
+                    let lo_i = q1[i].min(q2[i]);
+                    let hi_i = q1[i].max(q2[i]);
+                    let d = if p[i] < lo_i {
+                        lo_i - p[i]
+                    } else if p[i] > hi_i {
+                        p[i] - hi_i
+                    } else {
+                        0.0
+                    };
+                    mbr_sq += d * d;
+                }
+                if mbr_sq <= eps_sq {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{GridGeometry, GridVariant, GridWorkspace};
+    use crate::model::criterion_term2_met;
+    use egg_gpu_sim::DeviceConfig;
+
+    fn device_second_term(coords: &[f64], dim: usize, eps: f64) -> bool {
+        let n = coords.len() / dim;
+        let device = Device::new(DeviceConfig::default());
+        let geo = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+        let mut ws = GridWorkspace::new(&device, geo, n);
+        let buf = device.alloc_from_slice(coords);
+        let grid = ws.construct(&buf);
+        let pre = ws.build_pregrid(&grid);
+        second_term_holds(&device, &grid, &pre, &buf, n, eps)
+    }
+
+    #[test]
+    fn matches_brute_force_on_draggable_configuration() {
+        // the hand-built violation from the model tests
+        let coords = vec![0.50, 0.50, 0.601, 0.50, 0.59, 0.545];
+        assert!(!criterion_term2_met(&coords, 2, 0.1));
+        assert!(!device_second_term(&coords, 2, 0.1));
+    }
+
+    #[test]
+    fn matches_brute_force_on_clean_configuration() {
+        let coords = vec![0.10, 0.10, 0.12, 0.10, 0.90, 0.90, 0.88, 0.90];
+        assert!(criterion_term2_met(&coords, 2, 0.1));
+        assert!(device_second_term(&coords, 2, 0.1));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_clouds() {
+        for seed in 0..6u64 {
+            let coords: Vec<f64> = (0..120)
+                .map(|i| {
+                    ((i as u64 + seed * 977).wrapping_mul(2654435761) % 1009) as f64 / 1009.0
+                })
+                .collect();
+            let eps = 0.06 + seed as f64 * 0.01;
+            assert_eq!(
+                device_second_term(&coords, 2, eps),
+                criterion_term2_met(&coords, 2, eps),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_point_hold_trivially() {
+        assert!(device_second_term(&[], 2, 0.05));
+        assert!(device_second_term(&[0.5, 0.5], 2, 0.05));
+    }
+}

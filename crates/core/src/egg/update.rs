@@ -1,0 +1,291 @@
+//! The EGG-update kernel (Algorithm 3).
+//!
+//! One device thread per entry of the grid-sorted point array
+//! (`i_points`, §4.2.6). Each thread walks the precomputed non-empty
+//! surrounding outer cells of its point's outer cell (§4.2.5) and, for
+//! every inner cell, classifies it against the ε-ball:
+//!
+//! * **fully inside** (farthest corner within ε): consume the cell's
+//!   precomputed Σsin/Σcos via the angle-addition identity — no point
+//!   access at all (§4.3.1);
+//! * **partially overlapping** (nearest corner within ε): fall back to the
+//!   points of that cell;
+//! * **disjoint**: skip.
+//!
+//! The kernel simultaneously evaluates the *first term* of the exact
+//! termination criterion: thanks to the cell-diagonal ≤ ε/2 width, the
+//! whole neighborhood coincides with the point's own cell iff
+//! `|N_ε(p)| = |cell(p)|`; any point that observes a difference clears the
+//! shared synchronization flag (Algorithm 3, lines 14–15).
+
+use egg_gpu_sim::{grid_for, Device, DeviceBuffer};
+
+use crate::algorithms::gpu_sync::{BLOCK, MAX_DIM};
+use crate::grid::{DeviceGrid, PreGrid};
+
+use super::super::grid::device::seg_start;
+
+/// Options toggling the paper's individual optimizations — the ablation
+/// switches of the `ablation_egg` bench.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateOptions {
+    /// Use per-cell Σsin/Σcos for fully covered cells (§4.3.1). When off,
+    /// every overlapping cell is processed point-by-point.
+    pub use_summaries: bool,
+    /// Walk only the precomputed non-empty surrounding cells (§4.2.5).
+    /// When off, enumerate all geometric surroundings and test emptiness
+    /// inline.
+    pub use_pregrid: bool,
+}
+
+impl Default for UpdateOptions {
+    fn default() -> Self {
+        Self {
+            use_summaries: true,
+            use_pregrid: true,
+        }
+    }
+}
+
+/// Launch the EGG-update kernel: move every point of `coords` into `next`
+/// and clear `sync_flag[0]` if any point's neighborhood extends beyond its
+/// own grid cell. `sync_flag[0]` must be pre-set to 1 by the caller.
+#[allow(clippy::too_many_arguments)]
+pub fn egg_update(
+    device: &Device,
+    grid: &DeviceGrid,
+    pre: &PreGrid,
+    coords: &DeviceBuffer<f64>,
+    next: &DeviceBuffer<f64>,
+    sync_flag: &DeviceBuffer<u64>,
+    n: usize,
+    epsilon: f64,
+    options: UpdateOptions,
+) {
+    let geo = grid.geometry;
+    let dim = geo.dim;
+    let eps_sq = epsilon * epsilon;
+    device.launch("egg_update", grid_for(n, BLOCK), BLOCK, |t| {
+        let entry = t.global_id();
+        if entry >= n {
+            return;
+        }
+        // grid-sorted execution order: warps handle co-located points
+        let p_idx = grid.i_points.load(entry) as usize;
+        let mut p = [0.0f64; MAX_DIM];
+        for i in 0..dim {
+            p[i] = coords.load(p_idx * dim + i);
+        }
+        let (mut sin_p, mut cos_p) = ([0.0f64; MAX_DIM], [0.0f64; MAX_DIM]);
+        for i in 0..dim {
+            sin_p[i] = p[i].sin();
+            cos_p[i] = p[i].cos();
+        }
+        let c_oid = geo.outer_id_of_point(&p[..dim]);
+        let c_cell = grid.point_cell.load(p_idx) as usize;
+
+        let mut sums = [0.0f64; MAX_DIM];
+        let mut neighbors = 0u64;
+        let mut cell_coords = [0u64; MAX_DIM];
+
+        let mut visit_outer = |oid: usize| {
+            let cells_lo = seg_start(&grid.o_ends, oid) as usize;
+            let cells_hi = grid.o_ends.load(oid) as usize;
+            for c in cells_lo..cells_hi {
+                for i in 0..dim {
+                    cell_coords[i] = grid.i_ids.load(c * dim + i);
+                }
+                let min_sq = geo.min_sq_dist_to_cell(&p[..dim], &cell_coords[..dim]);
+                if min_sq > eps_sq {
+                    continue;
+                }
+                let fully_within = options.use_summaries
+                    && geo.max_sq_dist_to_cell(&p[..dim], &cell_coords[..dim]) <= eps_sq;
+                if fully_within {
+                    for i in 0..dim {
+                        sums[i] += cos_p[i] * grid.sin_sums.load(c * dim + i)
+                            - sin_p[i] * grid.cos_sums.load(c * dim + i);
+                    }
+                    neighbors += grid.cell_size(c);
+                } else {
+                    let pts_lo = grid.cell_start(c) as usize;
+                    let pts_hi = grid.i_ends.load(c) as usize;
+                    for e in pts_lo..pts_hi {
+                        let q_idx = grid.i_points.load(e) as usize;
+                        let mut q = [0.0f64; MAX_DIM];
+                        let mut dist_sq = 0.0;
+                        for i in 0..dim {
+                            q[i] = coords.load(q_idx * dim + i);
+                            let d = q[i] - p[i];
+                            dist_sq += d * d;
+                        }
+                        if dist_sq <= eps_sq {
+                            neighbors += 1;
+                            for i in 0..dim {
+                                sums[i] += (q[i] - p[i]).sin();
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        if options.use_pregrid {
+            let k = pre.index_of.load(c_oid) as usize;
+            let lo = seg_start(&pre.ends, k) as usize;
+            let hi = pre.ends.load(k) as usize;
+            for s in lo..hi {
+                visit_outer(pre.cells.load(s) as usize);
+            }
+        } else {
+            geo.for_each_surrounding_outer(c_oid, |oid| {
+                if grid.o_sizes.load(oid) > 0 {
+                    visit_outer(oid);
+                }
+            });
+        }
+
+        let inv = 1.0 / neighbors as f64;
+        for i in 0..dim {
+            next.store(p_idx * dim + i, p[i] + sums[i] * inv);
+        }
+        // first term of Definition 4.2 (Algorithm 3, lines 14–15)
+        if neighbors != grid.cell_size(c_cell) {
+            sync_flag.store(0, 0);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{GridGeometry, GridVariant, GridWorkspace};
+    use crate::model::update_point;
+    use egg_gpu_sim::DeviceConfig;
+
+    fn cloud(n: usize, dim: usize) -> Vec<f64> {
+        (0..n * dim)
+            .map(|i| ((i as u64).wrapping_mul(2654435761) % 1000) as f64 / 1000.0)
+            .collect()
+    }
+
+    fn run_update(
+        coords: &[f64],
+        dim: usize,
+        eps: f64,
+        variant: GridVariant,
+        options: UpdateOptions,
+    ) -> (Vec<f64>, bool) {
+        let n = coords.len() / dim;
+        let device = Device::new(DeviceConfig::default());
+        let geo = GridGeometry::new(dim, eps, n, variant);
+        let mut ws = GridWorkspace::new(&device, geo, n);
+        let buf = device.alloc_from_slice(coords);
+        let next = device.alloc::<f64>(coords.len());
+        let flag = device.alloc::<u64>(1);
+        flag.store(0, 1);
+        let grid = ws.construct(&buf);
+        let pre = ws.build_pregrid(&grid);
+        egg_update(&device, &grid, &pre, &buf, &next, &flag, n, eps, options);
+        (next.to_vec(), flag.load(0) == 1)
+    }
+
+    fn brute_force_update(coords: &[f64], dim: usize, eps: f64) -> Vec<f64> {
+        let n = coords.len() / dim;
+        let mut next = vec![0.0; coords.len()];
+        for p in 0..n {
+            let out = &mut next[p * dim..(p + 1) * dim];
+            update_point(coords, dim, p, eps, out);
+        }
+        next
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol, "coordinate {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_with_all_optimizations() {
+        let coords = cloud(300, 2);
+        let expected = brute_force_update(&coords, 2, 0.08);
+        let (got, _) = run_update(&coords, 2, 0.08, GridVariant::Auto, UpdateOptions::default());
+        assert_close(&got, &expected, 1e-9);
+    }
+
+    #[test]
+    fn matches_brute_force_without_summaries() {
+        let coords = cloud(200, 2);
+        let expected = brute_force_update(&coords, 2, 0.08);
+        let (got, _) = run_update(
+            &coords,
+            2,
+            0.08,
+            GridVariant::Auto,
+            UpdateOptions {
+                use_summaries: false,
+                use_pregrid: true,
+            },
+        );
+        assert_close(&got, &expected, 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_without_pregrid() {
+        let coords = cloud(200, 2);
+        let expected = brute_force_update(&coords, 2, 0.08);
+        let (got, _) = run_update(
+            &coords,
+            2,
+            0.08,
+            GridVariant::Auto,
+            UpdateOptions {
+                use_summaries: true,
+                use_pregrid: false,
+            },
+        );
+        assert_close(&got, &expected, 1e-9);
+    }
+
+    #[test]
+    fn matches_brute_force_on_all_grid_variants() {
+        let coords = cloud(150, 3);
+        let expected = brute_force_update(&coords, 3, 0.15);
+        for variant in [
+            GridVariant::Auto,
+            GridVariant::Sequential,
+            GridVariant::RandomAccess,
+            GridVariant::Mixed(1),
+        ] {
+            let (got, _) = run_update(&coords, 3, 0.15, variant, UpdateOptions::default());
+            assert_close(&got, &expected, 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_high_dim() {
+        let coords = cloud(120, 8);
+        let expected = brute_force_update(&coords, 8, 0.4);
+        let (got, _) = run_update(&coords, 8, 0.4, GridVariant::Auto, UpdateOptions::default());
+        assert_close(&got, &expected, 1e-9);
+    }
+
+    #[test]
+    fn sync_flag_clear_when_neighbors_outside_cell() {
+        // two points within ε but farther than the cell diagonal apart
+        let eps = 0.1;
+        let coords = vec![0.50, 0.50, 0.58, 0.50];
+        let (_, flag) = run_update(&coords, 2, eps, GridVariant::Auto, UpdateOptions::default());
+        assert!(!flag, "first term must fail while neighbors span cells");
+    }
+
+    #[test]
+    fn sync_flag_set_when_all_neighborhoods_are_cell_local() {
+        // two isolated points, far beyond ε of each other
+        let coords = vec![0.1, 0.1, 0.9, 0.9];
+        let (_, flag) = run_update(&coords, 2, 0.05, GridVariant::Auto, UpdateOptions::default());
+        assert!(flag);
+    }
+}

@@ -1,0 +1,235 @@
+//! Hierarchical clustering by synchronization (hSynC-style).
+//!
+//! Shao et al. (2012) build a cluster hierarchy from the synchronization
+//! model by varying the interaction range: small ε yields many fine
+//! clusters, larger ε progressively merges them. This module sweeps an
+//! increasing ε ladder with the exact EGG-SynC engine and stitches the
+//! per-level partitions into a dendrogram.
+//!
+//! Levels are *not* guaranteed to be strict refinements of each other in
+//! general synchronization dynamics, so the builder enforces consistency
+//! the standard way: each level-`l+1` cluster is the union of the
+//! level-`l` clusters whose majority of points it captured.
+
+use egg_data::Dataset;
+use serde::Serialize;
+
+use crate::result::ClusterAlgorithm;
+use crate::EggSync;
+
+/// One level of the hierarchy.
+#[derive(Debug, Clone, Serialize)]
+pub struct HierarchyLevel {
+    /// The ε this level was clustered at.
+    pub epsilon: f64,
+    /// Per-point labels at this level (dense from 0).
+    pub labels: Vec<u32>,
+    /// Number of clusters at this level.
+    pub clusters: usize,
+    /// For each cluster of the *previous* (finer) level, the cluster of
+    /// this level it merged into. Empty for the first level.
+    pub parent_of_previous: Vec<u32>,
+}
+
+/// A synchronization dendrogram over an increasing ε ladder.
+#[derive(Debug, Serialize)]
+pub struct Hierarchy {
+    /// Levels from finest (smallest ε) to coarsest.
+    pub levels: Vec<HierarchyLevel>,
+}
+
+impl Hierarchy {
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Labels at the coarsest level.
+    pub fn coarsest_labels(&self) -> &[u32] {
+        &self.levels.last().expect("non-empty hierarchy").labels
+    }
+
+    /// Follow a point's cluster through every level: the path from its
+    /// finest cluster to its coarsest.
+    pub fn path_of(&self, point: usize) -> Vec<u32> {
+        self.levels.iter().map(|l| l.labels[point]).collect()
+    }
+}
+
+/// Build a hierarchy over `epsilons` (must be strictly increasing) with
+/// the exact EGG-SynC engine.
+///
+/// # Panics
+/// Panics if `epsilons` is empty or not strictly increasing.
+pub fn build_hierarchy(data: &Dataset, epsilons: &[f64]) -> Hierarchy {
+    build_hierarchy_with(data, epsilons, |eps| Box::new(EggSync::new(eps)))
+}
+
+/// Build a hierarchy with a caller-supplied algorithm factory.
+pub fn build_hierarchy_with(
+    data: &Dataset,
+    epsilons: &[f64],
+    mut algorithm: impl FnMut(f64) -> Box<dyn ClusterAlgorithm>,
+) -> Hierarchy {
+    assert!(!epsilons.is_empty(), "need at least one level");
+    assert!(
+        epsilons.windows(2).all(|w| w[0] < w[1]),
+        "ε ladder must be strictly increasing"
+    );
+    let mut levels: Vec<HierarchyLevel> = Vec::with_capacity(epsilons.len());
+    for &eps in epsilons {
+        let clustering = algorithm(eps).cluster(data);
+        let labels = match levels.last() {
+            None => clustering.labels.clone(),
+            Some(prev) => coarsen(&prev.labels, &clustering.labels),
+        };
+        let clusters = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let parent_of_previous = match levels.last() {
+            None => Vec::new(),
+            Some(prev) => parents(&prev.labels, &labels),
+        };
+        levels.push(HierarchyLevel {
+            epsilon: eps,
+            labels,
+            clusters,
+            parent_of_previous,
+        });
+    }
+    Hierarchy { levels }
+}
+
+/// Make `coarse` a proper coarsening of `fine`: every fine cluster is
+/// assigned wholesale to the coarse cluster holding the majority of its
+/// points, then labels are densified.
+fn coarsen(fine: &[u32], coarse: &[u32]) -> Vec<u32> {
+    debug_assert_eq!(fine.len(), coarse.len());
+    let fine_k = fine.iter().copied().max().map_or(0, |m| m as usize + 1);
+    // majority coarse label per fine cluster
+    let mut votes: Vec<std::collections::HashMap<u32, usize>> = vec![Default::default(); fine_k];
+    for (&f, &c) in fine.iter().zip(coarse) {
+        *votes[f as usize].entry(c).or_insert(0) += 1;
+    }
+    let majority: Vec<u32> = votes
+        .iter()
+        .map(|v| {
+            v.iter()
+                .max_by_key(|&(label, count)| (*count, std::cmp::Reverse(*label)))
+                .map(|(&label, _)| label)
+                .unwrap_or(0)
+        })
+        .collect();
+    // densify
+    let mut remap = std::collections::HashMap::new();
+    let mut next = 0u32;
+    fine.iter()
+        .map(|&f| {
+            *remap.entry(majority[f as usize]).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            })
+        })
+        .collect()
+}
+
+/// For each fine cluster, the coarse cluster it belongs to (assumes
+/// `coarse` is a proper coarsening of `fine`).
+fn parents(fine: &[u32], coarse: &[u32]) -> Vec<u32> {
+    let fine_k = fine.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut parent = vec![0u32; fine_k];
+    for (&f, &c) in fine.iter().zip(coarse) {
+        parent[f as usize] = c;
+    }
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egg_data::generator::GaussianSpec;
+
+    /// Two pairs of nearby blobs: fine ε separates all four, coarse ε
+    /// merges each pair.
+    fn paired_blobs() -> Dataset {
+        let mut rows = Vec::new();
+        for (cx, cy) in [(0.20, 0.20), (0.28, 0.20), (0.75, 0.75), (0.83, 0.75)] {
+            for i in 0..40 {
+                rows.push(vec![cx + (i % 7) as f64 * 1.5e-3, cy + (i % 5) as f64 * 1.5e-3]);
+            }
+        }
+        Dataset::from_rows(&rows)
+    }
+
+    #[test]
+    fn levels_merge_monotonically() {
+        let data = paired_blobs();
+        let h = build_hierarchy(&data, &[0.03, 0.1, 1.5]);
+        assert_eq!(h.depth(), 3);
+        assert_eq!(h.levels[0].clusters, 4);
+        assert_eq!(h.levels[1].clusters, 2);
+        assert_eq!(h.levels[2].clusters, 1);
+        for w in h.levels.windows(2) {
+            assert!(w[1].clusters <= w[0].clusters, "cluster count must not grow");
+        }
+    }
+
+    #[test]
+    fn coarser_levels_are_proper_coarsenings() {
+        let data = paired_blobs();
+        let h = build_hierarchy(&data, &[0.03, 0.1, 1.5]);
+        for w in h.levels.windows(2) {
+            // same fine cluster ⇒ same coarse cluster
+            for i in 0..data.len() {
+                for j in 0..data.len() {
+                    if w[0].labels[i] == w[0].labels[j] {
+                        assert_eq!(w[1].labels[i], w[1].labels[j]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parent_links_are_consistent_with_labels() {
+        let data = paired_blobs();
+        let h = build_hierarchy(&data, &[0.03, 0.1]);
+        let fine = &h.levels[0];
+        let coarse = &h.levels[1];
+        for i in 0..data.len() {
+            assert_eq!(
+                coarse.parent_of_previous[fine.labels[i] as usize],
+                coarse.labels[i]
+            );
+        }
+    }
+
+    #[test]
+    fn path_of_tracks_a_point() {
+        let data = paired_blobs();
+        let h = build_hierarchy(&data, &[0.03, 0.1, 1.5]);
+        let path = h.path_of(0);
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[2], h.coarsest_labels()[0]);
+    }
+
+    #[test]
+    fn gaussian_data_shrinks_cluster_count() {
+        let (data, _) = GaussianSpec {
+            n: 200,
+            clusters: 4,
+            std_dev: 3.0,
+            seed: 3,
+            ..GaussianSpec::default()
+        }
+        .generate_normalized();
+        let h = build_hierarchy(&data, &[0.05, 1.5]);
+        assert!(h.levels[0].clusters >= h.levels[1].clusters);
+        assert_eq!(h.levels[1].clusters, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unordered_ladder_rejected() {
+        build_hierarchy(&paired_blobs(), &[0.1, 0.05]);
+    }
+}

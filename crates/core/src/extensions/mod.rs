@@ -1,0 +1,21 @@
+//! Extensions beyond the paper's core algorithm.
+//!
+//! The EGG-SynC paper positions clustering by synchronization as a family:
+//! the original SynC (Böhm et al. 2010) ships an automatic ε-selection
+//! strategy that "effectively hides ε from the user", and follow-up work
+//! applies the model to outlier detection (Shao et al. 2010) and
+//! hierarchical clustering (Shao et al. 2012). This module provides those
+//! three capabilities on top of the exact EGG-SynC engine:
+//!
+//! * [`epsilon`] — automatic ε selection by minimum coding cost
+//!   (an MDL/BIC-style criterion, as in the original SynC);
+//! * [`outlier`] — per-point outlier factors from synchronization
+//!   behaviour;
+//! * [`hierarchy`] — a synchronization dendrogram built by sweeping ε;
+//! * [`streaming`] — damped-window micro-cluster maintenance for evolving
+//!   streams (Shao et al. 2019).
+
+pub mod epsilon;
+pub mod hierarchy;
+pub mod outlier;
+pub mod streaming;

@@ -1,0 +1,162 @@
+//! Synchronization-based outlier detection.
+//!
+//! Shao et al. (2010) observe that under the Kuramoto dynamics, inliers
+//! lock onto their neighborhoods quickly while outliers interact with few
+//! or no other points. This module scores each point by how strongly the
+//! synchronization run bound it to others:
+//!
+//! * points ending in **singleton clusters** never interacted — maximal
+//!   outlier factor 1;
+//! * other points are scored by how *small* their final cluster is
+//!   relative to the largest cluster, and how far they had to travel to
+//!   join it — points dragged a long way from sparse border regions score
+//!   higher than core points that barely moved.
+
+use egg_data::Dataset;
+use egg_spatial::distance::euclidean;
+use serde::Serialize;
+
+use crate::result::{ClusterAlgorithm, Clustering};
+use crate::EggSync;
+
+/// A per-point outlier verdict.
+#[derive(Debug, Clone, Serialize)]
+pub struct OutlierScore {
+    /// Index of the point in the input dataset.
+    pub point: usize,
+    /// Outlier factor in `[0, 1]`; 1 means "synchronized with nobody".
+    pub factor: f64,
+    /// The cluster the point ended in.
+    pub cluster: u32,
+}
+
+/// Result of an outlier-detection run.
+#[derive(Debug)]
+pub struct OutlierDetection {
+    /// One score per point, input order.
+    pub scores: Vec<OutlierScore>,
+    /// The underlying clustering.
+    pub clustering: Clustering,
+}
+
+impl OutlierDetection {
+    /// Points with factor ≥ `threshold`, strongest first.
+    pub fn outliers(&self, threshold: f64) -> Vec<&OutlierScore> {
+        let mut hits: Vec<&OutlierScore> =
+            self.scores.iter().filter(|s| s.factor >= threshold).collect();
+        hits.sort_by(|a, b| b.factor.total_cmp(&a.factor));
+        hits
+    }
+}
+
+/// Weight of the travel-distance component in the inlier score.
+const TRAVEL_WEIGHT: f64 = 0.25;
+
+/// Detect outliers by synchronization with the given ε, using the exact
+/// EGG-SynC engine for the dynamics.
+pub fn detect_outliers(data: &Dataset, epsilon: f64) -> OutlierDetection {
+    detect_outliers_with(data, &EggSync::new(epsilon))
+}
+
+/// Detect outliers using a caller-chosen synchronization algorithm.
+pub fn detect_outliers_with(data: &Dataset, algorithm: &dyn ClusterAlgorithm) -> OutlierDetection {
+    let clustering = algorithm.cluster(data);
+    let sizes = clustering.cluster_sizes();
+    let largest = sizes.iter().copied().max().unwrap_or(1).max(1) as f64;
+    // max travel distance for normalization (bounded by √d on normalized data)
+    let mut travels = vec![0.0f64; data.len()];
+    let mut max_travel = 0.0f64;
+    for i in 0..data.len() {
+        let t = euclidean(data.point(i), clustering.final_coords.point(i));
+        travels[i] = t;
+        max_travel = max_travel.max(t);
+    }
+    let scores = clustering
+        .labels
+        .iter()
+        .enumerate()
+        .map(|(i, &label)| {
+            let size = sizes[label as usize] as f64;
+            let factor = if size <= 1.0 {
+                1.0
+            } else {
+                // small-cluster component in [0,1): 0 for the largest cluster
+                let smallness = 1.0 - size / largest;
+                let travel = if max_travel > 0.0 {
+                    travels[i] / max_travel
+                } else {
+                    0.0
+                };
+                ((1.0 - TRAVEL_WEIGHT) * smallness + TRAVEL_WEIGHT * travel).min(0.999)
+            };
+            OutlierScore {
+                point: i,
+                factor,
+                cluster: label,
+            }
+        })
+        .collect();
+    OutlierDetection { scores, clustering }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs_with_outliers() -> Dataset {
+        let mut rows = Vec::new();
+        for i in 0..60 {
+            rows.push(vec![0.2 + (i % 8) as f64 * 1e-3, 0.2 + (i % 6) as f64 * 1e-3]);
+            rows.push(vec![0.8 + (i % 8) as f64 * 1e-3, 0.8 + (i % 6) as f64 * 1e-3]);
+        }
+        rows.push(vec![0.5, 0.05]); // isolated
+        rows.push(vec![0.05, 0.55]); // isolated
+        Dataset::from_rows(&rows)
+    }
+
+    #[test]
+    fn isolated_points_get_factor_one() {
+        let data = blobs_with_outliers();
+        let detection = detect_outliers(&data, 0.05);
+        let hits = detection.outliers(1.0);
+        let ids: Vec<usize> = hits.iter().map(|s| s.point).collect();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&120) && ids.contains(&121));
+    }
+
+    #[test]
+    fn core_points_score_low() {
+        let data = blobs_with_outliers();
+        let detection = detect_outliers(&data, 0.05);
+        for s in &detection.scores[..120] {
+            assert!(s.factor < 0.5, "inlier {} scored {}", s.point, s.factor);
+        }
+    }
+
+    #[test]
+    fn scores_cover_every_point_in_order() {
+        let data = blobs_with_outliers();
+        let detection = detect_outliers(&data, 0.05);
+        assert_eq!(detection.scores.len(), data.len());
+        for (i, s) in detection.scores.iter().enumerate() {
+            assert_eq!(s.point, i);
+            assert!((0.0..=1.0).contains(&s.factor));
+        }
+    }
+
+    #[test]
+    fn threshold_filters_and_sorts() {
+        let data = blobs_with_outliers();
+        let detection = detect_outliers(&data, 0.05);
+        let hits = detection.outliers(0.9);
+        assert!(hits.windows(2).all(|w| w[0].factor >= w[1].factor));
+        assert!(hits.iter().all(|s| s.factor >= 0.9));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let detection = detect_outliers(&Dataset::empty(2), 0.05);
+        assert!(detection.scores.is_empty());
+        assert!(detection.outliers(0.5).is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! Streaming clustering by synchronization (SynC-Stream-style).
+//!
+//! Shao et al. (2019) adapt the synchronization model to evolving data
+//! streams: arriving points synchronize against a bounded set of weighted
+//! *micro-clusters* whose weights decay over time, and the final ("macro")
+//! clustering is read off the micro-cluster summary on demand. This module
+//! implements that scheme on top of the exact EGG-SynC engine:
+//!
+//! 1. each batch is synchronized **together with the current
+//!    micro-cluster centers** (so history attracts new points exactly as
+//!    retained mass should);
+//! 2. every resulting synchronization cluster becomes one micro-cluster
+//!    whose center is the weight-weighted mean of its members and whose
+//!    weight is their total mass;
+//! 3. weights decay exponentially per batch (`decay`) and micro-clusters
+//!    below `prune_weight` are dropped — forgetting drift the way the
+//!    damped window model prescribes.
+//!
+//! The summary is bounded: one micro-cluster per ε/2-separated
+//! synchronization center, independent of stream length.
+
+use egg_data::Dataset;
+use serde::Serialize;
+
+use crate::result::ClusterAlgorithm;
+use crate::EggSync;
+
+/// A weighted synchronization center summarizing part of the stream.
+#[derive(Debug, Clone, Serialize)]
+pub struct MicroCluster {
+    /// Location of the synchronized center.
+    pub center: Vec<f64>,
+    /// Decayed point mass the center represents.
+    pub weight: f64,
+    /// Batch index at which the center last absorbed points.
+    pub updated_at: u64,
+}
+
+/// Streaming clustering by synchronization over a damped window.
+#[derive(Debug)]
+pub struct StreamClusterer {
+    /// Neighborhood radius ε (on min/max-normalized coordinates).
+    pub epsilon: f64,
+    /// Per-batch weight decay factor in `(0, 1]` (1 = never forget).
+    pub decay: f64,
+    /// Micro-clusters whose decayed weight drops below this are dropped.
+    pub prune_weight: f64,
+    dim: usize,
+    batch_index: u64,
+    micro: Vec<MicroCluster>,
+}
+
+impl StreamClusterer {
+    /// New stream clusterer for `dim`-dimensional points.
+    ///
+    /// # Panics
+    /// Panics on non-positive ε, `dim == 0`, or `decay` outside `(0, 1]`.
+    pub fn new(dim: usize, epsilon: f64) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        Self {
+            epsilon,
+            decay: 0.9,
+            prune_weight: 0.5,
+            dim,
+            batch_index: 0,
+            micro: Vec::new(),
+        }
+    }
+
+    /// Number of micro-clusters currently retained.
+    pub fn len(&self) -> usize {
+        self.micro.len()
+    }
+
+    /// Whether no mass is retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.micro.is_empty()
+    }
+
+    /// The current micro-cluster summary.
+    pub fn micro_clusters(&self) -> &[MicroCluster] {
+        &self.micro
+    }
+
+    /// Batches processed so far.
+    pub fn batches_seen(&self) -> u64 {
+        self.batch_index
+    }
+
+    /// Absorb one batch of the stream: decay existing mass, synchronize
+    /// the batch together with the retained centers, and rebuild the
+    /// summary from the resulting clusters.
+    ///
+    /// # Panics
+    /// Panics if the batch's dimensionality differs from the clusterer's.
+    pub fn insert_batch(&mut self, batch: &Dataset) {
+        assert_eq!(batch.dim(), self.dim, "batch dimensionality mismatch");
+        self.batch_index += 1;
+
+        // age the summary
+        for m in &mut self.micro {
+            m.weight *= self.decay;
+        }
+        self.micro.retain(|m| m.weight >= self.prune_weight);
+        if batch.is_empty() && self.micro.is_empty() {
+            return;
+        }
+
+        // joint point set: batch points (weight 1) then retained centers
+        let mut coords = Vec::with_capacity((batch.len() + self.micro.len()) * self.dim);
+        let mut weights = Vec::with_capacity(batch.len() + self.micro.len());
+        coords.extend_from_slice(batch.coords());
+        weights.extend(std::iter::repeat_n(1.0, batch.len()));
+        for m in &self.micro {
+            coords.extend_from_slice(&m.center);
+            weights.push(m.weight);
+        }
+        let joint = Dataset::from_coords(coords, self.dim);
+        let clustering = EggSync::new(self.epsilon).cluster(&joint);
+
+        // one micro-cluster per synchronization cluster, weighted mean
+        let k = clustering.num_clusters;
+        let mut sums = vec![0.0f64; k * self.dim];
+        let mut mass = vec![0.0f64; k];
+        let mut freshest = vec![0u64; k];
+        for (i, &label) in clustering.labels.iter().enumerate() {
+            let c = label as usize;
+            let w = weights[i];
+            mass[c] += w;
+            for (s, &x) in sums[c * self.dim..(c + 1) * self.dim]
+                .iter_mut()
+                .zip(joint.point(i))
+            {
+                *s += w * x;
+            }
+            if i < batch.len() {
+                freshest[c] = self.batch_index;
+            } else {
+                freshest[c] = freshest[c].max(self.micro[i - batch.len()].updated_at);
+            }
+        }
+        self.micro = (0..k)
+            .map(|c| MicroCluster {
+                center: sums[c * self.dim..(c + 1) * self.dim]
+                    .iter()
+                    .map(|s| s / mass[c])
+                    .collect(),
+                weight: mass[c],
+                updated_at: freshest[c],
+            })
+            .collect();
+    }
+
+    /// The macro clustering: group micro-cluster centers that are within ε
+    /// of each other (transitively). Returns one label per micro-cluster,
+    /// aligned with [`StreamClusterer::micro_clusters`].
+    pub fn macro_labels(&self) -> Vec<u32> {
+        let coords: Vec<f64> = self.micro.iter().flat_map(|m| m.center.iter().copied()).collect();
+        crate::model::gather_gamma(&coords, self.dim, self.epsilon)
+    }
+
+    /// Assign an arbitrary point to the nearest retained micro-cluster,
+    /// or `None` if the summary is empty or nothing lies within ε.
+    pub fn classify(&self, point: &[f64]) -> Option<usize> {
+        assert_eq!(point.len(), self.dim, "point dimensionality mismatch");
+        let mut best: Option<(usize, f64)> = None;
+        for (i, m) in self.micro.iter().enumerate() {
+            let d = egg_spatial::distance::squared_euclidean(point, &m.center);
+            if d <= self.epsilon * self.epsilon && best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egg_data::generator::GaussianSpec;
+
+    fn batch(centers: &[(f64, f64)], per_center: usize, seed: u64) -> Dataset {
+        // tight blobs at fixed centers, deterministic jitter
+        let mut rows = Vec::new();
+        for (k, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..per_center {
+                let j = ((i as u64 * 2654435761 + seed + k as u64) % 1000) as f64 / 1000.0;
+                rows.push(vec![cx + j * 4e-3, cy + (1.0 - j) * 4e-3]);
+            }
+        }
+        Dataset::from_rows(&rows)
+    }
+
+    #[test]
+    fn stable_stream_keeps_one_micro_cluster_per_mode() {
+        let centers = [(0.2, 0.2), (0.8, 0.8)];
+        let mut stream = StreamClusterer::new(2, 0.05);
+        for t in 0..5 {
+            stream.insert_batch(&batch(&centers, 30, t));
+        }
+        assert_eq!(stream.len(), 2);
+        assert_eq!(stream.batches_seen(), 5);
+        // weights accumulate mass beyond a single batch's worth
+        assert!(stream.micro_clusters().iter().all(|m| m.weight > 30.0));
+        // macro clustering keeps them separate
+        let labels = stream.macro_labels();
+        assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn summary_tracks_a_drifting_cluster() {
+        let mut stream = StreamClusterer::new(2, 0.06);
+        // forget fast enough that the weighted center can keep up: with
+        // decay d and batch mass m, the tracking lag settles around
+        // step · (w_ss + m)/m with w_ss = m/(1−d) — keep it below ε
+        stream.decay = 0.7;
+        // a mode walking from x=0.20 to x=0.28 in small steps
+        for (t, step) in (0..9).enumerate() {
+            let x = 0.2 + step as f64 * 0.01;
+            stream.insert_batch(&batch(&[(x, 0.5)], 25, t as u64));
+        }
+        assert_eq!(stream.len(), 1, "drift should merge into one summary");
+        let center = &stream.micro_clusters()[0].center;
+        assert!(center[0] > 0.24, "summary should have followed the drift: {center:?}");
+    }
+
+    #[test]
+    fn stale_clusters_are_forgotten() {
+        let mut stream = StreamClusterer::new(2, 0.05);
+        stream.decay = 0.5;
+        stream.prune_weight = 2.0;
+        stream.insert_batch(&batch(&[(0.2, 0.2)], 20, 1));
+        assert_eq!(stream.len(), 1);
+        // the mode disappears; only a far-away mode keeps arriving
+        for t in 0..8 {
+            stream.insert_batch(&batch(&[(0.8, 0.8)], 20, 10 + t));
+        }
+        assert_eq!(stream.len(), 1, "stale mode must be pruned");
+        let center = &stream.micro_clusters()[0].center;
+        assert!((center[0] - 0.8).abs() < 0.02);
+    }
+
+    #[test]
+    fn classify_assigns_by_proximity() {
+        let mut stream = StreamClusterer::new(2, 0.05);
+        stream.insert_batch(&batch(&[(0.2, 0.2), (0.8, 0.8)], 20, 3));
+        let near_a = stream.classify(&[0.21, 0.19]).expect("within ε of mode A");
+        let near_b = stream.classify(&[0.79, 0.81]).expect("within ε of mode B");
+        assert_ne!(near_a, near_b);
+        assert!(stream.classify(&[0.5, 0.5]).is_none());
+    }
+
+    #[test]
+    fn empty_batches_are_harmless() {
+        let mut stream = StreamClusterer::new(3, 0.05);
+        stream.insert_batch(&Dataset::empty(3));
+        assert!(stream.is_empty());
+        stream.insert_batch(&GaussianSpec {
+            n: 40,
+            dim: 3,
+            clusters: 1,
+            std_dev: 1.0,
+            seed: 9,
+            ..GaussianSpec::default()
+        }
+        .generate_normalized()
+        .0);
+        let before = stream.len();
+        stream.insert_batch(&Dataset::empty(3));
+        assert_eq!(stream.len(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dim_batch_rejected() {
+        let mut stream = StreamClusterer::new(2, 0.05);
+        stream.insert_batch(&Dataset::from_coords(vec![0.1, 0.2, 0.3], 3));
+    }
+}

@@ -1,0 +1,612 @@
+//! Simulated-GPU construction of the mixed-access grid (Algorithm 2),
+//! the precomputed surrounding-cell lists (§4.2.5) and the per-cell
+//! sin/cos summaries (§4.3.1).
+//!
+//! The construction follows the paper's multi-pass parallel recipe
+//! verbatim — every step is a kernel or a device-wide scan, shared state is
+//! only ever touched through atomics, and all buffers are allocated once
+//! per run and reused across iterations:
+//!
+//! 1. count points per *outer* cell (atomic increments);
+//! 2. inclusive-scan the counts into outer end-offsets;
+//! 3. scatter each point's full-dimensional cell id into its outer
+//!    bucket (duplicates accepted for now);
+//! 4. for each point, find the *first* occurrence of its cell id within
+//!    the bucket, mark it included, and count the cell's points;
+//! 5. inclusive-scan the inclusion flags into compacted cell indices;
+//! 6. inclusive-scan the cell sizes into point end-offsets;
+//! 7. scatter the points into their cells (atomic slot claims) — this
+//!    also yields the grid-sorted execution order of §4.2.6;
+//! 8. repack cell ids and end-offsets into the compacted layout;
+//! 9. rewrite the outer end-offsets against the compacted cell array.
+
+use egg_gpu_sim::{grid_for, primitives, Device, DeviceBuffer};
+
+use super::geometry::GridGeometry;
+use crate::algorithms::gpu_sync::{BLOCK, MAX_DIM};
+
+/// Read `getStart(ends, i)` — 0 for the first list, else the previous end.
+#[inline]
+pub(crate) fn seg_start(ends: &DeviceBuffer<u64>, i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        ends.load(i - 1)
+    }
+}
+
+/// A constructed grid: cheap buffer handles into the workspace, plus the
+/// number of compacted non-empty cells. Valid until the workspace's next
+/// `construct` call.
+#[derive(Clone)]
+pub struct DeviceGrid {
+    /// Cell geometry used for construction.
+    pub geometry: GridGeometry,
+    /// Points per outer cell (`m` entries) — also the non-emptiness test.
+    pub o_sizes: DeviceBuffer<u64>,
+    /// Per outer cell, end offset into the compacted inner-cell array.
+    pub o_ends: DeviceBuffer<u64>,
+    /// Compacted inner-cell ids, `dim` words per cell.
+    pub i_ids: DeviceBuffer<u64>,
+    /// Per compacted inner cell, end offset into `i_points`.
+    pub i_ends: DeviceBuffer<u64>,
+    /// Point indices grouped by inner cell (the grid-sorted order).
+    pub i_points: DeviceBuffer<u64>,
+    /// Per point, its compacted inner-cell index.
+    pub point_cell: DeviceBuffer<u64>,
+    /// Per-cell Σ sin(qᵢ) (`num_inner × dim`), for the summarized update.
+    pub sin_sums: DeviceBuffer<f64>,
+    /// Per-cell Σ cos(qᵢ) (`num_inner × dim`).
+    pub cos_sums: DeviceBuffer<f64>,
+    /// Number of compacted non-empty inner cells.
+    pub num_inner: usize,
+}
+
+impl DeviceGrid {
+    /// Number of points in compacted cell `c` (kernel-safe).
+    #[inline]
+    pub fn cell_size(&self, c: usize) -> u64 {
+        self.i_ends.load(c) - seg_start(&self.i_ends, c)
+    }
+
+    /// Start offset of compacted cell `c` in `i_points` (kernel-safe).
+    #[inline]
+    pub fn cell_start(&self, c: usize) -> u64 {
+        seg_start(&self.i_ends, c)
+    }
+}
+
+/// Precomputed non-empty surrounding outer cells (§4.2.5): for every
+/// non-empty outer cell, the list of non-empty outer cells within the
+/// geometry's reach (including itself).
+pub struct PreGrid {
+    /// Dense outer id → index into `ends`/`cells` lists, `u64::MAX` for
+    /// empty outer cells.
+    pub index_of: DeviceBuffer<u64>,
+    /// Per non-empty outer cell, end offset into `cells`.
+    pub ends: DeviceBuffer<u64>,
+    /// Concatenated surrounding-cell lists (dense outer ids).
+    pub cells: DeviceBuffer<u64>,
+    /// Number of non-empty outer cells.
+    pub count: usize,
+}
+
+/// All grid buffers for a run, allocated once and reused every iteration
+/// (the paper: "all arrays are allocated at the beginning ... and reused in
+/// all iterations to avoid expensive memory allocations").
+pub struct GridWorkspace {
+    device: Device,
+    geometry: GridGeometry,
+    n: usize,
+    o_sizes: DeviceBuffer<u64>,
+    o_ends: DeviceBuffer<u64>,
+    o_ends2: DeviceBuffer<u64>,
+    o_fill: DeviceBuffer<u64>,
+    i_ids: DeviceBuffer<u64>,
+    i_ids2: DeviceBuffer<u64>,
+    i_incl: DeviceBuffer<u64>,
+    i_idxs: DeviceBuffer<u64>,
+    i_sizes: DeviceBuffer<u64>,
+    i_ends: DeviceBuffer<u64>,
+    i_ends2: DeviceBuffer<u64>,
+    i_points: DeviceBuffer<u64>,
+    point_slot: DeviceBuffer<u64>,
+    point_cell: DeviceBuffer<u64>,
+    cell_fill: DeviceBuffer<u64>,
+    sin_sums: DeviceBuffer<f64>,
+    cos_sums: DeviceBuffer<f64>,
+}
+
+impl GridWorkspace {
+    /// Allocate every buffer for `n` points under `geometry`.
+    pub fn new(device: &Device, geometry: GridGeometry, n: usize) -> Self {
+        assert!(geometry.dim <= MAX_DIM, "kernels support at most {MAX_DIM} dimensions");
+        let m = geometry.outer_cells;
+        let nd = n * geometry.dim;
+        Self {
+            device: device.clone(),
+            geometry,
+            n,
+            o_sizes: device.alloc(m),
+            o_ends: device.alloc(m),
+            o_ends2: device.alloc(m),
+            o_fill: device.alloc(m),
+            i_ids: device.alloc(nd),
+            i_ids2: device.alloc(nd),
+            i_incl: device.alloc(n),
+            i_idxs: device.alloc(n),
+            i_sizes: device.alloc(n),
+            i_ends: device.alloc(n),
+            i_ends2: device.alloc(n),
+            i_points: device.alloc(n),
+            point_slot: device.alloc(n),
+            point_cell: device.alloc(n),
+            cell_fill: device.alloc(n),
+            sin_sums: device.alloc(nd),
+            cos_sums: device.alloc(nd),
+        }
+    }
+
+    /// Total bytes of the workspace's device buffers (Fig. 3h accounting).
+    pub fn bytes(&self) -> usize {
+        let m = self.geometry.outer_cells;
+        let nd = self.n * self.geometry.dim;
+        (4 * m + 9 * self.n + 2 * nd) * 8 + 2 * nd * 8
+    }
+
+    /// Run Algorithm 2 over `coords` (`n × dim`, device-resident), then
+    /// compute the per-cell sin/cos summaries. Returns handle views.
+    pub fn construct(&mut self, coords: &DeviceBuffer<f64>) -> DeviceGrid {
+        let geo = self.geometry;
+        let dim = geo.dim;
+        let n = self.n;
+        let m = geo.outer_cells;
+        let dev = self.device.clone();
+        debug_assert_eq!(coords.len(), n * dim);
+
+        // -- 1: count points per outer cell ------------------------------
+        primitives::fill(&dev, &self.o_sizes, 0u64);
+        {
+            let o_sizes = &self.o_sizes;
+            dev.launch("grid_count_outer", grid_for(n, BLOCK), BLOCK, |t| {
+                let p = t.global_id();
+                if p >= n {
+                    return;
+                }
+                let mut point = [0.0f64; MAX_DIM];
+                for i in 0..dim {
+                    point[i] = coords.load(p * dim + i);
+                }
+                o_sizes.atomic_inc(geo.outer_id_of_point(&point[..dim]));
+            });
+        }
+
+        // -- 2: outer end offsets ----------------------------------------
+        primitives::inclusive_scan(&dev, &self.o_sizes, &self.o_ends, m);
+
+        // -- 3: scatter cell ids into outer buckets (with duplicates) ----
+        primitives::fill(&dev, &self.o_fill, 0u64);
+        {
+            let (o_ends, o_fill, i_ids) = (&self.o_ends, &self.o_fill, &self.i_ids);
+            dev.launch("grid_scatter_ids", grid_for(n, BLOCK), BLOCK, |t| {
+                let p = t.global_id();
+                if p >= n {
+                    return;
+                }
+                let mut point = [0.0f64; MAX_DIM];
+                for i in 0..dim {
+                    point[i] = coords.load(p * dim + i);
+                }
+                let oid = geo.outer_id_of_point(&point[..dim]);
+                let slot = seg_start(o_ends, oid) + o_fill.atomic_inc(oid);
+                let slot = slot as usize;
+                for i in 0..dim {
+                    i_ids.store(slot * dim + i, geo.cell_coord(point[i]));
+                }
+            });
+        }
+
+        // -- 4: mark first occurrences, count cell sizes ------------------
+        primitives::fill(&dev, &self.i_incl, 0u64);
+        primitives::fill(&dev, &self.i_sizes, 0u64);
+        {
+            let (o_ends, i_ids, i_incl, i_sizes, point_slot) = (
+                &self.o_ends,
+                &self.i_ids,
+                &self.i_incl,
+                &self.i_sizes,
+                &self.point_slot,
+            );
+            dev.launch("grid_mark_first", grid_for(n, BLOCK), BLOCK, |t| {
+                let p = t.global_id();
+                if p >= n {
+                    return;
+                }
+                let mut point = [0.0f64; MAX_DIM];
+                let mut mine = [0u64; MAX_DIM];
+                for i in 0..dim {
+                    point[i] = coords.load(p * dim + i);
+                    mine[i] = geo.cell_coord(point[i]);
+                }
+                let oid = geo.outer_id_of_point(&point[..dim]);
+                let seg_lo = seg_start(o_ends, oid) as usize;
+                let seg_hi = o_ends.load(oid) as usize;
+                let mut first = usize::MAX;
+                'slots: for slot in seg_lo..seg_hi {
+                    for i in 0..dim {
+                        if i_ids.load(slot * dim + i) != mine[i] {
+                            continue 'slots;
+                        }
+                    }
+                    first = slot;
+                    break;
+                }
+                debug_assert_ne!(first, usize::MAX, "own cell id must be present");
+                i_incl.store(first, 1);
+                i_sizes.atomic_inc(first);
+                point_slot.store(p, first as u64);
+            });
+        }
+
+        // -- 5 & 6: compaction indices and point end offsets --------------
+        primitives::inclusive_scan(&dev, &self.i_incl, &self.i_idxs, n);
+        primitives::inclusive_scan(&dev, &self.i_sizes, &self.i_ends, n);
+        let num_inner = if n == 0 { 0 } else { self.i_idxs.load(n - 1) as usize };
+
+        // -- 7: populate cells with points, record compacted cell ---------
+        primitives::fill(&dev, &self.cell_fill, 0u64);
+        {
+            let (i_ends, i_idxs, i_points, point_slot, point_cell, cell_fill) = (
+                &self.i_ends,
+                &self.i_idxs,
+                &self.i_points,
+                &self.point_slot,
+                &self.point_cell,
+                &self.cell_fill,
+            );
+            dev.launch("grid_populate", grid_for(n, BLOCK), BLOCK, |t| {
+                let p = t.global_id();
+                if p >= n {
+                    return;
+                }
+                let slot = point_slot.load(p) as usize;
+                let pos = seg_start(i_ends, slot) + cell_fill.atomic_inc(slot);
+                i_points.store(pos as usize, p as u64);
+                point_cell.store(p, i_idxs.load(slot) - 1);
+            });
+        }
+
+        // -- 8: repack ids and ends into the compacted layout -------------
+        {
+            let (i_incl, i_idxs, i_ids, i_ids2, i_ends, i_ends2) = (
+                &self.i_incl,
+                &self.i_idxs,
+                &self.i_ids,
+                &self.i_ids2,
+                &self.i_ends,
+                &self.i_ends2,
+            );
+            dev.launch("grid_repack", grid_for(n, BLOCK), BLOCK, |t| {
+                let slot = t.global_id();
+                if slot >= n || i_incl.load(slot) == 0 {
+                    return;
+                }
+                let c = (i_idxs.load(slot) - 1) as usize;
+                i_ends2.store(c, i_ends.load(slot));
+                for i in 0..dim {
+                    i_ids2.store(c * dim + i, i_ids.load(slot * dim + i));
+                }
+            });
+        }
+
+        // -- 9: outer ends against the compacted cell array ---------------
+        {
+            let (o_ends, o_ends2, i_idxs) = (&self.o_ends, &self.o_ends2, &self.i_idxs);
+            dev.launch("grid_outer_ends", grid_for(m, BLOCK), BLOCK, |t| {
+                let oid = t.global_id();
+                if oid >= m {
+                    return;
+                }
+                let e = o_ends.load(oid) as usize;
+                let compacted = if e == 0 { 0 } else { i_idxs.load(e - 1) };
+                o_ends2.store(oid, compacted);
+            });
+        }
+
+        // -- 10: swap into place ------------------------------------------
+        std::mem::swap(&mut self.i_ids, &mut self.i_ids2);
+        std::mem::swap(&mut self.i_ends, &mut self.i_ends2);
+        std::mem::swap(&mut self.o_ends, &mut self.o_ends2);
+
+        // -- summaries (§4.3.1) -------------------------------------------
+        primitives::fill(&dev, &self.sin_sums, 0.0f64);
+        primitives::fill(&dev, &self.cos_sums, 0.0f64);
+        {
+            let (point_cell, sin_sums, cos_sums) = (&self.point_cell, &self.sin_sums, &self.cos_sums);
+            dev.launch("grid_summaries", grid_for(n, BLOCK), BLOCK, |t| {
+                let p = t.global_id();
+                if p >= n {
+                    return;
+                }
+                let c = point_cell.load(p) as usize;
+                for i in 0..dim {
+                    let x = coords.load(p * dim + i);
+                    sin_sums.atomic_add(c * dim + i, x.sin());
+                    cos_sums.atomic_add(c * dim + i, x.cos());
+                }
+            });
+        }
+
+        DeviceGrid {
+            geometry: geo,
+            o_sizes: self.o_sizes.clone(),
+            o_ends: self.o_ends.clone(),
+            i_ids: self.i_ids.clone(),
+            i_ends: self.i_ends.clone(),
+            i_points: self.i_points.clone(),
+            point_cell: self.point_cell.clone(),
+            sin_sums: self.sin_sums.clone(),
+            cos_sums: self.cos_sums.clone(),
+            num_inner,
+        }
+    }
+
+    /// Precompute the non-empty surrounding outer cells of every non-empty
+    /// outer cell (§4.2.5). The surrounding-list buffer is sized from a
+    /// device scan, so this performs the run's only per-iteration
+    /// allocations (two `K`-sized arrays and the concatenated lists).
+    pub fn build_pregrid(&self, grid: &DeviceGrid) -> PreGrid {
+        let geo = self.geometry;
+        let m = geo.outer_cells;
+        let dev = &self.device;
+
+        // flags → compacted list of non-empty outer cells
+        let flags = &self.o_fill;
+        {
+            let o_sizes = &grid.o_sizes;
+            dev.launch("pregrid_flags", grid_for(m, BLOCK), BLOCK, |t| {
+                let oid = t.global_id();
+                if oid < m {
+                    flags.store(oid, u64::from(o_sizes.load(oid) > 0));
+                }
+            });
+        }
+        let list = dev.alloc::<u64>(m.max(1));
+        let count = primitives::compact_indices(dev, flags, &list, m);
+
+        // dense id → list index
+        let index_of = dev.alloc::<u64>(m);
+        primitives::fill(dev, &index_of, u64::MAX);
+        {
+            let (list, index_of) = (&list, &index_of);
+            dev.launch("pregrid_index", grid_for(count, BLOCK), BLOCK, |t| {
+                let k = t.global_id();
+                if k < count {
+                    index_of.store(list.load(k) as usize, k as u64);
+                }
+            });
+        }
+
+        // count non-empty surrounding cells per non-empty cell
+        let sizes = dev.alloc::<u64>(count.max(1));
+        {
+            let (list, sizes, o_sizes) = (&list, &sizes, &grid.o_sizes);
+            dev.launch("pregrid_count", grid_for(count, BLOCK), BLOCK, |t| {
+                let k = t.global_id();
+                if k >= count {
+                    return;
+                }
+                let oid = list.load(k) as usize;
+                let mut cnt = 0u64;
+                geo.for_each_surrounding_outer(oid, |sid| {
+                    if o_sizes.load(sid) > 0 {
+                        cnt += 1;
+                    }
+                });
+                sizes.store(k, cnt);
+            });
+        }
+        let ends = dev.alloc::<u64>(count.max(1));
+        primitives::inclusive_scan(dev, &sizes, &ends, count);
+        let total = if count == 0 { 0 } else { ends.load(count - 1) as usize };
+
+        // populate the concatenated surrounding lists
+        let cells = dev.alloc::<u64>(total.max(1));
+        {
+            let (list, ends, cells, o_sizes) = (&list, &ends, &cells, &grid.o_sizes);
+            dev.launch("pregrid_fill", grid_for(count, BLOCK), BLOCK, |t| {
+                let k = t.global_id();
+                if k >= count {
+                    return;
+                }
+                let oid = list.load(k) as usize;
+                let mut cursor = seg_start(ends, k) as usize;
+                geo.for_each_surrounding_outer(oid, |sid| {
+                    if o_sizes.load(sid) > 0 {
+                        cells.store(cursor, sid as u64);
+                        cursor += 1;
+                    }
+                });
+            });
+        }
+
+        PreGrid {
+            index_of,
+            ends,
+            cells,
+            count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::geometry::GridVariant;
+    use super::super::host::HostGrid;
+    use super::*;
+    use egg_gpu_sim::DeviceConfig;
+    use egg_spatial::distance::row;
+
+    fn cloud(n: usize, dim: usize) -> Vec<f64> {
+        (0..n * dim)
+            .map(|i| ((i as u64).wrapping_mul(2654435761) % 1000) as f64 / 1000.0)
+            .collect()
+    }
+
+    fn build(coords: &[f64], dim: usize, eps: f64, variant: GridVariant) -> (Device, DeviceGrid, GridWorkspace) {
+        let n = coords.len() / dim;
+        let device = Device::new(DeviceConfig::default());
+        let geo = GridGeometry::new(dim, eps, n, variant);
+        let mut ws = GridWorkspace::new(&device, geo, n);
+        let buf = device.alloc_from_slice(coords);
+        let grid = ws.construct(&buf);
+        (device, grid, ws)
+    }
+
+    fn check_against_host(coords: &[f64], dim: usize, eps: f64, variant: GridVariant) {
+        let n = coords.len() / dim;
+        let (_, grid, _ws) = build(coords, dim, eps, variant);
+        let geo = grid.geometry;
+        let host = HostGrid::build(&geo, coords);
+
+        // same number of non-empty cells
+        assert_eq!(grid.num_inner, host.num_cells(), "cell count mismatch ({variant:?})");
+
+        // every point's device cell holds exactly the host cell's members
+        let point_cell = grid.point_cell.to_vec();
+        let i_points = grid.i_points.to_vec();
+        let i_ends = grid.i_ends.to_vec();
+        for p in 0..n {
+            let c = point_cell[p] as usize;
+            let lo = if c == 0 { 0 } else { i_ends[c - 1] as usize };
+            let hi = i_ends[c] as usize;
+            let mut dev_members: Vec<u32> = i_points[lo..hi].iter().map(|&x| x as u32).collect();
+            dev_members.sort_unstable();
+            let mut host_members = host.cell_of(row(coords, dim, p)).to_vec();
+            host_members.sort_unstable();
+            assert_eq!(dev_members, host_members, "cell members differ for point {p}");
+        }
+
+        // summaries equal the direct per-cell sums
+        let sin_sums = grid.sin_sums.to_vec();
+        let cos_sums = grid.cos_sums.to_vec();
+        for (cell_coords, members) in host.iter_cells() {
+            // find the compacted index through any member
+            let c = point_cell[members[0] as usize] as usize;
+            for i in 0..dim {
+                let expect_sin: f64 = members
+                    .iter()
+                    .map(|&q| coords[q as usize * dim + i].sin())
+                    .sum();
+                let expect_cos: f64 = members
+                    .iter()
+                    .map(|&q| coords[q as usize * dim + i].cos())
+                    .sum();
+                assert!(
+                    (sin_sums[c * dim + i] - expect_sin).abs() < 1e-9,
+                    "sin summary mismatch in cell {cell_coords:?}"
+                );
+                assert!(
+                    (cos_sums[c * dim + i] - expect_cos).abs() < 1e-9,
+                    "cos summary mismatch in cell {cell_coords:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn construction_matches_host_grid_auto() {
+        check_against_host(&cloud(300, 2), 2, 0.07, GridVariant::Auto);
+    }
+
+    #[test]
+    fn construction_matches_host_grid_sequential() {
+        check_against_host(&cloud(150, 2), 2, 0.07, GridVariant::Sequential);
+    }
+
+    #[test]
+    fn construction_matches_host_grid_random_access() {
+        check_against_host(&cloud(200, 2), 2, 0.1, GridVariant::RandomAccess);
+    }
+
+    #[test]
+    fn construction_matches_host_grid_higher_dim() {
+        check_against_host(&cloud(200, 5), 5, 0.3, GridVariant::Auto);
+    }
+
+    #[test]
+    fn i_points_is_a_permutation() {
+        let coords = cloud(500, 3);
+        let (_, grid, _ws) = build(&coords, 3, 0.2, GridVariant::Auto);
+        let mut pts = grid.i_points.to_vec();
+        pts.sort_unstable();
+        assert_eq!(pts, (0..500u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reconstruction_after_movement_is_consistent() {
+        let mut coords = cloud(200, 2);
+        let device = Device::new(DeviceConfig::default());
+        let geo = GridGeometry::new(2, 0.05, 100, GridVariant::Auto);
+        let mut ws = GridWorkspace::new(&device, geo, 100);
+        let buf = device.alloc_from_slice(&coords[..200]);
+        let g1 = ws.construct(&buf);
+        let n1 = g1.num_inner;
+        assert!(n1 > 0);
+        // move the points and rebuild with the same workspace
+        for c in coords.iter_mut() {
+            *c = (*c * 0.5) + 0.25;
+        }
+        buf.copy_from_slice(&coords[..200]);
+        let g2 = ws.construct(&buf);
+        let host = HostGrid::build(&geo, &coords[..200]);
+        assert_eq!(g2.num_inner, host.num_cells());
+    }
+
+    #[test]
+    fn pregrid_lists_nonempty_surroundings_exactly() {
+        let coords = cloud(250, 2);
+        let (_, grid, ws) = build(&coords, 2, 0.08, GridVariant::Auto);
+        let geo = grid.geometry;
+        let pre = ws.build_pregrid(&grid);
+        let o_sizes = grid.o_sizes.to_vec();
+        let index_of = pre.index_of.to_vec();
+        let ends = pre.ends.to_vec();
+        let cells = pre.cells.to_vec();
+
+        let nonempty: Vec<usize> = (0..geo.outer_cells).filter(|&o| o_sizes[o] > 0).collect();
+        assert_eq!(pre.count, nonempty.len());
+        for &oid in &nonempty {
+            let k = index_of[oid] as usize;
+            assert_ne!(k, u64::MAX as usize);
+            let lo = if k == 0 { 0 } else { ends[k - 1] as usize };
+            let hi = ends[k] as usize;
+            let mut got: Vec<usize> = cells[lo..hi].iter().map(|&x| x as usize).collect();
+            got.sort_unstable();
+            let mut expected = Vec::new();
+            geo.for_each_surrounding_outer(oid, |sid| {
+                if o_sizes[sid] > 0 {
+                    expected.push(sid);
+                }
+            });
+            expected.sort_unstable();
+            assert_eq!(got, expected, "surroundings of outer cell {oid}");
+        }
+        // empty cells are unindexed
+        for o in 0..geo.outer_cells {
+            if o_sizes[o] == 0 {
+                assert_eq!(index_of[o], u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_constructs_empty_grid() {
+        let device = Device::new(DeviceConfig::default());
+        let geo = GridGeometry::new(2, 0.05, 0, GridVariant::Auto);
+        let mut ws = GridWorkspace::new(&device, geo, 0);
+        let buf = device.alloc::<f64>(0);
+        let grid = ws.construct(&buf);
+        assert_eq!(grid.num_inner, 0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Shared cell math for every grid variant.
+
+use serde::Serialize;
+
+use crate::model::delta;
+
+/// Which outer-grid dimensionality the mixed structure uses (§4.2.2–4.2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum GridVariant {
+    /// Pick the largest `d'` with `w^{d'} ≤ max(n·d, 64)` — the paper's
+    /// mixed-access heuristic. The default.
+    Auto,
+    /// `d' = 0`: the sequential-access structure of §4.2.3.
+    Sequential,
+    /// `d' = d`: the random-access structure of §4.2.2. Construction
+    /// panics if the dense directory would exceed the hard cell cap.
+    RandomAccess,
+    /// Explicit `d'` (clamped to `d`).
+    Mixed(usize),
+}
+
+/// Hard cap on dense outer-directory cells (2²⁴ ≈ 16.7M, 128 MiB of u64
+/// counters) — the memory-feasibility line for [`GridVariant::RandomAccess`].
+pub const MAX_OUTER_CELLS: usize = 1 << 24;
+
+/// Cell geometry shared by grid construction, the update kernel, the
+/// termination check and the gatherer. `Copy`, so kernel closures can
+/// capture it by value the way CUDA kernels take it by parameter.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct GridGeometry {
+    /// Point dimensionality `d`.
+    pub dim: usize,
+    /// Neighborhood radius ε.
+    pub epsilon: f64,
+    /// Cell width `c_w = ε/(2√d)` — cell diagonal exactly ε/2.
+    pub cell_width: f64,
+    /// Cells per dimension, `w = ⌈1/c_w⌉`.
+    pub width: usize,
+    /// Outer-grid dimensionality `d'`.
+    pub outer_dims: usize,
+    /// Dense outer-directory size `m = w^{d'}`.
+    pub outer_cells: usize,
+    /// Cell-index radius covering ε+δ: surrounding cells per dimension are
+    /// `c ± reach` (the paper's `v = 2·reach + 1`).
+    pub reach: usize,
+}
+
+impl GridGeometry {
+    /// Build the geometry for `n` points of dimensionality `dim` under
+    /// radius `epsilon`, choosing `d'` per `variant`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`, `epsilon <= 0`, or `variant` is
+    /// `RandomAccess` and the dense directory would exceed
+    /// [`MAX_OUTER_CELLS`].
+    pub fn new(dim: usize, epsilon: f64, n: usize, variant: GridVariant) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        let cell_width = epsilon / (2.0 * (dim as f64).sqrt());
+        let width = (1.0 / cell_width).ceil() as usize;
+        let reach = ((epsilon + delta(epsilon)) / cell_width).ceil() as usize;
+
+        let budget = (n * dim).max(64);
+        let outer_dims = match variant {
+            GridVariant::Sequential => 0,
+            GridVariant::RandomAccess => dim,
+            GridVariant::Mixed(d_prime) => d_prime.min(dim),
+            GridVariant::Auto => {
+                let mut d_prime = 0usize;
+                let mut cells = 1usize;
+                while d_prime < dim {
+                    match cells.checked_mul(width) {
+                        Some(next) if next <= budget => {
+                            cells = next;
+                            d_prime += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                d_prime
+            }
+        };
+        let mut outer_cells = 1usize;
+        for _ in 0..outer_dims {
+            outer_cells = outer_cells
+                .checked_mul(width)
+                .filter(|&m| m <= MAX_OUTER_CELLS)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "outer directory w^d' = {width}^{outer_dims} exceeds the \
+                         {MAX_OUTER_CELLS}-cell cap; use GridVariant::Auto or Mixed"
+                    )
+                });
+        }
+        Self {
+            dim,
+            epsilon,
+            cell_width,
+            width,
+            outer_dims,
+            outer_cells,
+            reach,
+        }
+    }
+
+    /// Per-dimension cell coordinate of scalar `x ∈ [0, 1]` (values at the
+    /// upper boundary land in the last cell).
+    #[inline]
+    pub fn cell_coord(&self, x: f64) -> u64 {
+        let c = (x / self.cell_width) as i64;
+        c.clamp(0, self.width as i64 - 1) as u64
+    }
+
+    /// Write the full-dimensional cell coordinates of point `p` into `out`.
+    #[inline]
+    pub fn cell_coords_of(&self, p: &[f64], out: &mut [u64]) {
+        debug_assert_eq!(p.len(), self.dim);
+        for (o, &x) in out.iter_mut().zip(p) {
+            *o = self.cell_coord(x);
+        }
+    }
+
+    /// Dense outer-directory index of point `p` (row-major over the first
+    /// `d'` cell coordinates; 0 when `d' = 0`).
+    #[inline]
+    pub fn outer_id_of_point(&self, p: &[f64]) -> usize {
+        let mut id = 0usize;
+        for i in 0..self.outer_dims {
+            id = id * self.width + self.cell_coord(p[i]) as usize;
+        }
+        id
+    }
+
+    /// Dense outer-directory index from full-dimensional cell coordinates.
+    #[inline]
+    pub fn outer_id_of_coords(&self, coords: &[u64]) -> usize {
+        let mut id = 0usize;
+        for i in 0..self.outer_dims {
+            id = id * self.width + coords[i] as usize;
+        }
+        id
+    }
+
+    /// Decode a dense outer id back into its `d'` cell coordinates.
+    #[inline]
+    pub fn outer_coords_of_id(&self, mut id: usize, out: &mut [u64]) {
+        for i in (0..self.outer_dims).rev() {
+            out[i] = (id % self.width) as u64;
+            id /= self.width;
+        }
+    }
+
+    /// Lower corner of a cell along one dimension.
+    #[inline]
+    pub fn cell_lo(&self, coord: u64) -> f64 {
+        coord as f64 * self.cell_width
+    }
+
+    /// Squared distance from `p` to the closest point of the cell with
+    /// coordinates `coords` (0 when `p` is inside).
+    #[inline]
+    pub fn min_sq_dist_to_cell(&self, p: &[f64], coords: &[u64]) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.dim {
+            let lo = self.cell_lo(coords[i]);
+            let hi = lo + self.cell_width;
+            let d = if p[i] < lo {
+                lo - p[i]
+            } else if p[i] > hi {
+                p[i] - hi
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Squared distance from `p` to the farthest point of the cell — the
+    /// "cell fully within the ε-ball" test of Algorithm 3.
+    #[inline]
+    pub fn max_sq_dist_to_cell(&self, p: &[f64], coords: &[u64]) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.dim {
+            let lo = self.cell_lo(coords[i]);
+            let hi = lo + self.cell_width;
+            let d = (p[i] - lo).abs().max((p[i] - hi).abs());
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Number of surrounding outer cells per dimension (`v = 2·reach + 1`).
+    #[inline]
+    pub fn surround_per_dim(&self) -> usize {
+        2 * self.reach + 1
+    }
+
+    /// Enumerate the dense ids of all in-bounds outer cells within `reach`
+    /// of the outer cell `oid` (including `oid` itself), invoking `f` for
+    /// each. With `d' = 0` this is just the single bucket.
+    pub fn for_each_surrounding_outer(&self, oid: usize, mut f: impl FnMut(usize)) {
+        if self.outer_dims == 0 {
+            f(0);
+            return;
+        }
+        let mut base = [0u64; 64];
+        self.outer_coords_of_id(oid, &mut base[..self.outer_dims]);
+        let v = self.surround_per_dim();
+        let total = v.pow(self.outer_dims as u32);
+        'offsets: for k in 0..total {
+            let mut rem = k;
+            let mut id = 0usize;
+            for i in 0..self.outer_dims {
+                let off = (rem % v) as i64 - self.reach as i64;
+                rem /= v;
+                let c = base[i] as i64 + off;
+                if c < 0 || c >= self.width as i64 {
+                    continue 'offsets;
+                }
+                id = id * self.width + c as usize;
+            }
+            f(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_diagonal_is_at_most_half_epsilon() {
+        for dim in [1, 2, 3, 8, 32] {
+            for eps in [0.01, 0.05, 0.3] {
+                let g = GridGeometry::new(dim, eps, 1000, GridVariant::Auto);
+                let diagonal = (dim as f64).sqrt() * g.cell_width;
+                assert!(
+                    diagonal <= eps / 2.0 + 1e-12,
+                    "diagonal {diagonal} > ε/2 for d={dim}, ε={eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reach_covers_epsilon_plus_delta() {
+        let g = GridGeometry::new(2, 0.05, 1000, GridVariant::Auto);
+        assert!(g.reach as f64 * g.cell_width >= g.epsilon + delta(g.epsilon));
+    }
+
+    #[test]
+    fn cell_coord_clamps_boundaries() {
+        let g = GridGeometry::new(2, 0.05, 1000, GridVariant::Auto);
+        assert_eq!(g.cell_coord(0.0), 0);
+        assert_eq!(g.cell_coord(1.0), g.width as u64 - 1);
+        assert_eq!(g.cell_coord(-0.1), 0); // defensive clamp
+        assert_eq!(g.cell_coord(1.1), g.width as u64 - 1);
+    }
+
+    #[test]
+    fn outer_id_roundtrip() {
+        let g = GridGeometry::new(3, 0.1, 100_000, GridVariant::Mixed(2));
+        assert_eq!(g.outer_dims, 2);
+        for oid in [0, 1, g.width, g.outer_cells - 1] {
+            let mut coords = [0u64; 3];
+            g.outer_coords_of_id(oid, &mut coords[..2]);
+            assert_eq!(g.outer_id_of_coords(&coords), oid);
+        }
+    }
+
+    #[test]
+    fn variant_dimensionalities() {
+        let n = 10_000;
+        assert_eq!(GridGeometry::new(4, 0.05, n, GridVariant::Sequential).outer_dims, 0);
+        assert_eq!(GridGeometry::new(2, 0.05, n, GridVariant::RandomAccess).outer_dims, 2);
+        let auto = GridGeometry::new(16, 0.05, n, GridVariant::Auto);
+        assert!(auto.outer_dims < 16);
+        assert!(auto.outer_cells <= (n * 16).max(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn random_access_infeasible_in_high_dim() {
+        GridGeometry::new(16, 0.05, 10_000, GridVariant::RandomAccess);
+    }
+
+    #[test]
+    fn sequential_variant_has_single_bucket() {
+        let g = GridGeometry::new(5, 0.05, 1000, GridVariant::Sequential);
+        assert_eq!(g.outer_cells, 1);
+        assert_eq!(g.outer_id_of_point(&[0.3, 0.4, 0.5, 0.6, 0.7]), 0);
+        let mut seen = Vec::new();
+        g.for_each_surrounding_outer(0, |id| seen.push(id));
+        assert_eq!(seen, vec![0]);
+    }
+
+    #[test]
+    fn min_max_cell_distances() {
+        let g = GridGeometry::new(2, 0.1, 1000, GridVariant::Auto);
+        let cw = g.cell_width;
+        let coords = [3u64, 4u64];
+        // point inside the cell
+        let inside = [3.5 * cw, 4.5 * cw];
+        assert_eq!(g.min_sq_dist_to_cell(&inside, &coords), 0.0);
+        let max_d = g.max_sq_dist_to_cell(&inside, &coords).sqrt();
+        assert!((max_d - (2.0f64).sqrt() * cw / 2.0).abs() < 1e-12);
+        // point one cell to the left
+        let left = [2.5 * cw, 4.5 * cw];
+        assert!((g.min_sq_dist_to_cell(&left, &coords).sqrt() - 0.5 * cw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surrounding_enumeration_is_within_bounds_and_complete() {
+        let g = GridGeometry::new(2, 0.2, 5000, GridVariant::Auto);
+        assert!(g.outer_dims >= 1);
+        let oid = g.outer_id_of_coords(&[1, 1]);
+        let mut seen = Vec::new();
+        g.for_each_surrounding_outer(oid, |id| seen.push(id));
+        // all unique, all in range
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seen.len());
+        assert!(seen.iter().all(|&id| id < g.outer_cells));
+        assert!(seen.contains(&oid));
+        // corner cell sees fewer cells than an interior one
+        let corner = g.outer_id_of_coords(&[0, 0]);
+        let mut corner_seen = 0usize;
+        g.for_each_surrounding_outer(corner, |_| corner_seen += 1);
+        let interior_coord = (g.reach as u64).min(g.width as u64 - 1);
+        if interior_coord > 0 && g.width > 2 * g.reach {
+            let interior = g.outer_id_of_coords(&[interior_coord, interior_coord]);
+            let mut interior_seen = 0usize;
+            g.for_each_surrounding_outer(interior, |_| interior_seen += 1);
+            assert!(corner_seen < interior_seen);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! A plain hash-map grid on the host.
+//!
+//! The reference implementation of the grid semantics: tests cross-check
+//! the simulated-GPU construction (Algorithm 2) against this, and the CPU
+//! oracle uses it for neighborhood queries. Deliberately simple — a
+//! `HashMap` from full-dimensional cell coordinates to point lists.
+
+use std::collections::HashMap;
+
+use egg_spatial::distance::{row, squared_euclidean};
+
+use super::geometry::GridGeometry;
+
+/// Host-side grid: full-dimensional cell coordinates → indices of the
+/// points inside.
+#[derive(Debug)]
+pub struct HostGrid<'a> {
+    geometry: &'a GridGeometry,
+    coords: &'a [f64],
+    cells: HashMap<Vec<u64>, Vec<u32>>,
+}
+
+impl<'a> HostGrid<'a> {
+    /// Bucket every point of `coords` (row-major, `geometry.dim` columns).
+    pub fn build(geometry: &'a GridGeometry, coords: &'a [f64]) -> Self {
+        let dim = geometry.dim;
+        let n = coords.len() / dim;
+        let mut cells: HashMap<Vec<u64>, Vec<u32>> = HashMap::new();
+        let mut key = vec![0u64; dim];
+        for p_idx in 0..n {
+            geometry.cell_coords_of(row(coords, dim, p_idx), &mut key);
+            cells.entry(key.clone()).or_default().push(p_idx as u32);
+        }
+        Self {
+            geometry,
+            coords,
+            cells,
+        }
+    }
+
+    /// Number of non-empty cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The points in the cell containing `p` (empty slice view if the cell
+    /// is unoccupied, which cannot happen for `p` taken from the dataset).
+    pub fn cell_of(&self, p: &[f64]) -> &[u32] {
+        let mut key = vec![0u64; self.geometry.dim];
+        self.geometry.cell_coords_of(p, &mut key);
+        self.cells.get(&key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterate over `(cell_coords, point_indices)` of every non-empty cell.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (&Vec<u64>, &Vec<u32>)> {
+        self.cells.iter()
+    }
+
+    /// Indices of all points within the closed `radius`-ball around `p`,
+    /// found by scanning the cells within the geometry's reach whose boxes
+    /// intersect the ball.
+    pub fn ball_indices(&self, p: &[f64], radius: f64) -> Vec<u32> {
+        let dim = self.geometry.dim;
+        let radius_sq = radius * radius;
+        let mut out = Vec::new();
+        // enumerate candidate cell coordinate ranges per dimension
+        let lo: Vec<i64> = (0..dim)
+            .map(|i| ((p[i] - radius) / self.geometry.cell_width).floor() as i64)
+            .collect();
+        let hi: Vec<i64> = (0..dim)
+            .map(|i| ((p[i] + radius) / self.geometry.cell_width).floor() as i64)
+            .collect();
+        let mut cursor: Vec<i64> = lo.clone();
+        loop {
+            if cursor
+                .iter()
+                .all(|&c| c >= 0 && c < self.geometry.width as i64)
+            {
+                let key: Vec<u64> = cursor.iter().map(|&c| c as u64).collect();
+                if let Some(points) = self.cells.get(&key) {
+                    for &q_idx in points {
+                        if squared_euclidean(p, row(self.coords, dim, q_idx as usize)) <= radius_sq
+                        {
+                            out.push(q_idx);
+                        }
+                    }
+                }
+            }
+            // odometer increment
+            let mut d = 0;
+            loop {
+                if d == dim {
+                    return out;
+                }
+                cursor[d] += 1;
+                if cursor[d] <= hi[d] {
+                    break;
+                }
+                cursor[d] = lo[d];
+                d += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::geometry::GridVariant;
+    use super::*;
+
+    fn grid_fixture(coords: &[f64], dim: usize, eps: f64) -> (GridGeometry, Vec<f64>) {
+        let g = GridGeometry::new(dim, eps, coords.len() / dim, GridVariant::Auto);
+        (g, coords.to_vec())
+    }
+
+    #[test]
+    fn every_point_is_in_exactly_one_cell() {
+        let coords: Vec<f64> = (0..200).map(|i| (i as f64 * 0.005) % 1.0).collect();
+        let (g, coords) = grid_fixture(&coords, 2, 0.05);
+        let grid = HostGrid::build(&g, &coords);
+        let total: usize = grid.iter_cells().map(|(_, pts)| pts.len()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn cell_of_contains_the_point() {
+        let coords = [0.5, 0.5, 0.51, 0.5, 0.9, 0.9];
+        let (g, coords) = grid_fixture(&coords, 2, 0.1);
+        let grid = HostGrid::build(&g, &coords);
+        assert!(grid.cell_of(&[0.9, 0.9]).contains(&2));
+    }
+
+    #[test]
+    fn ball_query_matches_brute_force() {
+        // pseudo-random but deterministic point cloud
+        let coords: Vec<f64> = (0..600)
+            .map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 / 1000.0)
+            .collect();
+        let dim = 2;
+        let (g, coords) = grid_fixture(&coords, dim, 0.07);
+        let grid = HostGrid::build(&g, &coords);
+        for p_idx in [0usize, 17, 123, 299] {
+            let p = row(&coords, dim, p_idx);
+            for radius in [0.0, 0.03, 0.07] {
+                let mut got = grid.ball_indices(p, radius);
+                got.sort_unstable();
+                let expected: Vec<u32> = (0..coords.len() / dim)
+                    .filter(|&q| squared_euclidean(p, row(&coords, dim, q)) <= radius * radius)
+                    .map(|q| q as u32)
+                    .collect();
+                assert_eq!(got, expected, "p={p_idx} r={radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn points_in_same_cell_are_within_half_epsilon() {
+        let coords: Vec<f64> = (0..400)
+            .map(|i| ((i * 48271) % 997) as f64 / 997.0)
+            .collect();
+        let eps = 0.1;
+        let (g, coords) = grid_fixture(&coords, 2, eps);
+        let grid = HostGrid::build(&g, &coords);
+        for (_, pts) in grid.iter_cells() {
+            for (a, &i) in pts.iter().enumerate() {
+                for &j in &pts[a + 1..] {
+                    let d = squared_euclidean(row(&coords, 2, i as usize), row(&coords, 2, j as usize))
+                        .sqrt();
+                    assert!(d <= eps / 2.0 + 1e-12, "cell mates {i},{j} at distance {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_grid() {
+        let (g, coords) = grid_fixture(&[], 3, 0.05);
+        let grid = HostGrid::build(&g, &coords);
+        assert_eq!(grid.num_cells(), 0);
+        assert!(grid.ball_indices(&[0.5, 0.5, 0.5], 0.2).is_empty());
+    }
+}

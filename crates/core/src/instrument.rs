@@ -1,0 +1,161 @@
+//! Run instrumentation: stage timings, per-iteration traces, space usage.
+//!
+//! The paper's evaluation needs more than end-to-end runtimes: Table 1
+//! breaks every run into six stages, Figure 3g plots per-iteration times
+//! and Figure 3h plots structure memory. Every algorithm in this crate
+//! fills a [`RunTrace`] so the benchmark harnesses can print those
+//! breakdowns for any run.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// The six pipeline stages of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Stage {
+    /// Device/host buffer allocation.
+    Allocating,
+    /// Building the grid (or R-Tree) structure, including summaries.
+    BuildStructure,
+    /// The point-update kernel/loop (Equation 1).
+    Update,
+    /// The extra synchronization check (Definition 4.2 term 2) — EGG only.
+    ExtraCheck,
+    /// Gathering the final clustering.
+    Clustering,
+    /// Releasing memory.
+    FreeMemory,
+}
+
+impl Stage {
+    /// All stages, in Table 1 column order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Allocating,
+        Stage::BuildStructure,
+        Stage::Update,
+        Stage::ExtraCheck,
+        Stage::Clustering,
+        Stage::FreeMemory,
+    ];
+
+    /// Column header as printed in Table 1.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Allocating => "Allocating",
+            Stage::BuildStructure => "Build structure",
+            Stage::Update => "Update",
+            Stage::ExtraCheck => "Extra check",
+            Stage::Clustering => "Clustering",
+            Stage::FreeMemory => "Free Memory",
+        }
+    }
+}
+
+/// Accumulated seconds per stage.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct StageTimings {
+    seconds: [f64; 6],
+}
+
+impl StageTimings {
+    /// Add `seconds` to a stage's accumulator.
+    pub fn add(&mut self, stage: Stage, seconds: f64) {
+        self.seconds[stage as usize] += seconds;
+    }
+
+    /// Accumulated seconds for a stage.
+    pub fn get(&self, stage: Stage) -> f64 {
+        self.seconds[stage as usize]
+    }
+
+    /// Sum over all stages.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+}
+
+/// One iteration's timing record (Figure 3g's series).
+#[derive(Debug, Clone, Serialize)]
+pub struct IterationRecord {
+    /// Iteration index, starting at 0.
+    pub iteration: usize,
+    /// Host wall-clock seconds spent in this iteration.
+    pub seconds: f64,
+    /// Simulated GPU seconds for this iteration (GPU-backed algorithms).
+    pub sim_seconds: Option<f64>,
+    /// Cluster order parameter after the iteration, for λ-terminated runs.
+    pub rc: Option<f64>,
+}
+
+/// Full instrumentation of one clustering run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RunTrace {
+    /// Host wall-clock seconds per stage.
+    pub stages: StageTimings,
+    /// Simulated GPU seconds per stage (GPU-backed algorithms only).
+    pub sim_stages: Option<StageTimings>,
+    /// Per-iteration records, in order.
+    pub iterations: Vec<IterationRecord>,
+    /// Peak bytes used by auxiliary structures (index/grid, buffers),
+    /// excluding the input data itself — Figure 3h's series.
+    pub peak_structure_bytes: usize,
+    /// Total host wall-clock seconds for the run.
+    pub total_seconds: f64,
+    /// Total simulated GPU seconds (GPU-backed algorithms only).
+    pub total_sim_seconds: Option<f64>,
+}
+
+impl RunTrace {
+    /// Record a candidate peak for structure memory.
+    pub fn observe_structure_bytes(&mut self, bytes: usize) {
+        self.peak_structure_bytes = self.peak_structure_bytes.max(bytes);
+    }
+}
+
+/// Time a closure, returning its value and elapsed seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_accumulation() {
+        let mut t = StageTimings::default();
+        t.add(Stage::Update, 1.5);
+        t.add(Stage::Update, 0.5);
+        t.add(Stage::Clustering, 0.25);
+        assert_eq!(t.get(Stage::Update), 2.0);
+        assert_eq!(t.get(Stage::Allocating), 0.0);
+        assert_eq!(t.total(), 2.25);
+    }
+
+    #[test]
+    fn stage_names_match_table1() {
+        assert_eq!(Stage::BuildStructure.name(), "Build structure");
+        assert_eq!(Stage::ALL.len(), 6);
+    }
+
+    #[test]
+    fn timed_measures_and_returns() {
+        let (v, secs) = timed(|| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(secs >= 0.004, "measured {secs}");
+    }
+
+    #[test]
+    fn peak_bytes_keeps_maximum() {
+        let mut trace = RunTrace::default();
+        trace.observe_structure_bytes(100);
+        trace.observe_structure_bytes(50);
+        trace.observe_structure_bytes(200);
+        assert_eq!(trace.peak_structure_bytes, 200);
+    }
+}

@@ -1,0 +1,73 @@
+//! # egg-sync-core — clustering by synchronization
+//!
+//! A production-grade reproduction of **EGG-SynC** (Jørgensen & Assent,
+//! EDBT 2023): *Exact GPU-parallelized Grid-based Clustering by
+//! Synchronization*, together with every baseline its evaluation compares
+//! against.
+//!
+//! ## The model
+//!
+//! Clustering by synchronization (SynC, Böhm et al. 2010) drags every point
+//! towards its ε-neighborhood with the Kuramoto-inspired update
+//!
+//! ```text
+//! p_i ← p_i + 1/|N_ε(p)| · Σ_{q ∈ N_ε(p)} sin(q_i − p_i)
+//! ```
+//!
+//! until neighborhoods have synchronized; groups of points that synchronize
+//! together are the clusters. See [`model`] for the update, the cluster
+//! order parameter `r_c`, and the paper's exact termination machinery
+//! (Definition 4.2 with its `δ` margin).
+//!
+//! ## Algorithms
+//!
+//! | Type | Paper role | Strategy |
+//! |---|---|---|
+//! | [`Sync`] | baseline (Böhm 2010) | brute force, λ-termination |
+//! | [`FSync`] | baseline (Chen 2018) | R-Tree neighborhoods, λ-termination |
+//! | [`MpSync`] | baseline | CPU-thread-parallel brute force |
+//! | [`GpuSync`] | baseline | brute force as simulated-GPU kernels |
+//! | [`EggSync`] | **the contribution** | exact termination + summarized grid, simulated-GPU kernels |
+//! | [`ExactSync`] | test oracle | brute-force CPU with the exact criterion |
+//!
+//! All algorithms implement [`ClusterAlgorithm`] and return a
+//! [`Clustering`] carrying labels, iteration counts and a full
+//! stage/iteration [`instrument::RunTrace`] used by the benchmark
+//! harnesses.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use egg_sync_core::{ClusterAlgorithm, EggSync};
+//! use egg_data::generator::GaussianSpec;
+//!
+//! let (data, _) = GaussianSpec { n: 600, ..GaussianSpec::default() }
+//!     .generate_normalized();
+//! let result = EggSync::new(0.05).cluster(&data);
+//! assert!(result.converged);
+//! assert!(result.num_clusters >= 1);
+//! ```
+
+#![warn(missing_docs)]
+// Kernel bodies index several parallel arrays (`p`, `q`, `sums`, buffer
+// offsets) with one dimension counter, exactly like their CUDA originals;
+// iterator-zip rewrites obscure that correspondence.
+#![allow(clippy::needless_range_loop)]
+
+pub mod algorithms;
+pub mod egg;
+pub mod extensions;
+pub mod grid;
+pub mod instrument;
+pub mod model;
+mod result;
+
+pub use algorithms::comparators::{Dbscan, KMeans};
+pub use algorithms::fsync::FSync;
+pub use algorithms::gpu_sync::GpuSync;
+pub use algorithms::mp_sync::MpSync;
+pub use algorithms::sync::Sync;
+pub use egg::algorithm::EggSync;
+pub use egg::reference::ExactSync;
+pub use model::SyncParams;
+pub use result::{ClusterAlgorithm, Clustering};

@@ -1,0 +1,363 @@
+//! The synchronization model: Kuramoto update, cluster order parameter,
+//! ε-neighborhoods, and the paper's exact termination criterion
+//! (Definition 4.2).
+
+use egg_spatial::distance::{row, squared_euclidean};
+use egg_spatial::Mbr;
+use serde::{Deserialize, Serialize};
+
+/// Shared hyper-parameters of the synchronization algorithms.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyncParams {
+    /// Neighborhood radius ε. Data is assumed min/max-normalized into
+    /// `[0, 1]^d`; the paper's default is 0.05.
+    pub epsilon: f64,
+    /// λ threshold for the *inexact* cluster-order-parameter termination of
+    /// SynC/FSynC/MP-SynC/GPU-SynC (paper default 0.999). Ignored by the
+    /// exact algorithms.
+    pub lambda: f64,
+    /// γ radius used by λ-terminated algorithms to gather clusters from the
+    /// (only approximately) synchronized point locations.
+    pub gamma: f64,
+    /// Safety valve: stop after this many iterations even if the chosen
+    /// termination criterion has not fired.
+    pub max_iterations: usize,
+}
+
+impl SyncParams {
+    /// Paper defaults: ε = 0.05, λ = 0.999, γ = ε/2, 10 000 iterations cap.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        Self {
+            epsilon,
+            lambda: 0.999,
+            gamma: epsilon / 2.0,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+impl Default for SyncParams {
+    fn default() -> Self {
+        Self::new(0.05)
+    }
+}
+
+/// The extra check radius `δ = ε − ε·√(15/16) + ε/2 − sin(ε/2)` of
+/// Definition 4.2: points within `(ε, ε+δ]` of `p` could still be dragged
+/// into `N_ε(p)` by their own ε/2-neighbors (`δ₁` from the straight-line
+/// chord geometry plus `δ₂` for the sine update's deviation from a straight
+/// line).
+pub fn delta(epsilon: f64) -> f64 {
+    epsilon - epsilon * (15.0f64 / 16.0).sqrt() + epsilon / 2.0 - (epsilon / 2.0).sin()
+}
+
+/// Collect the indices of the closed ε-neighborhood of point `p_idx` by
+/// linear scan (includes the point itself).
+pub fn brute_force_neighborhood(coords: &[f64], dim: usize, p_idx: usize, epsilon: f64) -> Vec<usize> {
+    let n = coords.len() / dim;
+    let p = row(coords, dim, p_idx);
+    let eps_sq = epsilon * epsilon;
+    (0..n)
+        .filter(|&q| squared_euclidean(p, row(coords, dim, q)) <= eps_sq)
+        .collect()
+}
+
+/// Apply Equation 1 to point `p_idx`: write the moved point into `out` and
+/// return this point's contribution to the cluster order parameter
+/// (`1/|N| · Σ e^{−‖q−p‖}`, Equation 2).
+///
+/// The neighborhood always contains the point itself, so the divisor is
+/// never zero.
+pub fn update_point(
+    coords: &[f64],
+    dim: usize,
+    p_idx: usize,
+    epsilon: f64,
+    out: &mut [f64],
+) -> f64 {
+    debug_assert_eq!(out.len(), dim);
+    let n = coords.len() / dim;
+    let p = row(coords, dim, p_idx);
+    let eps_sq = epsilon * epsilon;
+    let mut count = 0usize;
+    let mut rc = 0.0;
+    out.fill(0.0);
+    for q_idx in 0..n {
+        let q = row(coords, dim, q_idx);
+        let dist_sq = squared_euclidean(p, q);
+        if dist_sq <= eps_sq {
+            count += 1;
+            rc += (-dist_sq.sqrt()).exp();
+            for i in 0..dim {
+                out[i] += (q[i] - p[i]).sin();
+            }
+        }
+    }
+    let inv = 1.0 / count as f64;
+    for i in 0..dim {
+        out[i] = p[i] + out[i] * inv;
+    }
+    rc * inv
+}
+
+/// Apply Equation 1 to `p` given an explicit list of neighbor coordinates
+/// (used by the index-accelerated baselines). Returns the r_c contribution.
+pub fn update_point_with_neighbors<'a>(
+    p: &[f64],
+    neighbors: impl Iterator<Item = &'a [f64]>,
+    out: &mut [f64],
+) -> f64 {
+    let dim = p.len();
+    debug_assert_eq!(out.len(), dim);
+    out.fill(0.0);
+    let mut count = 0usize;
+    let mut rc = 0.0;
+    for q in neighbors {
+        count += 1;
+        rc += (-squared_euclidean(p, q).sqrt()).exp();
+        for i in 0..dim {
+            out[i] += (q[i] - p[i]).sin();
+        }
+    }
+    debug_assert!(count > 0, "neighborhood must contain the point itself");
+    let inv = 1.0 / count as f64;
+    for i in 0..dim {
+        out[i] = p[i] + out[i] * inv;
+    }
+    rc * inv
+}
+
+/// Brute-force check of the exact synchronization criterion
+/// (Definition 4.2) — the reference implementation the grid-accelerated
+/// check is tested against.
+///
+/// Term 1: no point pair at distance in `(ε/2, ε]` (all overlapping
+/// neighborhoods coincide). Term 2: no point `q₁` at distance in
+/// `(ε, ε+δ]` from `p` whose pair-MBR with some `q₂ ∈ N_{ε/2}(q₁)`
+/// intersects the ε-ball of `p` (no one can be dragged in).
+pub fn criterion_met(coords: &[f64], dim: usize, epsilon: f64) -> bool {
+    criterion_term1_met(coords, dim, epsilon) && criterion_term2_met(coords, dim, epsilon)
+}
+
+/// Term 1 of Definition 4.2 alone: no point pair at distance in
+/// `(ε/2, ε]`, i.e. every pair of neighborhoods either coincides or is
+/// disjoint (Lemma 4.3).
+pub fn criterion_term1_met(coords: &[f64], dim: usize, epsilon: f64) -> bool {
+    let n = coords.len() / dim;
+    let eps_sq = epsilon * epsilon;
+    let half_sq = (epsilon / 2.0) * (epsilon / 2.0);
+    for p_idx in 0..n {
+        let p = row(coords, dim, p_idx);
+        for q_idx in 0..n {
+            let d_sq = squared_euclidean(p, row(coords, dim, q_idx));
+            if d_sq > half_sq && d_sq <= eps_sq {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Term 2 of Definition 4.2 alone: no point `q₁` in the `(ε, ε+δ]` shell
+/// around any `p` whose pair-MBR with some `q₂ ∈ N_{ε/2}(q₁)` intersects
+/// the ε-ball of `p` (Lemma 4.6's "no one can be dragged in").
+pub fn criterion_term2_met(coords: &[f64], dim: usize, epsilon: f64) -> bool {
+    let n = coords.len() / dim;
+    let eps_sq = epsilon * epsilon;
+    let half_sq = (epsilon / 2.0) * (epsilon / 2.0);
+    let outer = epsilon + delta(epsilon);
+    let outer_sq = outer * outer;
+    for p_idx in 0..n {
+        let p = row(coords, dim, p_idx);
+        for q1_idx in 0..n {
+            let q1 = row(coords, dim, q1_idx);
+            let d_sq = squared_euclidean(p, q1);
+            if d_sq > eps_sq && d_sq <= outer_sq {
+                for q2_idx in 0..n {
+                    let q2 = row(coords, dim, q2_idx);
+                    if squared_euclidean(q1, q2) <= half_sq {
+                        let mut mbr = Mbr::from_point(q1);
+                        mbr.expand_to_point(q2);
+                        if mbr.intersects_ball(p, epsilon) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Gather final clusters once the exact criterion holds: connected
+/// components of the ε-neighborhood graph (per Theorem 4.7 each component
+/// is exactly one fully synchronized neighborhood). Returns one label per
+/// point.
+pub fn gather_exact(coords: &[f64], dim: usize, epsilon: f64) -> Vec<u32> {
+    let n = coords.len() / dim;
+    let eps_sq = epsilon * epsilon;
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if labels[start] != u32::MAX {
+            continue;
+        }
+        labels[start] = next;
+        stack.push(start);
+        while let Some(p_idx) = stack.pop() {
+            let p = row(coords, dim, p_idx).to_vec();
+            for q_idx in 0..n {
+                if labels[q_idx] == u32::MAX
+                    && squared_euclidean(&p, row(coords, dim, q_idx)) <= eps_sq
+                {
+                    labels[q_idx] = next;
+                    stack.push(q_idx);
+                }
+            }
+        }
+        next += 1;
+    }
+    labels
+}
+
+/// γ-radius transitive gathering used by the λ-terminated baselines
+/// (`synCluster`): connected components of the γ-neighborhood graph over
+/// the final (approximately synchronized) point locations.
+pub fn gather_gamma(coords: &[f64], dim: usize, gamma: f64) -> Vec<u32> {
+    gather_exact(coords, dim, gamma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_positive_and_monotone() {
+        let mut last = 0.0;
+        for k in 1..=40 {
+            let eps = k as f64 * 0.01;
+            let d = delta(eps);
+            assert!(d > 0.0, "δ({eps}) = {d} not positive");
+            assert!(d > last, "δ not monotone at {eps}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn delta_is_small_relative_to_epsilon() {
+        // for the paper's range of ε, δ ≪ ε (it is a thin extra shell)
+        for eps in [0.01, 0.05, 0.1, 0.2] {
+            assert!(delta(eps) < eps * 0.05, "δ({eps}) unexpectedly large");
+        }
+    }
+
+    #[test]
+    fn neighborhood_includes_self_and_respects_radius() {
+        let coords = [0.0, 0.0, 0.04, 0.0, 0.2, 0.0];
+        let nb = brute_force_neighborhood(&coords, 2, 0, 0.05);
+        assert_eq!(nb, vec![0, 1]);
+    }
+
+    #[test]
+    fn isolated_point_is_fixed_by_update() {
+        let coords = [0.5, 0.5, 0.9, 0.9];
+        let mut out = [0.0; 2];
+        let rc = update_point(&coords, 2, 0, 0.05, &mut out);
+        assert_eq!(out, [0.5, 0.5]);
+        assert_eq!(rc, 1.0); // only itself: e^0 / 1
+    }
+
+    #[test]
+    fn two_close_points_approach_each_other() {
+        let coords = [0.50, 0.5, 0.52, 0.5];
+        let mut a = [0.0; 2];
+        let mut b = [0.0; 2];
+        update_point(&coords, 2, 0, 0.05, &mut a);
+        update_point(&coords, 2, 1, 0.05, &mut b);
+        let before = (coords[2] - coords[0]).abs();
+        let after = (b[0] - a[0]).abs();
+        assert!(after < before);
+        assert!(a[0] > 0.50 && b[0] < 0.52, "points moved towards each other");
+        assert!((a[1] - 0.5).abs() < 1e-15 && (b[1] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn update_with_neighbors_matches_brute_force() {
+        let coords = [0.50, 0.50, 0.52, 0.49, 0.48, 0.51, 0.9, 0.9];
+        let dim = 2;
+        let mut via_scan = [0.0; 2];
+        let rc_scan = update_point(&coords, dim, 0, 0.05, &mut via_scan);
+        let nb = brute_force_neighborhood(&coords, dim, 0, 0.05);
+        let mut via_list = [0.0; 2];
+        let rc_list = update_point_with_neighbors(
+            row(&coords, dim, 0),
+            nb.iter().map(|&q| row(&coords, dim, q)),
+            &mut via_list,
+        );
+        assert_eq!(via_scan, via_list);
+        assert!((rc_scan - rc_list).abs() < 1e-15);
+    }
+
+    #[test]
+    fn criterion_met_for_well_separated_tight_pairs() {
+        // two tight pairs far apart: all neighbor distances ≤ ε/2, nothing
+        // within the (ε, ε+δ] shell
+        let eps = 0.1;
+        let coords = [0.10, 0.10, 0.12, 0.10, 0.90, 0.90, 0.88, 0.90];
+        assert!(criterion_met(&coords, 2, eps));
+    }
+
+    #[test]
+    fn criterion_fails_on_half_open_shell() {
+        // distance 0.08 ∈ (ε/2, ε] for ε = 0.1 → term 1 violated
+        let coords = [0.10, 0.10, 0.18, 0.10];
+        assert!(!criterion_met(&coords, 2, 0.1));
+    }
+
+    #[test]
+    fn criterion_fails_when_draggable_pair_hovers_outside() {
+        // p; q1 in the (ε, ε+δ] shell; q2 within ε/2 of q1 and also beyond
+        // ε of p, but placed diagonally so the q1–q2 MBR dips into the
+        // ε-ball of p. Term 1 holds (every pair is ≤ ε/2 or > ε apart);
+        // only term 2 catches the draggable pair.
+        let eps = 0.1;
+        let coords = [
+            0.50, 0.50, // p
+            0.601, 0.50, // q1: 0.101 > ε, within ε+δ (δ(0.1) ≈ 3.2e-3)
+            0.59, 0.545, // q2: 0.1006 > ε from p, 0.0463 ≤ ε/2 from q1
+        ];
+        assert!(criterion_term1_met(&coords, 2, eps));
+        assert!(!criterion_term2_met(&coords, 2, eps));
+        assert!(!criterion_met(&coords, 2, eps));
+    }
+
+    #[test]
+    fn gather_exact_components() {
+        let coords = [0.1, 0.1, 0.12, 0.1, 0.9, 0.9];
+        let labels = gather_exact(&coords, 2, 0.05);
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn gather_is_transitive_chain() {
+        // chain a–b–c where a–c exceeds γ but links are within γ
+        let coords = [0.0, 0.0, 0.04, 0.0, 0.08, 0.0];
+        let labels = gather_gamma(&coords, 2, 0.05);
+        assert!(labels.iter().all(|&l| l == labels[0]));
+    }
+
+    #[test]
+    fn empty_input_gathers_nothing() {
+        assert!(gather_exact(&[], 2, 0.05).is_empty());
+        assert!(criterion_met(&[], 2, 0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_rejected() {
+        SyncParams::new(0.0);
+    }
+}

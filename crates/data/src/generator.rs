@@ -1,0 +1,322 @@
+//! Synthetic dataset generation.
+//!
+//! The paper's synthetic experiments use the generator of Beer et al.
+//! (LWDA 2019): `k` Gaussian-distributed clusters in the full-dimensional
+//! space, cluster centers drawn uniformly in `[-100, 100]^d`, a common
+//! standard deviation, and points split evenly among clusters. Defaults
+//! match the paper: `n = 100 000`, `d = 2`, `k = 5`, `σ = 5.0`.
+//!
+//! [`bridged_clusters`] additionally builds the Figure-1 construction: two
+//! large clusters connected by a small "bridge" blob. λ-termination stops
+//! while the bridge's pull is still negligible in the order parameter and
+//! reports separate clusters, although synchronization eventually drags
+//! everything together — the paper's motivating counterexample, and the
+//! structure its Skin experiment exhibits.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Specification for a Gaussian-mixture dataset in the style of Beer et al.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianSpec {
+    /// Total number of points.
+    pub n: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Standard deviation of each cluster, in raw (pre-normalization) units.
+    pub std_dev: f64,
+    /// Coordinate range for cluster centers (the paper uses −100..100).
+    pub range: (f64, f64),
+    /// RNG seed — all generation is deterministic.
+    pub seed: u64,
+}
+
+impl Default for GaussianSpec {
+    /// The paper's default synthetic workload: 100 000 points, 2 dimensions,
+    /// 5 clusters, σ = 5, range −100..100.
+    fn default() -> Self {
+        Self {
+            n: 100_000,
+            dim: 2,
+            clusters: 5,
+            std_dev: 5.0,
+            range: (-100.0, 100.0),
+            seed: 0xE66_5EED,
+        }
+    }
+}
+
+impl GaussianSpec {
+    /// Generate the dataset (un-normalized) together with ground-truth
+    /// cluster labels. Points are distributed round-robin over clusters so
+    /// the split is as even as possible.
+    ///
+    /// # Panics
+    /// Panics if `clusters == 0` (with `n > 0`) or `dim == 0`.
+    pub fn generate(&self) -> (Dataset, Vec<u32>) {
+        assert!(self.dim > 0, "dimensionality must be positive");
+        if self.n == 0 {
+            return (Dataset::empty(self.dim), Vec::new());
+        }
+        assert!(self.clusters > 0, "need at least one cluster");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let (lo, hi) = self.range;
+        // keep centers away from the border so clusters do not get clipped
+        // visually asymmetric by normalization
+        let margin = (hi - lo) * 0.1;
+        let centers: Vec<Vec<f64>> = (0..self.clusters)
+            .map(|_| {
+                (0..self.dim)
+                    .map(|_| rng.gen_range(lo + margin..hi - margin))
+                    .collect()
+            })
+            .collect();
+        let normal = Normal::new(0.0, self.std_dev).expect("std_dev must be finite and non-negative");
+        let mut coords = Vec::with_capacity(self.n * self.dim);
+        let mut labels = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let c = i % self.clusters;
+            labels.push(c as u32);
+            for &center in &centers[c] {
+                coords.push(center + normal.sample(&mut rng));
+            }
+        }
+        (Dataset::from_coords(coords, self.dim), labels)
+    }
+
+    /// Generate and min/max-normalize into `[0, 1]^d`, the form every
+    /// algorithm in the reproduction consumes.
+    pub fn generate_normalized(&self) -> (Dataset, Vec<u32>) {
+        let (data, labels) = self.generate();
+        (data.normalized(), labels)
+    }
+}
+
+/// Two interleaved half-moons in `[0, 1]²` with Gaussian jitter — the
+/// classic non-convex benchmark behind the papers' "arbitrarily shaped
+/// clusters" claim. k-means cannot separate them; density/synchronization
+/// methods can. Returns the (already unit-scaled) dataset with ground
+/// truth labels (0 = upper moon, 1 = lower moon).
+pub fn two_moons(n_per_moon: usize, noise: f64, seed: u64) -> (Dataset, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jitter = Normal::new(0.0, noise).expect("finite noise");
+    let mut coords = Vec::with_capacity(n_per_moon * 4);
+    let mut labels = Vec::with_capacity(n_per_moon * 2);
+    for i in 0..n_per_moon {
+        let t = std::f64::consts::PI * i as f64 / n_per_moon.max(1) as f64;
+        // upper moon: arc from (0.15,0.5) to (0.65,0.5) bulging up
+        coords.push(0.40 + 0.25 * t.cos() + jitter.sample(&mut rng));
+        coords.push(0.45 + 0.25 * t.sin() + jitter.sample(&mut rng));
+        labels.push(0);
+        // lower moon: mirrored and shifted right, bulging down
+        coords.push(0.60 - 0.25 * t.cos() + jitter.sample(&mut rng));
+        coords.push(0.55 - 0.25 * t.sin() + jitter.sample(&mut rng));
+        labels.push(1);
+    }
+    (Dataset::from_coords(coords, 2), labels)
+}
+
+/// Two concentric rings in `[0, 1]²` — another non-convex shape benchmark.
+/// Returns dataset and labels (0 = inner ring, 1 = outer ring).
+pub fn concentric_rings(n_per_ring: usize, noise: f64, seed: u64) -> (Dataset, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jitter = Normal::new(0.0, noise).expect("finite noise");
+    let mut coords = Vec::with_capacity(n_per_ring * 4);
+    let mut labels = Vec::with_capacity(n_per_ring * 2);
+    for i in 0..n_per_ring {
+        let t = 2.0 * std::f64::consts::PI * i as f64 / n_per_ring.max(1) as f64;
+        for (ring, radius) in [(0u32, 0.12), (1u32, 0.38)] {
+            coords.push(0.5 + radius * t.cos() + jitter.sample(&mut rng));
+            coords.push(0.5 + radius * t.sin() + jitter.sample(&mut rng));
+            labels.push(ring);
+        }
+    }
+    (Dataset::from_coords(coords, 2), labels)
+}
+
+/// Uniform noise over `[lo, hi]^d` — used by robustness tests.
+pub fn uniform_noise(n: usize, dim: usize, range: (f64, f64), seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coords = (0..n * dim).map(|_| rng.gen_range(range.0..=range.1)).collect();
+    Dataset::from_coords(coords, dim)
+}
+
+/// The Figure-1 construction: two large Gaussian blobs whose ε-balls do not
+/// touch directly, connected by a small bridge blob that overlaps both.
+///
+/// Returned already normalized, together with an `epsilon` for which the
+/// bridge links the blobs (everything eventually synchronizes into one
+/// cluster) while each blob alone synchronizes quickly — the regime where
+/// λ-termination stops too early and reports 2–3 clusters.
+///
+/// `blob_n` points per large blob, `bridge_n` in the bridge.
+pub fn bridged_clusters(blob_n: usize, bridge_n: usize, seed: u64) -> (Dataset, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Work directly in [0,1]²-like raw coordinates; layout along x:
+    //   blob A at 0.37, bridge at 0.50, blob B at 0.63, ε = 0.14:
+    //   A↔B distance 0.26 > ε (the blobs never see each other directly),
+    //   A↔bridge = bridge↔B = 0.13 < ε (the bridge keeps dragging both),
+    //   so under exact synchronization everything merges into one cluster,
+    //   while a blob's order-parameter contribution is dominated by its own
+    //   members and λ-termination stops while three groups remain.
+    let tight = Normal::new(0.0, 0.015).expect("finite σ");
+    let mut coords = Vec::with_capacity((2 * blob_n + bridge_n) * 2);
+    let blob = |cx: f64, cy: f64, count: usize, coords: &mut Vec<f64>, rng: &mut StdRng| {
+        for _ in 0..count {
+            coords.push(cx + tight.sample(rng));
+            coords.push(cy + tight.sample(rng));
+        }
+    };
+    blob(0.37, 0.50, blob_n, &mut coords, &mut rng);
+    blob(0.50, 0.50, bridge_n, &mut coords, &mut rng);
+    blob(0.63, 0.50, blob_n, &mut coords, &mut rng);
+    // NOTE: deliberately *not* re-normalized — the geometry above is already
+    // in [0,1]² and re-scaling would change the carefully chosen gaps.
+    (Dataset::from_coords(coords, 2), 0.14)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let spec = GaussianSpec {
+            n: 103,
+            dim: 3,
+            clusters: 5,
+            ..GaussianSpec::default()
+        };
+        let (data, labels) = spec.generate();
+        assert_eq!(data.len(), 103);
+        assert_eq!(data.dim(), 3);
+        assert_eq!(labels.len(), 103);
+        assert_eq!(*labels.iter().max().unwrap(), 4);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let spec = GaussianSpec {
+            n: 50,
+            ..GaussianSpec::default()
+        };
+        let (a, _) = spec.generate();
+        let (b, _) = spec.generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let base = GaussianSpec {
+            n: 50,
+            ..GaussianSpec::default()
+        };
+        let other = GaussianSpec { seed: 99, ..base.clone() };
+        assert_ne!(base.generate().0, other.generate().0);
+    }
+
+    #[test]
+    fn normalized_output_in_unit_cube() {
+        let spec = GaussianSpec {
+            n: 500,
+            ..GaussianSpec::default()
+        };
+        let (data, _) = spec.generate_normalized();
+        for p in data.iter() {
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn labels_are_balanced() {
+        let spec = GaussianSpec {
+            n: 100,
+            clusters: 4,
+            ..GaussianSpec::default()
+        };
+        let (_, labels) = spec.generate();
+        for c in 0..4u32 {
+            assert_eq!(labels.iter().filter(|&&l| l == c).count(), 25);
+        }
+    }
+
+    #[test]
+    fn clusters_are_separated_at_default_sigma() {
+        // with σ=5 on a −100..100 range, intra-cluster spread ≪ typical
+        // inter-center distance; check cluster means are distinct
+        let spec = GaussianSpec {
+            n: 1000,
+            clusters: 3,
+            seed: 7,
+            ..GaussianSpec::default()
+        };
+        let (data, labels) = spec.generate();
+        let mut means = vec![vec![0.0; 2]; 3];
+        let mut counts = [0usize; 3];
+        for (i, p) in data.iter().enumerate() {
+            let c = labels[i] as usize;
+            counts[c] += 1;
+            for d in 0..2 {
+                means[c][d] += p[d];
+            }
+        }
+        for (mean, &count) in means.iter_mut().zip(&counts) {
+            for m in mean.iter_mut() {
+                *m /= count as f64;
+            }
+        }
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                let dist =
+                    egg_spatial_distance(&means[a], &means[b]);
+                assert!(dist > 10.0, "cluster means {a} and {b} too close: {dist}");
+            }
+        }
+    }
+
+    fn egg_spatial_distance(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    }
+
+    #[test]
+    fn zero_points_ok() {
+        let spec = GaussianSpec {
+            n: 0,
+            ..GaussianSpec::default()
+        };
+        let (data, labels) = spec.generate();
+        assert!(data.is_empty());
+        assert!(labels.is_empty());
+    }
+
+    #[test]
+    fn uniform_noise_in_range() {
+        let d = uniform_noise(200, 3, (-1.0, 1.0), 5);
+        assert_eq!(d.len(), 200);
+        for p in d.iter() {
+            assert!(p.iter().all(|&x| (-1.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn bridge_geometry_is_as_designed() {
+        let (data, eps) = bridged_clusters(100, 20, 3);
+        assert_eq!(data.len(), 220);
+        // blob means roughly at 0.37 / 0.50 / 0.63 on x
+        let mean_x = |from: usize, to: usize| -> f64 {
+            (from..to).map(|i| data.point(i)[0]).sum::<f64>() / (to - from) as f64
+        };
+        assert!((mean_x(0, 100) - 0.37).abs() < 0.01);
+        assert!((mean_x(100, 120) - 0.50).abs() < 0.02);
+        assert!((mean_x(120, 220) - 0.63).abs() < 0.01);
+        // blob↔blob is beyond ε, blob↔bridge within ε
+        assert!(0.26 > eps);
+        assert!(0.13 < eps);
+    }
+}

@@ -1,0 +1,29 @@
+//! # egg-data — datasets and evaluation utilities for synchronization clustering
+//!
+//! Everything the EGG-SynC reproduction feeds its algorithms:
+//!
+//! * [`Dataset`]: a row-major `n × d` point set with the min/max
+//!   normalization into `[0, 1]` that SynC requires (the sine-based update
+//!   needs pairwise distances below π/2);
+//! * [`generator`]: the synthetic Gaussian-cluster generator of Beer et al.
+//!   that the paper's synthetic experiments use (n, d, k, σ all
+//!   controllable), plus the Figure-1 "bridge" construction that defeats
+//!   λ-termination;
+//! * [`catalog`]: seeded synthetic *proxies* for the UCI datasets of the
+//!   paper's real-world experiments (no network access in this
+//!   reproduction) — each proxy matches the original's size and
+//!   dimensionality and documents its structure;
+//! * [`metrics`]: clustering-agreement measures (NMI, ARI, purity) used by
+//!   the tests to show the exact algorithms agree and λ-termination does
+//!   not;
+//! * [`io`]: plain CSV import/export so external datasets can be dropped in.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+mod dataset;
+pub mod generator;
+pub mod io;
+pub mod metrics;
+
+pub use dataset::Dataset;

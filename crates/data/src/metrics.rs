@@ -1,0 +1,238 @@
+//! Clustering-agreement metrics.
+//!
+//! Used throughout the test suite to verify that the exact algorithms
+//! (SynC with exact termination, EGG-SynC under every grid variant) produce
+//! identical partitions, and to quantify how far λ-terminated results drift
+//! from the exact ones. Labels are arbitrary `u32` ids; only the induced
+//! partition matters.
+
+use std::collections::HashMap;
+
+/// Contingency table between two labelings of the same `n` items.
+#[derive(Debug, Clone)]
+pub struct Contingency {
+    /// `counts[(a, b)]` = number of items labeled `a` in the first labeling
+    /// and `b` in the second.
+    pub counts: HashMap<(u32, u32), usize>,
+    /// Per-label totals of the first labeling.
+    pub row_totals: HashMap<u32, usize>,
+    /// Per-label totals of the second labeling.
+    pub col_totals: HashMap<u32, usize>,
+    /// Number of items.
+    pub n: usize,
+}
+
+impl Contingency {
+    /// Build the table from two equally long label slices.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn new(a: &[u32], b: &[u32]) -> Self {
+        assert_eq!(a.len(), b.len(), "labelings must cover the same items");
+        let mut counts = HashMap::new();
+        let mut row_totals = HashMap::new();
+        let mut col_totals = HashMap::new();
+        for (&x, &y) in a.iter().zip(b) {
+            *counts.entry((x, y)).or_insert(0) += 1;
+            *row_totals.entry(x).or_insert(0) += 1;
+            *col_totals.entry(y).or_insert(0) += 1;
+        }
+        Self {
+            counts,
+            row_totals,
+            col_totals,
+            n: a.len(),
+        }
+    }
+}
+
+fn entropy(totals: &HashMap<u32, usize>, n: usize) -> f64 {
+    totals
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n as f64;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Normalized mutual information in `[0, 1]` (arithmetic-mean
+/// normalization). 1 for identical partitions; by convention 1 when both
+/// partitions are single clusters and 0 when comparisons are empty.
+pub fn nmi(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let table = Contingency::new(a, b);
+    let n = table.n as f64;
+    let ha = entropy(&table.row_totals, table.n);
+    let hb = entropy(&table.col_totals, table.n);
+    if ha == 0.0 && hb == 0.0 {
+        return 1.0; // both trivial partitions: identical
+    }
+    let mut mi = 0.0;
+    for (&(x, y), &c) in &table.counts {
+        let pxy = c as f64 / n;
+        let px = table.row_totals[&x] as f64 / n;
+        let py = table.col_totals[&y] as f64 / n;
+        mi += pxy * (pxy / (px * py)).ln();
+    }
+    (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+}
+
+fn comb2(x: usize) -> f64 {
+    let x = x as f64;
+    x * (x - 1.0) / 2.0
+}
+
+/// Adjusted Rand index: 1 for identical partitions, ~0 for independent
+/// ones, can be negative for adversarial disagreement.
+pub fn ari(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let table = Contingency::new(a, b);
+    let sum_cells: f64 = table.counts.values().map(|&c| comb2(c)).sum();
+    let sum_rows: f64 = table.row_totals.values().map(|&c| comb2(c)).sum();
+    let sum_cols: f64 = table.col_totals.values().map(|&c| comb2(c)).sum();
+    let total = comb2(table.n);
+    if total == 0.0 {
+        return 1.0; // single item: trivially identical
+    }
+    let expected = sum_rows * sum_cols / total;
+    let max_index = (sum_rows + sum_cols) / 2.0;
+    if (max_index - expected).abs() < f64::EPSILON {
+        return 1.0; // both partitions trivial in the same way
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+/// Purity of `predicted` against `truth`: the fraction of items that belong
+/// to their predicted cluster's majority true class. In `(0, 1]`.
+pub fn purity(truth: &[u32], predicted: &[u32]) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let table = Contingency::new(predicted, truth);
+    let mut best: HashMap<u32, usize> = HashMap::new();
+    for (&(p, _), &c) in &table.counts {
+        let e = best.entry(p).or_insert(0);
+        if c > *e {
+            *e = c;
+        }
+    }
+    best.values().sum::<usize>() as f64 / truth.len() as f64
+}
+
+/// Number of distinct clusters in a labeling.
+pub fn num_clusters(labels: &[u32]) -> usize {
+    let mut seen: Vec<u32> = labels.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// Whether two labelings induce exactly the same partition (identical up to
+/// renaming of cluster ids).
+pub fn same_partition(a: &[u32], b: &[u32]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut fwd: HashMap<u32, u32> = HashMap::new();
+    let mut bwd: HashMap<u32, u32> = HashMap::new();
+    for (&x, &y) in a.iter().zip(b) {
+        if *fwd.entry(x).or_insert(y) != y || *bwd.entry(y).or_insert(x) != x {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = [0, 0, 1, 1, 2, 2];
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((ari(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&a, &a), 1.0);
+        assert!(same_partition(&a, &a));
+    }
+
+    #[test]
+    fn renamed_partitions_score_one() {
+        let a = [0, 0, 1, 1, 2, 2];
+        let b = [5, 5, 9, 9, 1, 1];
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((ari(&a, &b) - 1.0).abs() < 1e-12);
+        assert!(same_partition(&a, &b));
+    }
+
+    #[test]
+    fn refinement_is_not_same_partition() {
+        let a = [0, 0, 0, 0];
+        let b = [0, 0, 1, 1];
+        assert!(!same_partition(&a, &b));
+        assert!(nmi(&a, &b) < 1.0 || b.iter().all(|&x| x == b[0]));
+    }
+
+    #[test]
+    fn orthogonal_partitions_have_low_ari() {
+        // a splits by half, b alternates: close to independent
+        let a = [0, 0, 0, 0, 1, 1, 1, 1];
+        let b = [0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(ari(&a, &b).abs() < 0.3);
+    }
+
+    #[test]
+    fn purity_of_merged_clusters() {
+        let truth = [0, 0, 1, 1];
+        let predicted = [0, 0, 0, 0]; // everything merged
+        assert_eq!(purity(&truth, &predicted), 0.5);
+    }
+
+    #[test]
+    fn purity_of_singletons_is_one() {
+        let truth = [0, 0, 1, 1];
+        let predicted = [0, 1, 2, 3];
+        assert_eq!(purity(&truth, &predicted), 1.0);
+    }
+
+    #[test]
+    fn trivial_partitions_agree() {
+        let a = [0, 0, 0];
+        let b = [7, 7, 7];
+        assert_eq!(nmi(&a, &b), 1.0);
+        assert_eq!(ari(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(nmi(&[], &[]), 0.0);
+        assert_eq!(ari(&[], &[]), 0.0);
+        assert_eq!(purity(&[], &[]), 0.0);
+        assert_eq!(num_clusters(&[]), 0);
+        assert!(same_partition(&[], &[]));
+    }
+
+    #[test]
+    fn num_clusters_counts_distinct() {
+        assert_eq!(num_clusters(&[3, 1, 3, 2, 1]), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn mismatched_lengths_panic() {
+        nmi(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn nmi_symmetric() {
+        let a = [0, 0, 1, 1, 2, 0, 1];
+        let b = [1, 1, 1, 0, 2, 2, 0];
+        assert!((nmi(&a, &b) - nmi(&b, &a)).abs() < 1e-12);
+        assert!((ari(&a, &b) - ari(&b, &a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Analytic first-order cost model for simulated kernels.
+//!
+//! The reproduction has no GPU, so the wall-clock of "GPU" algorithms on
+//! this host does not show device parallelism. The cost model restores the
+//! GPU-shaped numbers: it converts the operation counts the simulator
+//! records per kernel into an estimated execution time on the paper's
+//! RTX 3090, using a classic roofline-style bound: a kernel costs its launch
+//! overhead plus the *maximum* of its compute time, its memory time and its
+//! atomic-serialisation time — whichever resource it saturates.
+//!
+//! The model is deliberately first-order. It is not meant to predict
+//! absolute milliseconds, only to preserve *relative shape* between
+//! algorithm variants (who wins, by roughly what factor), which is what the
+//! paper's evaluation compares. Parameters are configurable via
+//! [`crate::DeviceConfig`].
+
+use serde::Serialize;
+
+use crate::counters::KernelStats;
+use crate::device::DeviceConfig;
+
+/// Simulated duration in nanoseconds, with convenience conversions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Default)]
+pub struct SimulatedTime {
+    /// Nanoseconds of simulated device time.
+    pub nanos: u64,
+}
+
+impl SimulatedTime {
+    /// Construct from nanoseconds.
+    pub fn from_nanos(nanos: u64) -> Self {
+        Self { nanos }
+    }
+
+    /// The duration in seconds.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// The duration in milliseconds.
+    pub fn as_millis_f64(&self) -> f64 {
+        self.nanos as f64 / 1e6
+    }
+}
+
+/// Roofline-style device cost model derived from a [`DeviceConfig`].
+#[derive(Debug, Clone, Serialize)]
+pub struct CostModel {
+    /// Aggregate arithmetic throughput in simple operations per second.
+    pub compute_ops_per_sec: f64,
+    /// Global-memory throughput in 8-byte words per second, after the
+    /// coalescing-efficiency derating.
+    pub mem_words_per_sec: f64,
+    /// Device-wide atomic read-modify-write throughput per second.
+    pub atomic_ops_per_sec: f64,
+    /// Fixed overhead charged per kernel launch, nanoseconds.
+    pub launch_overhead_nanos: f64,
+    /// Host↔device copy throughput in 8-byte words per second (PCIe).
+    pub pcie_words_per_sec: f64,
+    /// Estimated arithmetic instructions executed per counted memory
+    /// operation (index math, sin/cos, compares).
+    pub instrs_per_memop: f64,
+    /// Baseline instructions charged per launched thread (prologue, id
+    /// computation, bounds check).
+    pub instrs_per_thread: f64,
+}
+
+impl CostModel {
+    /// Build the model from a device configuration.
+    pub fn from_config(cfg: &DeviceConfig) -> Self {
+        let cores = (cfg.sm_count * cfg.cores_per_sm) as f64;
+        let clock_hz = cfg.clock_ghz * 1e9;
+        Self {
+            // one simple op per core per cycle, derated by a CPI of ~4 for
+            // mixed integer/fp/special-function workloads
+            compute_ops_per_sec: cores * clock_hz / 4.0,
+            mem_words_per_sec: cfg.mem_bandwidth_gbps * 1e9 / 8.0 * cfg.coalescing_efficiency,
+            atomic_ops_per_sec: cfg.atomic_throughput_gops * 1e9,
+            launch_overhead_nanos: cfg.launch_overhead_us * 1e3,
+            pcie_words_per_sec: cfg.pcie_bandwidth_gbps * 1e9 / 8.0,
+            instrs_per_memop: 6.0,
+            instrs_per_thread: 12.0,
+        }
+    }
+
+    /// Estimate the simulated device time for one kernel's operation counts.
+    pub fn kernel_time(&self, threads: u64, reads: u64, writes: u64, atomics: u64) -> SimulatedTime {
+        let mem_ops = (reads + writes) as f64;
+        let instrs = mem_ops * self.instrs_per_memop
+            + threads as f64 * self.instrs_per_thread
+            + atomics as f64 * self.instrs_per_memop;
+        let t_compute = instrs / self.compute_ops_per_sec;
+        let t_mem = mem_ops / self.mem_words_per_sec;
+        let t_atomic = atomics as f64 / self.atomic_ops_per_sec;
+        let busy = t_compute.max(t_mem).max(t_atomic);
+        SimulatedTime::from_nanos((self.launch_overhead_nanos + busy * 1e9).round() as u64)
+    }
+
+    /// Estimate the simulated PCIe time for a host↔device copy of `words`
+    /// 8-byte words.
+    pub fn transfer_time(&self, words: u64) -> SimulatedTime {
+        SimulatedTime::from_nanos((words as f64 / self.pcie_words_per_sec * 1e9).round() as u64)
+    }
+
+    /// Total simulated time over a sequence of kernel records (their
+    /// `sim_nanos` fields).
+    pub fn total(&self, kernels: &[KernelStats]) -> SimulatedTime {
+        SimulatedTime::from_nanos(kernels.iter().map(|k| k.sim_nanos).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::from_config(&DeviceConfig::default())
+    }
+
+    #[test]
+    fn empty_kernel_costs_launch_overhead() {
+        let m = model();
+        let t = m.kernel_time(0, 0, 0, 0);
+        assert_eq!(t.nanos as f64, m.launch_overhead_nanos);
+    }
+
+    #[test]
+    fn time_monotone_in_work() {
+        let m = model();
+        let small = m.kernel_time(1_000, 10_000, 1_000, 0);
+        let big = m.kernel_time(1_000_000, 10_000_000, 1_000_000, 0);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn atomic_heavy_kernel_is_atomic_bound() {
+        let m = model();
+        let atomics = 1_000_000_000u64;
+        let t = m.kernel_time(1024, 0, 0, atomics);
+        let expected = atomics as f64 / m.atomic_ops_per_sec;
+        assert!((t.as_secs_f64() - expected).abs() / expected < 0.05);
+    }
+
+    #[test]
+    fn transfer_scales_linearly() {
+        let m = model();
+        let a = m.transfer_time(1_000_000).nanos;
+        let b = m.transfer_time(2_000_000).nanos;
+        assert!((b as f64 / a as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn simulated_time_conversions() {
+        let t = SimulatedTime::from_nanos(1_500_000);
+        assert!((t.as_millis_f64() - 1.5).abs() < 1e-12);
+        assert!((t.as_secs_f64() - 0.0015).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,140 @@
+//! Performance accounting for simulated kernels.
+//!
+//! Real GPU work is measured with CUDA events and profilers; the simulator
+//! instead counts the operations that dominate GPU kernel cost — global
+//! memory transactions, atomic read-modify-writes and launched threads — and
+//! lets [`crate::CostModel`] convert them into simulated time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Serialize;
+
+/// Device-global operation counters, shared by every buffer of a device.
+///
+/// All increments are relaxed: the counters are statistics, not
+/// synchronisation.
+#[derive(Debug, Default)]
+pub(crate) struct GlobalCounters {
+    pub(crate) reads: AtomicU64,
+    pub(crate) writes: AtomicU64,
+    pub(crate) atomics: AtomicU64,
+    pub(crate) h2d_words: AtomicU64,
+    pub(crate) d2h_words: AtomicU64,
+}
+
+/// A relaxed snapshot of [`GlobalCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct CounterSnapshot {
+    pub(crate) reads: u64,
+    pub(crate) writes: u64,
+    pub(crate) atomics: u64,
+    pub(crate) h2d_words: u64,
+    pub(crate) d2h_words: u64,
+}
+
+impl GlobalCounters {
+    pub(crate) fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            atomics: self.atomics.load(Ordering::Relaxed),
+            h2d_words: self.h2d_words.load(Ordering::Relaxed),
+            d2h_words: self.d2h_words.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-kernel execution record: launch geometry, operation counts observed
+/// during the kernel, host wall-clock time and the cost-model's simulated
+/// GPU time.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelStats {
+    /// Kernel name as passed to `launch`.
+    pub name: String,
+    /// Number of blocks in the launch.
+    pub grid_dim: usize,
+    /// Threads per block.
+    pub block_dim: usize,
+    /// Total threads launched (`grid_dim * block_dim`).
+    pub threads: u64,
+    /// Global-memory word loads performed by the kernel.
+    pub reads: u64,
+    /// Global-memory word stores performed by the kernel.
+    pub writes: u64,
+    /// Atomic read-modify-write operations performed by the kernel.
+    pub atomics: u64,
+    /// Host wall-clock nanoseconds spent simulating the kernel.
+    pub host_nanos: u64,
+    /// Simulated GPU nanoseconds per the device cost model.
+    pub sim_nanos: u64,
+}
+
+/// Aggregate performance report over every kernel executed since the last
+/// counter reset, in launch order.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct PerfReport {
+    /// Per-kernel records, oldest first.
+    pub kernels: Vec<KernelStats>,
+    /// Sum of launched threads.
+    pub total_threads: u64,
+    /// Sum of global-memory word loads.
+    pub total_reads: u64,
+    /// Sum of global-memory word stores.
+    pub total_writes: u64,
+    /// Sum of atomic operations.
+    pub total_atomics: u64,
+    /// Host-to-device transferred words (outside kernels).
+    pub h2d_words: u64,
+    /// Device-to-host transferred words (outside kernels).
+    pub d2h_words: u64,
+    /// Sum of host wall-clock nanoseconds across kernels.
+    pub total_host_nanos: u64,
+    /// Sum of simulated GPU nanoseconds across kernels, including the
+    /// simulated PCIe transfer time for host/device copies.
+    pub total_sim_nanos: u64,
+}
+
+impl PerfReport {
+    /// Simulated GPU time in seconds.
+    pub fn sim_seconds(&self) -> f64 {
+        self.total_sim_nanos as f64 / 1e9
+    }
+
+    /// Host wall-clock seconds spent inside kernels.
+    pub fn host_seconds(&self) -> f64 {
+        self.total_host_nanos as f64 / 1e9
+    }
+
+    /// Number of kernel launches in the report.
+    pub fn launches(&self) -> usize {
+        self.kernels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_increments() {
+        let c = GlobalCounters::default();
+        c.reads.fetch_add(3, Ordering::Relaxed);
+        c.atomics.fetch_add(2, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.reads, 3);
+        assert_eq!(s.writes, 0);
+        assert_eq!(s.atomics, 2);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let r = PerfReport {
+            total_sim_nanos: 2_500_000_000,
+            total_host_nanos: 1_000_000_000,
+            ..Default::default()
+        };
+        assert!((r.sim_seconds() - 2.5).abs() < 1e-12);
+        assert!((r.host_seconds() - 1.0).abs() < 1e-12);
+        assert_eq!(r.launches(), 0);
+    }
+}

@@ -1,0 +1,487 @@
+//! The simulated device: allocation, kernel launch, performance log.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use crate::buffer::{BufferInner, DeviceBuffer};
+use crate::cost::CostModel;
+use crate::counters::{GlobalCounters, KernelStats, PerfReport};
+use crate::launch::{BlockCtx, ThreadCtx};
+use crate::word::DeviceWord;
+
+/// Hardware parameters of the simulated device.
+///
+/// The defaults model the paper's evaluation GPU, a GeForce RTX 3090
+/// (82 SMs × 128 cores at ~1.7 GHz, 24 GB of GDDR6X at ~936 GB/s).
+#[derive(Debug, Clone, Serialize)]
+pub struct DeviceConfig {
+    /// Human-readable device name (appears in reports).
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// CUDA cores per SM.
+    pub cores_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Global-memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Fraction of peak bandwidth achieved by typical kernel access
+    /// patterns (derates for imperfect coalescing).
+    pub coalescing_efficiency: f64,
+    /// Device-wide atomic throughput in Gops/s.
+    pub atomic_throughput_gops: f64,
+    /// Fixed kernel launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+    /// Host↔device (PCIe) bandwidth in GB/s.
+    pub pcie_bandwidth_gbps: f64,
+    /// Device memory capacity in bytes; allocations beyond it fail with
+    /// [`DeviceError::OutOfMemory`].
+    pub memory_bytes: u64,
+    /// Maximum threads per block accepted by `launch`.
+    pub max_threads_per_block: usize,
+    /// Host worker threads used to execute blocks. `None` uses the host's
+    /// available parallelism.
+    pub host_threads: Option<usize>,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self {
+            name: "Simulated GeForce RTX 3090".to_owned(),
+            sm_count: 82,
+            cores_per_sm: 128,
+            clock_ghz: 1.695,
+            mem_bandwidth_gbps: 936.0,
+            coalescing_efficiency: 0.5,
+            atomic_throughput_gops: 2.0,
+            launch_overhead_us: 5.0,
+            pcie_bandwidth_gbps: 16.0,
+            memory_bytes: 24 * 1024 * 1024 * 1024,
+            max_threads_per_block: 1024,
+            host_threads: None,
+        }
+    }
+}
+
+/// Errors surfaced by the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// An allocation would exceed [`DeviceConfig::memory_bytes`].
+    OutOfMemory {
+        /// Bytes the allocation asked for.
+        requested: u64,
+        /// Bytes still available on the device.
+        available: u64,
+    },
+    /// A launch configuration is invalid (zero or over-limit block size).
+    InvalidLaunch(String),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::OutOfMemory { requested, available } => write!(
+                f,
+                "device out of memory: requested {requested} bytes, {available} available"
+            ),
+            DeviceError::InvalidLaunch(msg) => write!(f, "invalid launch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+struct DeviceInner {
+    config: DeviceConfig,
+    cost: CostModel,
+    counters: Arc<GlobalCounters>,
+    mem_used: Arc<AtomicU64>,
+    kernel_log: Mutex<Vec<KernelStats>>,
+    workers: usize,
+}
+
+/// The simulated GPU. Cheaply cloneable handle; clones share memory
+/// accounting, counters and the kernel log.
+#[derive(Clone)]
+pub struct Device {
+    inner: Arc<DeviceInner>,
+}
+
+impl Device {
+    /// Create a device with the given hardware parameters.
+    pub fn new(config: DeviceConfig) -> Self {
+        let workers = config
+            .host_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let cost = CostModel::from_config(&config);
+        Self {
+            inner: Arc::new(DeviceInner {
+                config,
+                cost,
+                counters: Arc::new(GlobalCounters::default()),
+                mem_used: Arc::new(AtomicU64::new(0)),
+                kernel_log: Mutex::new(Vec::new()),
+                workers: workers.max(1),
+            }),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.inner.config
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.inner.cost
+    }
+
+    /// Allocate a zero-initialised buffer of `len` elements, panicking on
+    /// device OOM. See [`Device::try_alloc`] for the fallible variant.
+    pub fn alloc<T: DeviceWord>(&self, len: usize) -> DeviceBuffer<T> {
+        self.try_alloc(len).expect("device allocation failed")
+    }
+
+    /// Allocate a zero-initialised buffer of `len` elements.
+    pub fn try_alloc<T: DeviceWord>(&self, len: usize) -> Result<DeviceBuffer<T>, DeviceError> {
+        let bytes = (len * 8) as u64;
+        let used = self.inner.mem_used.fetch_add(bytes, Ordering::Relaxed);
+        if used + bytes > self.inner.config.memory_bytes {
+            self.inner.mem_used.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(DeviceError::OutOfMemory {
+                requested: bytes,
+                available: self.inner.config.memory_bytes.saturating_sub(used),
+            });
+        }
+        let words: Box<[AtomicU64]> = (0..len).map(|_| AtomicU64::new(0)).collect();
+        Ok(DeviceBuffer::from_inner(Arc::new(BufferInner {
+            words,
+            counters: Arc::clone(&self.inner.counters),
+            mem_used: Arc::clone(&self.inner.mem_used),
+        })))
+    }
+
+    /// Allocate a buffer and upload `data` into it (counted as a
+    /// host-to-device transfer).
+    pub fn alloc_from_slice<T: DeviceWord>(&self, data: &[T]) -> DeviceBuffer<T> {
+        let buf = self.alloc(data.len());
+        buf.copy_from_slice(data);
+        buf
+    }
+
+    /// Bytes of device memory currently allocated.
+    pub fn memory_used(&self) -> u64 {
+        self.inner.mem_used.load(Ordering::Relaxed)
+    }
+
+    /// Number of host worker threads the device uses to execute blocks.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Launch a thread-granular kernel: `f` runs once per thread over
+    /// `grid_dim × block_dim` threads, blocks distributed over host workers.
+    ///
+    /// This is the analogue of `kernel<<<grid_dim, block_dim>>>(…)`. The
+    /// closure must bounds-check its global id against the problem size, as
+    /// CUDA kernels do, because the launch is rounded up to whole blocks.
+    pub fn launch<F>(&self, name: &str, grid_dim: usize, block_dim: usize, f: F)
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        self.validate(block_dim);
+        self.timed(name, grid_dim, block_dim, || {
+            self.run_blocks(grid_dim, |block_idx| {
+                for thread_idx in 0..block_dim {
+                    f(&ThreadCtx {
+                        block_idx,
+                        thread_idx,
+                        block_dim,
+                        grid_dim,
+                    });
+                }
+            });
+        });
+    }
+
+    /// Launch a block-granular kernel: `f` runs once per *block* and drives
+    /// its threads in barrier-delimited phases via
+    /// [`BlockCtx::for_each_thread`]. Use this for kernels that need
+    /// simulated shared memory / `__syncthreads()`.
+    pub fn launch_blocks<F>(&self, name: &str, grid_dim: usize, block_dim: usize, f: F)
+    where
+        F: Fn(&BlockCtx) + Sync,
+    {
+        self.validate(block_dim);
+        self.timed(name, grid_dim, block_dim, || {
+            self.run_blocks(grid_dim, |block_idx| {
+                f(&BlockCtx {
+                    block_idx,
+                    block_dim,
+                    grid_dim,
+                });
+            });
+        });
+    }
+
+    fn validate(&self, block_dim: usize) {
+        assert!(
+            block_dim > 0 && block_dim <= self.inner.config.max_threads_per_block,
+            "invalid block size {block_dim} (max {})",
+            self.inner.config.max_threads_per_block
+        );
+    }
+
+    /// Execute `per_block` for every block index, fanned out over host
+    /// worker threads when more than one is available.
+    fn run_blocks<G>(&self, grid_dim: usize, per_block: G)
+    where
+        G: Fn(usize) + Sync,
+    {
+        let workers = self.inner.workers.min(grid_dim.max(1));
+        if workers <= 1 {
+            for b in 0..grid_dim {
+                per_block(b);
+            }
+            return;
+        }
+        let next = AtomicU64::new(0);
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let b = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    if b >= grid_dim {
+                        break;
+                    }
+                    per_block(b);
+                });
+            }
+        })
+        .expect("kernel worker panicked");
+    }
+
+    fn timed(&self, name: &str, grid_dim: usize, block_dim: usize, body: impl FnOnce()) {
+        let before = self.inner.counters.snapshot();
+        let start = Instant::now();
+        body();
+        let host_nanos = start.elapsed().as_nanos() as u64;
+        let after = self.inner.counters.snapshot();
+        let threads = (grid_dim * block_dim) as u64;
+        let reads = after.reads - before.reads;
+        let writes = after.writes - before.writes;
+        let atomics = after.atomics - before.atomics;
+        let sim = self.inner.cost.kernel_time(threads, reads, writes, atomics);
+        self.inner.kernel_log.lock().push(KernelStats {
+            name: name.to_owned(),
+            grid_dim,
+            block_dim,
+            threads,
+            reads,
+            writes,
+            atomics,
+            host_nanos,
+            sim_nanos: sim.nanos,
+        });
+    }
+
+    /// Produce a report over all kernels since the last [`Device::reset`],
+    /// including simulated PCIe time for host↔device copies.
+    pub fn report(&self) -> PerfReport {
+        let kernels = self.inner.kernel_log.lock().clone();
+        let snap = self.inner.counters.snapshot();
+        let mut report = PerfReport {
+            total_threads: kernels.iter().map(|k| k.threads).sum(),
+            total_reads: kernels.iter().map(|k| k.reads).sum(),
+            total_writes: kernels.iter().map(|k| k.writes).sum(),
+            total_atomics: kernels.iter().map(|k| k.atomics).sum(),
+            h2d_words: snap.h2d_words,
+            d2h_words: snap.d2h_words,
+            total_host_nanos: kernels.iter().map(|k| k.host_nanos).sum(),
+            total_sim_nanos: kernels.iter().map(|k| k.sim_nanos).sum(),
+            kernels,
+        };
+        report.total_sim_nanos += self
+            .inner
+            .cost
+            .transfer_time(snap.h2d_words + snap.d2h_words)
+            .nanos;
+        report
+    }
+
+    /// Total simulated GPU nanoseconds across all kernels since the last
+    /// [`Device::reset`], excluding host↔device transfer time. Cheap —
+    /// intended for per-iteration deltas during a run (unlike
+    /// [`Device::report`], which clones the kernel log).
+    pub fn sim_kernel_nanos(&self) -> u64 {
+        self.inner.kernel_log.lock().iter().map(|k| k.sim_nanos).sum()
+    }
+
+    /// Clear the kernel log and all operation counters. (Allocations and
+    /// memory accounting are unaffected.)
+    pub fn reset(&self) {
+        self.inner.kernel_log.lock().clear();
+        let c = &self.inner.counters;
+        c.reads.store(0, Ordering::Relaxed);
+        c.writes.store(0, Ordering::Relaxed);
+        c.atomics.store(0, Ordering::Relaxed);
+        c.h2d_words.store(0, Ordering::Relaxed);
+        c.d2h_words.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("name", &self.inner.config.name)
+            .field("workers", &self.inner.workers)
+            .field("memory_used", &self.memory_used())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::default())
+    }
+
+    #[test]
+    fn launch_runs_every_thread_once() {
+        let d = dev();
+        let hits = d.alloc::<u64>(1000);
+        d.launch("mark", crate::grid_for(1000, 128), 128, |t| {
+            let i = t.global_id();
+            if i < hits.len() {
+                hits.atomic_inc(i);
+            }
+        });
+        assert!(hits.to_vec().iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn kernel_stats_recorded() {
+        let d = dev();
+        let buf = d.alloc::<f64>(256);
+        d.reset();
+        d.launch("touch", 2, 128, |t| {
+            buf.store(t.global_id(), 1.0);
+        });
+        let report = d.report();
+        assert_eq!(report.launches(), 1);
+        let k = &report.kernels[0];
+        assert_eq!(k.name, "touch");
+        assert_eq!(k.threads, 256);
+        assert_eq!(k.writes, 256);
+        assert_eq!(k.reads, 0);
+        assert!(k.sim_nanos > 0);
+    }
+
+    #[test]
+    fn memory_accounting_tracks_alloc_and_drop() {
+        let d = dev();
+        assert_eq!(d.memory_used(), 0);
+        let a = d.alloc::<f64>(1024);
+        assert_eq!(d.memory_used(), 8192);
+        let b = d.alloc::<u32>(10);
+        assert_eq!(d.memory_used(), 8192 + 80);
+        drop(a);
+        assert_eq!(d.memory_used(), 80);
+        drop(b);
+        assert_eq!(d.memory_used(), 0);
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let d = Device::new(DeviceConfig {
+            memory_bytes: 1024,
+            ..DeviceConfig::default()
+        });
+        let ok = d.try_alloc::<u64>(100);
+        assert!(ok.is_ok());
+        let err = d.try_alloc::<u64>(100).unwrap_err();
+        match err {
+            DeviceError::OutOfMemory { requested, .. } => assert_eq!(requested, 800),
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid block size")]
+    fn zero_block_dim_rejected() {
+        dev().launch("bad", 1, 0, |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid block size")]
+    fn oversize_block_dim_rejected() {
+        dev().launch("bad", 1, 2048, |_| {});
+    }
+
+    #[test]
+    fn launch_blocks_phases_are_ordered() {
+        let d = dev();
+        let data = d.alloc::<u64>(64);
+        let sums = d.alloc::<u64>(1);
+        d.launch_blocks("two-phase", 1, 64, |b| {
+            // phase 1: every thread writes its id
+            b.for_each_thread(|t| data.store(t.thread_idx, t.thread_idx as u64));
+            // barrier; phase 2: thread 0 reduces — must observe phase 1
+            b.for_each_thread(|t| {
+                if t.thread_idx == 0 {
+                    let total: u64 = (0..64).map(|i| data.load(i)).sum();
+                    sums.store(0, total);
+                }
+            });
+        });
+        assert_eq!(sums.load(0), (0..64u64).sum());
+    }
+
+    #[test]
+    fn multiworker_execution_matches_sequential() {
+        let seq = Device::new(DeviceConfig {
+            host_threads: Some(1),
+            ..DeviceConfig::default()
+        });
+        let par = Device::new(DeviceConfig {
+            host_threads: Some(4),
+            ..DeviceConfig::default()
+        });
+        for d in [seq, par] {
+            let acc = d.alloc::<u64>(1);
+            d.launch("sum-ids", 8, 32, |t| {
+                acc.atomic_add(0, t.global_id() as u64);
+            });
+            assert_eq!(acc.load(0), (0..256u64).sum());
+        }
+    }
+
+    #[test]
+    fn reset_clears_log_and_counters() {
+        let d = dev();
+        let b = d.alloc::<f64>(16);
+        d.launch("w", 1, 16, |t| b.store(t.thread_idx, 0.0));
+        assert_eq!(d.report().launches(), 1);
+        d.reset();
+        let r = d.report();
+        assert_eq!(r.launches(), 0);
+        assert_eq!(r.total_writes, 0);
+    }
+
+    #[test]
+    fn report_includes_transfer_time() {
+        let d = dev();
+        d.reset();
+        let b = d.alloc_from_slice::<f64>(&vec![1.0; 100_000]);
+        let _ = b.to_vec();
+        let r = d.report();
+        assert_eq!(r.h2d_words, 100_000);
+        assert_eq!(r.d2h_words, 100_000);
+        assert!(r.total_sim_nanos > 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Launch geometry and per-thread/per-block execution contexts.
+
+/// Threads per warp. Fixed at 32 like every CUDA-capable GPU; the paper's
+/// kernels are designed around this grouping (coalescing, divergence).
+pub const WARP_SIZE: usize = 32;
+
+/// One-dimensional launch dimension (number of blocks or threads). The
+/// paper's kernels are all 1-D with a block size of 128.
+pub type Dim = usize;
+
+/// Execution context handed to a thread-granular kernel closure: the CUDA
+/// built-ins `blockIdx`, `threadIdx`, `blockDim`, `gridDim` plus derived
+/// helpers.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadCtx {
+    /// Block index within the grid (`blockIdx.x`).
+    pub block_idx: usize,
+    /// Thread index within the block (`threadIdx.x`).
+    pub thread_idx: usize,
+    /// Threads per block (`blockDim.x`).
+    pub block_dim: usize,
+    /// Blocks in the grid (`gridDim.x`).
+    pub grid_dim: usize,
+}
+
+impl ThreadCtx {
+    /// Global thread id: `blockIdx.x * blockDim.x + threadIdx.x`.
+    #[inline(always)]
+    pub fn global_id(&self) -> usize {
+        self.block_idx * self.block_dim + self.thread_idx
+    }
+
+    /// Total number of threads in the launch.
+    #[inline(always)]
+    pub fn grid_size(&self) -> usize {
+        self.grid_dim * self.block_dim
+    }
+
+    /// Warp index of this thread within its block.
+    #[inline(always)]
+    pub fn warp_id(&self) -> usize {
+        self.thread_idx / WARP_SIZE
+    }
+
+    /// Lane index of this thread within its warp.
+    #[inline(always)]
+    pub fn lane_id(&self) -> usize {
+        self.thread_idx % WARP_SIZE
+    }
+
+    /// Grid-stride loop over `0..n`: yields `global_id, global_id +
+    /// grid_size, …` — the standard CUDA idiom for processing `n` items with
+    /// a fixed launch size.
+    #[inline]
+    pub fn grid_stride(&self, n: usize) -> impl Iterator<Item = usize> {
+        let start = self.global_id();
+        let stride = self.grid_size().max(1);
+        (start..n).step_by(stride)
+    }
+}
+
+/// Execution context handed to a block-granular kernel closure
+/// ([`crate::Device::launch_blocks`]).
+///
+/// Block-granular kernels model CUDA kernels that use shared memory and
+/// `__syncthreads()`: the closure runs once per block and iterates its
+/// threads in *phases* via [`BlockCtx::for_each_thread`]; everything between
+/// two `for_each_thread` calls is separated by an implicit intra-block
+/// barrier, and locals owned by the closure play the role of shared memory.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockCtx {
+    /// Block index within the grid (`blockIdx.x`).
+    pub block_idx: usize,
+    /// Threads per block (`blockDim.x`).
+    pub block_dim: usize,
+    /// Blocks in the grid (`gridDim.x`).
+    pub grid_dim: usize,
+}
+
+impl BlockCtx {
+    /// Run one barrier-delimited phase: `f` executes once per thread of the
+    /// block, in warp order. A subsequent `for_each_thread` call observes
+    /// all effects of this one — the simulated `__syncthreads()`.
+    #[inline]
+    pub fn for_each_thread<F: FnMut(ThreadCtx)>(&self, mut f: F) {
+        for thread_idx in 0..self.block_dim {
+            f(ThreadCtx {
+                block_idx: self.block_idx,
+                thread_idx,
+                block_dim: self.block_dim,
+                grid_dim: self.grid_dim,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_id_and_warp_math() {
+        let t = ThreadCtx {
+            block_idx: 3,
+            thread_idx: 70,
+            block_dim: 128,
+            grid_dim: 10,
+        };
+        assert_eq!(t.global_id(), 3 * 128 + 70);
+        assert_eq!(t.grid_size(), 1280);
+        assert_eq!(t.warp_id(), 2);
+        assert_eq!(t.lane_id(), 6);
+    }
+
+    #[test]
+    fn grid_stride_covers_exactly_once() {
+        let mut seen = vec![0u32; 1000];
+        for block_idx in 0..4 {
+            for thread_idx in 0..64 {
+                let t = ThreadCtx {
+                    block_idx,
+                    thread_idx,
+                    block_dim: 64,
+                    grid_dim: 4,
+                };
+                for i in t.grid_stride(1000) {
+                    seen[i] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn block_phase_runs_every_thread() {
+        let b = BlockCtx {
+            block_idx: 1,
+            block_dim: 33,
+            grid_dim: 2,
+        };
+        let mut ids = Vec::new();
+        b.for_each_thread(|t| ids.push(t.thread_idx));
+        assert_eq!(ids, (0..33).collect::<Vec<_>>());
+    }
+}

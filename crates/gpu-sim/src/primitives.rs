@@ -1,0 +1,300 @@
+//! Device-wide parallel primitives, built out of kernels.
+//!
+//! These are the building blocks the paper's list-construction strategy
+//! (§4.2.1) relies on: compute sizes in parallel, *inclusive scan* the sizes
+//! into end offsets, then populate. Everything here is implemented as
+//! multi-pass kernel pipelines on the simulated device — block-local work
+//! plus a recursive pass over per-block partials — mirroring how the CUDA
+//! versions are structured, so their operation counts (and therefore
+//! simulated cost) are realistic.
+
+use crate::buffer::{DeviceBuffer, WordArith};
+use crate::device::Device;
+use crate::word::DeviceWord;
+
+/// Elements processed per block by the scan/reduce kernels.
+const SCAN_BLOCK: usize = 256;
+
+/// Set every element of `buf` to `value` with a fill kernel.
+pub fn fill<T: DeviceWord>(device: &Device, buf: &DeviceBuffer<T>, value: T) {
+    let n = buf.len();
+    if n == 0 {
+        return;
+    }
+    device.launch("fill", crate::grid_for(n, 256), 256, |t| {
+        for i in t.grid_stride(n) {
+            buf.store(i, value);
+        }
+    });
+}
+
+/// Device-to-device copy of `src[0..n]` into `dst[0..n]`.
+///
+/// # Panics
+/// Panics if either buffer is shorter than `n`.
+pub fn copy<T: DeviceWord>(device: &Device, src: &DeviceBuffer<T>, dst: &DeviceBuffer<T>, n: usize) {
+    assert!(src.len() >= n && dst.len() >= n, "copy range out of bounds");
+    if n == 0 {
+        return;
+    }
+    device.launch("copy", crate::grid_for(n, 256), 256, |t| {
+        for i in t.grid_stride(n) {
+            dst.store(i, src.load(i));
+        }
+    });
+}
+
+/// Inclusive prefix sum of `input[0..n]` into `output[0..n]`
+/// (`output[i] = input[0] + … + input[i]`), the paper's `ends` array.
+///
+/// Implemented as the classic three-phase device scan: block-local scans
+/// producing per-block totals, a recursive scan of the totals, and a uniform
+/// add of the scanned totals back onto each block.
+///
+/// # Panics
+/// Panics if `output.len() < n` or `input.len() < n`.
+pub fn inclusive_scan(device: &Device, input: &DeviceBuffer<u64>, output: &DeviceBuffer<u64>, n: usize) {
+    assert!(input.len() >= n && output.len() >= n, "scan range out of bounds");
+    if n == 0 {
+        return;
+    }
+    let num_blocks = n.div_ceil(SCAN_BLOCK);
+    let block_sums = device.alloc::<u64>(num_blocks);
+
+    // Hillis–Steele inclusive scan per block: `shared` plays the role of
+    // shared memory, each `for_each_thread` phase is barrier-delimited,
+    // and double-buffering avoids intra-phase read/write hazards exactly
+    // as the CUDA version must.
+    device.launch_blocks("scan_local", num_blocks, SCAN_BLOCK, |b| {
+        let start = b.block_idx * SCAN_BLOCK;
+        let len = (n - start).min(SCAN_BLOCK);
+        let mut shared = [0u64; SCAN_BLOCK];
+        b.for_each_thread(|t| {
+            if t.thread_idx < len {
+                shared[t.thread_idx] = input.load(start + t.thread_idx);
+            }
+        });
+        let mut shared_next = [0u64; SCAN_BLOCK];
+        let mut offset = 1usize;
+        while offset < len {
+            b.for_each_thread(|t| {
+                let i = t.thread_idx;
+                if i < len {
+                    shared_next[i] = if i >= offset {
+                        shared[i].wrapping_add(shared[i - offset])
+                    } else {
+                        shared[i]
+                    };
+                }
+            });
+            std::mem::swap(&mut shared, &mut shared_next);
+            offset *= 2;
+        }
+        b.for_each_thread(|t| {
+            if t.thread_idx < len {
+                output.store(start + t.thread_idx, shared[t.thread_idx]);
+            }
+            if t.thread_idx == 0 {
+                block_sums.store(b.block_idx, shared[len - 1]);
+            }
+        });
+    });
+
+    if num_blocks > 1 {
+        let scanned = device.alloc::<u64>(num_blocks);
+        inclusive_scan(device, &block_sums, &scanned, num_blocks);
+        device.launch("scan_add_offsets", crate::grid_for(n, 256), 256, |t| {
+            for i in t.grid_stride(n) {
+                let block = i / SCAN_BLOCK;
+                if block > 0 {
+                    let offset = scanned.load(block - 1);
+                    output.store(i, output.load(i).wrapping_add(offset));
+                }
+            }
+        });
+    }
+}
+
+/// Exclusive prefix sum of `input[0..n]` into `output[0..n]`
+/// (`output[i] = input[0] + … + input[i-1]`, `output[0] = 0`).
+pub fn exclusive_scan(device: &Device, input: &DeviceBuffer<u64>, output: &DeviceBuffer<u64>, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let inclusive = device.alloc::<u64>(n);
+    inclusive_scan(device, input, &inclusive, n);
+    device.launch("scan_shift", crate::grid_for(n, 256), 256, |t| {
+        for i in t.grid_stride(n) {
+            let v = if i == 0 { 0 } else { inclusive.load(i - 1) };
+            output.store(i, v);
+        }
+    });
+}
+
+/// Sum-reduce `input[0..n]`, returning the total. Works for any word type
+/// with addition (u64 with wrapping, f64 with IEEE addition, …).
+///
+/// Block-local partial sums followed by a device-wide atomic accumulation —
+/// the standard two-level GPU reduction.
+pub fn reduce_sum<T: DeviceWord + WordArith>(device: &Device, input: &DeviceBuffer<T>, n: usize) -> T {
+    assert!(input.len() >= n, "reduce range out of bounds");
+    let total = device.alloc::<T>(1);
+    if n == 0 {
+        return total.load(0);
+    }
+    let num_blocks = n.div_ceil(SCAN_BLOCK);
+    device.launch_blocks("reduce_sum", num_blocks, 1, |b| {
+        b.for_each_thread(|_| {
+            let start = b.block_idx * SCAN_BLOCK;
+            let end = (start + SCAN_BLOCK).min(n);
+            let mut acc = T::zero();
+            for i in start..end {
+                acc = acc.word_add(input.load(i));
+            }
+            total.atomic_add(0, acc);
+        });
+    });
+    total.load(0)
+}
+
+/// Stream compaction: collect the indices `i` with `flags[i] != 0` into
+/// `out`, preserving order, and return how many there are.
+///
+/// This is the paper's duplicate-removal / repacking idiom (Algorithm 2,
+/// lines 5 & 8): scan the inclusion flags to obtain each survivor's target
+/// slot, then scatter.
+///
+/// # Panics
+/// Panics if `out.len() < n` or `flags.len() < n`.
+pub fn compact_indices(
+    device: &Device,
+    flags: &DeviceBuffer<u64>,
+    out: &DeviceBuffer<u64>,
+    n: usize,
+) -> usize {
+    assert!(flags.len() >= n && out.len() >= n, "compact range out of bounds");
+    if n == 0 {
+        return 0;
+    }
+    let positions = device.alloc::<u64>(n);
+    inclusive_scan(device, flags, &positions, n);
+    device.launch("compact_scatter", crate::grid_for(n, 256), 256, |t| {
+        for i in t.grid_stride(n) {
+            if flags.load(i) != 0 {
+                let slot = positions.load(i) - 1;
+                out.store(slot as usize, i as u64);
+            }
+        }
+    });
+    positions.load(n - 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::default())
+    }
+
+    #[test]
+    fn fill_sets_every_element() {
+        let d = dev();
+        let b = d.alloc::<f64>(1000);
+        fill(&d, &b, 3.5);
+        assert!(b.to_vec().iter().all(|&x| x == 3.5));
+    }
+
+    #[test]
+    fn copy_moves_prefix_only() {
+        let d = dev();
+        let src = d.alloc_from_slice::<u64>(&[1, 2, 3, 4]);
+        let dst = d.alloc::<u64>(4);
+        copy(&d, &src, &dst, 2);
+        assert_eq!(dst.to_vec(), vec![1, 2, 0, 0]);
+    }
+
+    #[test]
+    fn inclusive_scan_small() {
+        let d = dev();
+        let input = d.alloc_from_slice::<u64>(&[3, 1, 4, 1, 5]);
+        let output = d.alloc::<u64>(5);
+        inclusive_scan(&d, &input, &output, 5);
+        assert_eq!(output.to_vec(), vec![3, 4, 8, 9, 14]);
+    }
+
+    #[test]
+    fn inclusive_scan_crosses_block_boundaries() {
+        let d = dev();
+        let n = 3 * SCAN_BLOCK + 17;
+        let data: Vec<u64> = (0..n as u64).map(|i| i % 7).collect();
+        let input = d.alloc_from_slice(&data);
+        let output = d.alloc::<u64>(n);
+        inclusive_scan(&d, &input, &output, n);
+        let mut expected = Vec::with_capacity(n);
+        let mut acc = 0u64;
+        for &v in &data {
+            acc += v;
+            expected.push(acc);
+        }
+        assert_eq!(output.to_vec(), expected);
+    }
+
+    #[test]
+    fn exclusive_scan_shifts() {
+        let d = dev();
+        let input = d.alloc_from_slice::<u64>(&[3, 1, 4]);
+        let output = d.alloc::<u64>(3);
+        exclusive_scan(&d, &input, &output, 3);
+        assert_eq!(output.to_vec(), vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn scan_of_single_element() {
+        let d = dev();
+        let input = d.alloc_from_slice::<u64>(&[9]);
+        let output = d.alloc::<u64>(1);
+        inclusive_scan(&d, &input, &output, 1);
+        assert_eq!(output.to_vec(), vec![9]);
+    }
+
+    #[test]
+    fn reduce_sum_u64_and_f64() {
+        let d = dev();
+        let n = 1000;
+        let ints = d.alloc_from_slice::<u64>(&(0..n as u64).collect::<Vec<_>>());
+        assert_eq!(reduce_sum(&d, &ints, n), (n as u64 - 1) * n as u64 / 2);
+        let floats = d.alloc_from_slice::<f64>(&vec![0.5; n]);
+        let s: f64 = reduce_sum(&d, &floats, n);
+        assert!((s - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduce_empty_is_zero() {
+        let d = dev();
+        let b = d.alloc::<u64>(4);
+        assert_eq!(reduce_sum(&d, &b, 0), 0);
+    }
+
+    #[test]
+    fn compact_preserves_order() {
+        let d = dev();
+        let flags = d.alloc_from_slice::<u64>(&[0, 1, 1, 0, 1, 0, 0, 1]);
+        let out = d.alloc::<u64>(8);
+        let count = compact_indices(&d, &flags, &out, 8);
+        assert_eq!(count, 4);
+        assert_eq!(&out.to_vec()[..4], &[1, 2, 4, 7]);
+    }
+
+    #[test]
+    fn compact_none_and_all() {
+        let d = dev();
+        let none = d.alloc::<u64>(10);
+        let out = d.alloc::<u64>(10);
+        assert_eq!(compact_indices(&d, &none, &out, 10), 0);
+        fill(&d, &none, 1);
+        assert_eq!(compact_indices(&d, &none, &out, 10), 10);
+        assert_eq!(out.to_vec(), (0..10u64).collect::<Vec<_>>());
+    }
+}

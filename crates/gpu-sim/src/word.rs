@@ -1,0 +1,194 @@
+//! Word types storable in simulated global memory.
+//!
+//! GPU global memory is word-addressed and supports atomic read-modify-write
+//! at word granularity. The simulator stores every buffer element as a 64-bit
+//! word behind an `AtomicU64`; [`DeviceWord`] defines the bit-level encoding
+//! between an element type and that word. All loads and stores are relaxed
+//! atomics, which makes concurrent racy kernel access well defined (the value
+//! observed is *some* written word, never a torn one) — the same guarantee
+//! CUDA gives for naturally aligned word accesses.
+
+/// A plain-old-data type that can live in simulated device memory.
+///
+/// Implementors must round-trip exactly through a `u64`:
+/// `T::from_bits(x.to_bits()) == x` for every value `x` (for floats, NaN
+/// payloads included — the conversions are pure bit casts).
+pub trait DeviceWord: Copy + Send + Sync + 'static {
+    /// Encode the value as a 64-bit memory word.
+    fn to_bits(self) -> u64;
+    /// Decode a 64-bit memory word back into the value.
+    fn from_bits(bits: u64) -> Self;
+    /// Additive identity, used by buffer initialisation and scans.
+    fn zero() -> Self;
+}
+
+impl DeviceWord for f64 {
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+    #[inline(always)]
+    fn zero() -> Self {
+        0.0
+    }
+}
+
+impl DeviceWord for f32 {
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        u64::from(self.to_bits())
+    }
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+    #[inline(always)]
+    fn zero() -> Self {
+        0.0
+    }
+}
+
+impl DeviceWord for u64 {
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        self
+    }
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+    #[inline(always)]
+    fn zero() -> Self {
+        0
+    }
+}
+
+impl DeviceWord for u32 {
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        u64::from(self)
+    }
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        bits as u32
+    }
+    #[inline(always)]
+    fn zero() -> Self {
+        0
+    }
+}
+
+impl DeviceWord for i64 {
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        bits as i64
+    }
+    #[inline(always)]
+    fn zero() -> Self {
+        0
+    }
+}
+
+impl DeviceWord for i32 {
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        self as u32 as u64
+    }
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        bits as u32 as i32
+    }
+    #[inline(always)]
+    fn zero() -> Self {
+        0
+    }
+}
+
+impl DeviceWord for usize {
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        bits as usize
+    }
+    #[inline(always)]
+    fn zero() -> Self {
+        0
+    }
+}
+
+impl DeviceWord for bool {
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        u64::from(self)
+    }
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        bits != 0
+    }
+    #[inline(always)]
+    fn zero() -> Self {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: DeviceWord + PartialEq + std::fmt::Debug>(v: T) {
+        assert_eq!(T::from_bits(v.to_bits()), v);
+    }
+
+    #[test]
+    fn roundtrips_exact() {
+        roundtrip(0.0_f64);
+        roundtrip(-0.0_f64);
+        roundtrip(f64::MAX);
+        roundtrip(f64::MIN_POSITIVE);
+        roundtrip(f64::INFINITY);
+        roundtrip(1.5e-300_f64);
+        roundtrip(3.25_f32);
+        roundtrip(u64::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(-1_i64);
+        roundtrip(i64::MIN);
+        roundtrip(-1_i32);
+        roundtrip(i32::MIN);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(false);
+    }
+
+    #[test]
+    fn nan_payload_preserved() {
+        let weird = f64::from_bits(0x7ff8_dead_beef_0001);
+        assert!(weird.is_nan());
+        assert_eq!(f64::from_bits(DeviceWord::to_bits(weird)).to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn zeros_are_zero() {
+        assert_eq!(<f64 as DeviceWord>::zero(), 0.0);
+        assert_eq!(<u64 as DeviceWord>::zero(), 0);
+        assert!(!<bool as DeviceWord>::zero());
+    }
+
+    #[test]
+    fn negative_i32_does_not_sign_extend_into_upper_bits() {
+        // The encoding must stay within 32 bits so that a `u32` reader of the
+        // same word (a reinterpret-cast, as GPU code does) sees the two's
+        // complement pattern, not 64-bit sign extension.
+        assert_eq!(DeviceWord::to_bits(-1_i32), 0xffff_ffff);
+    }
+}

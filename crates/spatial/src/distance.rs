@@ -1,0 +1,85 @@
+//! Euclidean distance kernels over row-major point slices.
+//!
+//! Points are `&[f64]` slices of equal dimensionality. The squared variants
+//! are the hot path — every neighborhood test in the reproduction compares
+//! squared distances against `ε²` to avoid the square root.
+
+/// Squared Euclidean distance `‖a − b‖²`.
+///
+/// # Panics
+/// Debug-asserts equal dimensionality.
+#[inline]
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance `‖a − b‖`.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Whether `b` lies within the closed `radius`-ball around `a`
+/// (`‖a − b‖ ≤ radius`), computed without a square root.
+#[inline]
+pub fn within(a: &[f64], b: &[f64], radius: f64) -> bool {
+    squared_euclidean(a, b) <= radius * radius
+}
+
+/// View point `i` of a row-major `n × dim` coordinate array.
+///
+/// # Panics
+/// Panics if the slice does not contain row `i`.
+#[inline]
+pub fn row(coords: &[f64], dim: usize, i: usize) -> &[f64] {
+    &coords[i * dim..(i + 1) * dim]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_and_plain_agree() {
+        let a = [0.0, 3.0];
+        let b = [4.0, 0.0];
+        assert_eq!(squared_euclidean(&a, &b), 25.0);
+        assert_eq!(euclidean(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = [1.5, -2.0, 7.25];
+        assert_eq!(squared_euclidean(&p, &p), 0.0);
+        assert!(within(&p, &p, 0.0));
+    }
+
+    #[test]
+    fn within_is_closed_ball() {
+        let a = [0.0];
+        let b = [2.0];
+        assert!(within(&a, &b, 2.0));
+        assert!(!within(&a, &b, 1.999_999));
+    }
+
+    #[test]
+    fn row_indexes_row_major_storage() {
+        let coords = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(row(&coords, 2, 0), &[1.0, 2.0]);
+        assert_eq!(row(&coords, 2, 2), &[5.0, 6.0]);
+        assert_eq!(row(&coords, 3, 1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [0.3, 0.9, -1.0];
+        let b = [2.0, -0.5, 0.25];
+        assert_eq!(squared_euclidean(&a, &b), squared_euclidean(&b, &a));
+    }
+}

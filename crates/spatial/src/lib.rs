@@ -1,0 +1,27 @@
+//! # egg-spatial — spatial substrate for synchronization clustering
+//!
+//! Geometry the EGG-SynC reproduction depends on:
+//!
+//! * [`Mbr`]: minimum bounding rectangles with the point–rectangle minimum
+//!   distance `dist(MBR, p)` used by the paper's exact termination
+//!   criterion (Definition 4.2).
+//! * [`distance`]: Euclidean distance kernels over row-major point slices.
+//! * [`RTree`]: a from-scratch R-Tree with configurable fanout `B`
+//!   (FSynC's index, Chen 2018) supporting one-by-one insertion with
+//!   quadratic splits and Morton-packed bulk loading, plus ε-ball range
+//!   queries.
+//!
+//! The R-Tree is the *CPU comparator's* index: FSynC rebuilds it every
+//! iteration because synchronization moves every point. The paper's own
+//! contribution replaces it with a GPU-friendly grid (in `egg-sync-core`);
+//! this crate exists so the baseline is reproduced faithfully rather than
+//! strawmanned.
+
+#![warn(missing_docs)]
+
+pub mod distance;
+mod mbr;
+mod rtree;
+
+pub use mbr::Mbr;
+pub use rtree::{RTree, DEFAULT_FANOUT};

@@ -1,0 +1,229 @@
+//! Minimum bounding rectangles (axis-aligned hyper-rectangles).
+//!
+//! MBRs play two roles in the reproduction: they are the node regions of the
+//! R-Tree (FSynC's index), and they are the conservative reachable-region
+//! approximation in the paper's exact termination criterion — a point `q`
+//! can only be dragged *towards* its ε/2-neighbors, so `MBR(N_{ε/2}(q))`
+//! bounds where the update can move it, and Definition 4.2 checks
+//! `dist(MBR, p) ≤ ε`.
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned minimum bounding rectangle in `d` dimensions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mbr {
+    min: Vec<f64>,
+    max: Vec<f64>,
+}
+
+impl Mbr {
+    /// The degenerate MBR containing exactly one point.
+    pub fn from_point(p: &[f64]) -> Self {
+        Self {
+            min: p.to_vec(),
+            max: p.to_vec(),
+        }
+    }
+
+    /// The smallest MBR enclosing all `points` (row-major, `dim` columns).
+    ///
+    /// Returns `None` for an empty point set.
+    pub fn from_points(coords: &[f64], dim: usize) -> Option<Self> {
+        if coords.is_empty() || dim == 0 {
+            return None;
+        }
+        debug_assert_eq!(coords.len() % dim, 0);
+        let mut mbr = Self::from_point(&coords[..dim]);
+        for row in coords.chunks_exact(dim).skip(1) {
+            mbr.expand_to_point(row);
+        }
+        Some(mbr)
+    }
+
+    /// Dimensionality of the rectangle.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn min(&self) -> &[f64] {
+        &self.min
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn max(&self) -> &[f64] {
+        &self.max
+    }
+
+    /// Grow the rectangle to contain `p`.
+    pub fn expand_to_point(&mut self, p: &[f64]) {
+        debug_assert_eq!(p.len(), self.dim());
+        for ((lo, hi), &x) in self.min.iter_mut().zip(&mut self.max).zip(p) {
+            if x < *lo {
+                *lo = x;
+            }
+            if x > *hi {
+                *hi = x;
+            }
+        }
+    }
+
+    /// Grow the rectangle to contain `other`.
+    pub fn expand_to_mbr(&mut self, other: &Mbr) {
+        debug_assert_eq!(other.dim(), self.dim());
+        for i in 0..self.min.len() {
+            if other.min[i] < self.min[i] {
+                self.min[i] = other.min[i];
+            }
+            if other.max[i] > self.max[i] {
+                self.max[i] = other.max[i];
+            }
+        }
+    }
+
+    /// Whether `p` lies inside the closed rectangle.
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(p.len(), self.dim());
+        p.iter()
+            .zip(self.min.iter().zip(&self.max))
+            .all(|(x, (lo, hi))| *lo <= *x && *x <= *hi)
+    }
+
+    /// Whether the closed rectangles intersect.
+    pub fn intersects(&self, other: &Mbr) -> bool {
+        debug_assert_eq!(other.dim(), self.dim());
+        self.min
+            .iter()
+            .zip(&self.max)
+            .zip(other.min.iter().zip(&other.max))
+            .all(|((alo, ahi), (blo, bhi))| alo <= bhi && blo <= ahi)
+    }
+
+    /// Squared minimum Euclidean distance from `p` to the rectangle — zero
+    /// when `p` is inside. This is the paper's
+    /// `dist(MBR, p) = √(Σᵢ min_{c∈MBR} |pᵢ − cᵢ|²)` without the root.
+    pub fn min_sq_dist_to_point(&self, p: &[f64]) -> f64 {
+        debug_assert_eq!(p.len(), self.dim());
+        let mut acc = 0.0;
+        for ((&lo, &hi), &x) in self.min.iter().zip(&self.max).zip(p) {
+            let d = if x < lo {
+                lo - x
+            } else if x > hi {
+                x - hi
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Minimum Euclidean distance from `p` to the rectangle.
+    pub fn min_dist_to_point(&self, p: &[f64]) -> f64 {
+        self.min_sq_dist_to_point(p).sqrt()
+    }
+
+    /// Whether the rectangle intersects the closed `radius`-ball around
+    /// `center` — the pruning test for ε-ball range queries and the second
+    /// term of Definition 4.2.
+    pub fn intersects_ball(&self, center: &[f64], radius: f64) -> bool {
+        self.min_sq_dist_to_point(center) <= radius * radius
+    }
+
+    /// Hyper-volume of the rectangle (product of side lengths).
+    pub fn area(&self) -> f64 {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .map(|(lo, hi)| hi - lo)
+            .product()
+    }
+
+    /// Increase in area if the rectangle were expanded to contain `other` —
+    /// the R-Tree insertion heuristic ("least enlargement").
+    pub fn enlargement(&self, other: &Mbr) -> f64 {
+        let mut grown = self.clone();
+        grown.expand_to_mbr(other);
+        grown.area() - self.area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_point_is_degenerate() {
+        let m = Mbr::from_point(&[1.0, 2.0]);
+        assert_eq!(m.min(), &[1.0, 2.0]);
+        assert_eq!(m.max(), &[1.0, 2.0]);
+        assert_eq!(m.area(), 0.0);
+        assert!(m.contains_point(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let coords = [0.0, 0.0, 2.0, 3.0, -1.0, 1.0];
+        let m = Mbr::from_points(&coords, 2).unwrap();
+        assert_eq!(m.min(), &[-1.0, 0.0]);
+        assert_eq!(m.max(), &[2.0, 3.0]);
+        for row in coords.chunks_exact(2) {
+            assert!(m.contains_point(row));
+        }
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(Mbr::from_points(&[], 2).is_none());
+    }
+
+    #[test]
+    fn expand_is_monotone() {
+        let mut m = Mbr::from_point(&[0.0, 0.0]);
+        m.expand_to_point(&[1.0, -1.0]);
+        assert!(m.contains_point(&[0.5, -0.5]));
+        assert!(!m.contains_point(&[2.0, 0.0]));
+    }
+
+    #[test]
+    fn intersects_shared_edge_counts() {
+        let a = Mbr::from_points(&[0.0, 0.0, 1.0, 1.0], 2).unwrap();
+        let b = Mbr::from_points(&[1.0, 0.0, 2.0, 1.0], 2).unwrap();
+        assert!(a.intersects(&b));
+        let c = Mbr::from_points(&[1.1, 0.0, 2.0, 1.0], 2).unwrap();
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn min_dist_zero_inside_exact_outside() {
+        let m = Mbr::from_points(&[0.0, 0.0, 2.0, 2.0], 2).unwrap();
+        assert_eq!(m.min_dist_to_point(&[1.0, 1.0]), 0.0);
+        assert_eq!(m.min_dist_to_point(&[3.0, 1.0]), 1.0);
+        // corner case: distance to nearest corner
+        assert!((m.min_dist_to_point(&[3.0, 3.0]) - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ball_intersection_boundary() {
+        let m = Mbr::from_points(&[0.0, 0.0, 1.0, 1.0], 2).unwrap();
+        assert!(m.intersects_ball(&[2.0, 0.5], 1.0));
+        assert!(!m.intersects_ball(&[2.0, 0.5], 0.999_999));
+    }
+
+    #[test]
+    fn enlargement_zero_for_contained() {
+        let a = Mbr::from_points(&[0.0, 0.0, 4.0, 4.0], 2).unwrap();
+        let b = Mbr::from_points(&[1.0, 1.0, 2.0, 2.0], 2).unwrap();
+        assert_eq!(a.enlargement(&b), 0.0);
+        assert!(b.enlargement(&a) > 0.0);
+    }
+
+    #[test]
+    fn area_of_unit_cube() {
+        let m = Mbr::from_points(&[0.0, 0.0, 0.0, 1.0, 1.0, 1.0], 3).unwrap();
+        assert_eq!(m.area(), 1.0);
+    }
+}

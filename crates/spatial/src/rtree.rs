@@ -1,0 +1,543 @@
+//! A from-scratch R-Tree (Guttman 1984) with configurable fanout.
+//!
+//! This is FSynC's index structure (Chen 2018): SynC with the ε-neighborhood
+//! query answered by an R-Tree instead of a linear scan. The paper's
+//! experiments use a maximum fanout of `B = 100`; FSynC rebuilds the index
+//! every iteration because the update moves every point.
+//!
+//! Two construction paths are provided:
+//!
+//! * [`RTree::insert`] — classic one-by-one insertion: descend by least
+//!   area enlargement, quadratic split on overflow (what the original
+//!   FSynC description implies);
+//! * [`RTree::bulk_load`] — Morton-order packing, which builds a
+//!   better-clustered tree in `O(n log n)` and is what the reproduction's
+//!   FSynC uses per iteration by default (strictly a favourable choice *for
+//!   the baseline*).
+//!
+//! Range queries are closed ε-balls: [`RTree::for_each_in_ball`] visits
+//! every stored point with `‖p − center‖ ≤ radius`, pruning subtrees whose
+//! MBR does not intersect the ball.
+
+use crate::distance::{row, within};
+use crate::mbr::Mbr;
+
+/// Maximum entries per node (the paper's `B`) used when none is specified.
+pub const DEFAULT_FANOUT: usize = 100;
+
+#[derive(Debug)]
+enum Entries {
+    /// Point indices into the tree's coordinate array.
+    Leaf(Vec<u32>),
+    /// Child node ids.
+    Inner(Vec<usize>),
+}
+
+#[derive(Debug)]
+struct Node {
+    mbr: Mbr,
+    entries: Entries,
+}
+
+/// An R-Tree over an owned copy of a row-major point set.
+#[derive(Debug)]
+pub struct RTree {
+    dim: usize,
+    fanout: usize,
+    min_fill: usize,
+    points: Vec<f64>,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    len: usize,
+}
+
+impl RTree {
+    /// Create an empty tree for `dim`-dimensional points with maximum node
+    /// fanout `fanout` (≥ 2).
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `fanout < 2`.
+    pub fn new(dim: usize, fanout: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(fanout >= 2, "fanout must be at least 2");
+        Self {
+            dim,
+            fanout,
+            min_fill: (fanout * 2 / 5).max(1),
+            points: Vec::new(),
+            nodes: Vec::new(),
+            root: None,
+            len: 0,
+        }
+    }
+
+    /// Build a tree over `coords` (row-major, `dim` columns) by Morton-order
+    /// packing: points are sorted by interleaved-bit code of their first
+    /// `min(dim, 8)` coordinates, packed into full leaves, and the upper
+    /// levels packed recursively.
+    pub fn bulk_load(coords: &[f64], dim: usize, fanout: usize) -> Self {
+        let mut tree = Self::new(dim, fanout);
+        tree.points = coords.to_vec();
+        let n = coords.len() / dim;
+        tree.len = n;
+        if n == 0 {
+            return tree;
+        }
+        let bounds = Mbr::from_points(coords, dim).expect("non-empty");
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let codes: Vec<u64> = (0..n)
+            .map(|i| morton_code(row(coords, dim, i), &bounds))
+            .collect();
+        order.sort_unstable_by_key(|&i| codes[i as usize]);
+
+        // pack leaves
+        let mut level: Vec<usize> = order
+            .chunks(fanout)
+            .map(|chunk| {
+                let mut mbr = Mbr::from_point(row(&tree.points, dim, chunk[0] as usize));
+                for &i in &chunk[1..] {
+                    mbr.expand_to_point(row(&tree.points, dim, i as usize));
+                }
+                tree.push_node(Node {
+                    mbr,
+                    entries: Entries::Leaf(chunk.to_vec()),
+                })
+            })
+            .collect();
+
+        // pack upper levels
+        while level.len() > 1 {
+            level = level
+                .chunks(fanout)
+                .map(|chunk| {
+                    let mut mbr = tree.nodes[chunk[0]].mbr.clone();
+                    for &c in &chunk[1..] {
+                        let child = tree.nodes[c].mbr.clone();
+                        mbr.expand_to_mbr(&child);
+                    }
+                    tree.push_node(Node {
+                        mbr,
+                        entries: Entries::Inner(chunk.to_vec()),
+                    })
+                })
+                .collect();
+        }
+        tree.root = Some(level[0]);
+        tree
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree stores no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of stored points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Maximum entries per node.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// The coordinates of stored point `idx`.
+    pub fn point(&self, idx: u32) -> &[f64] {
+        row(&self.points, self.dim, idx as usize)
+    }
+
+    /// Height of the tree (0 for empty, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let Some(mut node) = self.root else { return 0 };
+        let mut h = 1;
+        loop {
+            match &self.nodes[node].entries {
+                Entries::Leaf(_) => return h,
+                Entries::Inner(children) => {
+                    node = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    /// Approximate heap footprint of the index in bytes (coordinates plus
+    /// node storage) — used by the space-usage experiment (Fig. 3h).
+    pub fn size_bytes(&self) -> usize {
+        let coords = self.points.len() * std::mem::size_of::<f64>();
+        let nodes: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                std::mem::size_of::<Node>()
+                    + 2 * self.dim * std::mem::size_of::<f64>()
+                    + match &n.entries {
+                        Entries::Leaf(v) => v.capacity() * std::mem::size_of::<u32>(),
+                        Entries::Inner(v) => v.capacity() * std::mem::size_of::<usize>(),
+                    }
+            })
+            .sum();
+        coords + nodes
+    }
+
+    fn push_node(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Insert a point, growing the tree Guttman-style (least-enlargement
+    /// descent, quadratic split on overflow). Returns the point's index.
+    pub fn insert(&mut self, point: &[f64]) -> u32 {
+        assert_eq!(point.len(), self.dim, "point dimensionality mismatch");
+        let idx = self.len as u32;
+        self.points.extend_from_slice(point);
+        self.len += 1;
+
+        match self.root {
+            None => {
+                let node = self.push_node(Node {
+                    mbr: Mbr::from_point(point),
+                    entries: Entries::Leaf(vec![idx]),
+                });
+                self.root = Some(node);
+            }
+            Some(root) => {
+                if let Some(sibling) = self.insert_rec(root, idx) {
+                    // root split: grow the tree by one level
+                    let mut mbr = self.nodes[root].mbr.clone();
+                    mbr.expand_to_mbr(&self.nodes[sibling].mbr.clone());
+                    let new_root = self.push_node(Node {
+                        mbr,
+                        entries: Entries::Inner(vec![root, sibling]),
+                    });
+                    self.root = Some(new_root);
+                }
+            }
+        }
+        idx
+    }
+
+    /// Recursive insertion; returns the id of a new sibling if `node` split.
+    fn insert_rec(&mut self, node: usize, idx: u32) -> Option<usize> {
+        let point = row(&self.points, self.dim, idx as usize).to_vec();
+        self.nodes[node].mbr.expand_to_point(&point);
+        match &mut self.nodes[node].entries {
+            Entries::Leaf(items) => {
+                items.push(idx);
+                if items.len() > self.fanout {
+                    return Some(self.split_leaf(node));
+                }
+                None
+            }
+            Entries::Inner(children) => {
+                let children = children.clone();
+                let target = self.choose_subtree(&children, &point);
+                if let Some(sibling) = self.insert_rec(target, idx) {
+                    if let Entries::Inner(children) = &mut self.nodes[node].entries {
+                        children.push(sibling);
+                        if children.len() > self.fanout {
+                            return Some(self.split_inner(node));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Guttman's ChooseLeaf step: the child whose MBR needs the least area
+    /// enlargement to cover `point`, ties broken by smaller area.
+    fn choose_subtree(&self, children: &[usize], point: &[f64]) -> usize {
+        let target_mbr = Mbr::from_point(point);
+        let mut best = children[0];
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for &c in children {
+            let mbr = &self.nodes[c].mbr;
+            let key = (mbr.enlargement(&target_mbr), mbr.area());
+            if key < best_key {
+                best_key = key;
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn split_leaf(&mut self, node: usize) -> usize {
+        let items = match &mut self.nodes[node].entries {
+            Entries::Leaf(items) => std::mem::take(items),
+            Entries::Inner(_) => unreachable!("split_leaf on inner node"),
+        };
+        let mbrs: Vec<Mbr> = items
+            .iter()
+            .map(|&i| Mbr::from_point(row(&self.points, self.dim, i as usize)))
+            .collect();
+        let (left, right) = quadratic_partition(&mbrs, self.min_fill);
+        let mbr_of = |group: &[usize]| {
+            let mut m = mbrs[group[0]].clone();
+            for &g in &group[1..] {
+                m.expand_to_mbr(&mbrs[g]);
+            }
+            m
+        };
+        let (lm, rm) = (mbr_of(&left), mbr_of(&right));
+        let take = |group: &[usize]| group.iter().map(|&g| items[g]).collect::<Vec<u32>>();
+        let right_node = self.push_node(Node {
+            mbr: rm,
+            entries: Entries::Leaf(take(&right)),
+        });
+        self.nodes[node].mbr = lm;
+        self.nodes[node].entries = Entries::Leaf(take(&left));
+        right_node
+    }
+
+    fn split_inner(&mut self, node: usize) -> usize {
+        let children = match &mut self.nodes[node].entries {
+            Entries::Inner(children) => std::mem::take(children),
+            Entries::Leaf(_) => unreachable!("split_inner on leaf node"),
+        };
+        let mbrs: Vec<Mbr> = children.iter().map(|&c| self.nodes[c].mbr.clone()).collect();
+        let (left, right) = quadratic_partition(&mbrs, self.min_fill);
+        let mbr_of = |group: &[usize]| {
+            let mut m = mbrs[group[0]].clone();
+            for &g in &group[1..] {
+                m.expand_to_mbr(&mbrs[g]);
+            }
+            m
+        };
+        let (lm, rm) = (mbr_of(&left), mbr_of(&right));
+        let take = |group: &[usize]| group.iter().map(|&g| children[g]).collect::<Vec<usize>>();
+        let right_node = self.push_node(Node {
+            mbr: rm,
+            entries: Entries::Inner(take(&right)),
+        });
+        self.nodes[node].mbr = lm;
+        self.nodes[node].entries = Entries::Inner(take(&left));
+        right_node
+    }
+
+    /// Visit every stored point within the closed `radius`-ball around
+    /// `center`, calling `f(point_index, coords)`.
+    pub fn for_each_in_ball(&self, center: &[f64], radius: f64, mut f: impl FnMut(u32, &[f64])) {
+        debug_assert_eq!(center.len(), self.dim);
+        let Some(root) = self.root else { return };
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            let node = &self.nodes[node];
+            if !node.mbr.intersects_ball(center, radius) {
+                continue;
+            }
+            match &node.entries {
+                Entries::Leaf(items) => {
+                    for &i in items {
+                        let p = row(&self.points, self.dim, i as usize);
+                        if within(center, p, radius) {
+                            f(i, p);
+                        }
+                    }
+                }
+                Entries::Inner(children) => stack.extend_from_slice(children),
+            }
+        }
+    }
+
+    /// Collect the indices of all stored points within the closed
+    /// `radius`-ball around `center`.
+    pub fn ball_indices(&self, center: &[f64], radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_in_ball(center, radius, |i, _| out.push(i));
+        out
+    }
+}
+
+/// Interleave the leading coordinates of `p` (normalized into `bounds`) into
+/// a Morton code. Uses at most 8 dimensions and divides 48 bits among them.
+fn morton_code(p: &[f64], bounds: &Mbr) -> u64 {
+    let dims = p.len().min(8);
+    let bits = 48 / dims;
+    let scale = (1u64 << bits) - 1;
+    let mut code = 0u64;
+    for bit in (0..bits).rev() {
+        for (d, &x) in p.iter().enumerate().take(dims) {
+            let lo = bounds.min()[d];
+            let hi = bounds.max()[d];
+            let t = if hi > lo { (x - lo) / (hi - lo) } else { 0.0 };
+            let cell = (t.clamp(0.0, 1.0) * scale as f64) as u64;
+            code = (code << 1) | ((cell >> bit) & 1);
+        }
+    }
+    code
+}
+
+/// Guttman's quadratic split: pick the two entries that would waste the most
+/// area together as seeds, then assign the rest by least enlargement,
+/// forcing `min_fill` into the smaller group. Returns index groups.
+fn quadratic_partition(mbrs: &[Mbr], min_fill: usize) -> (Vec<usize>, Vec<usize>) {
+    debug_assert!(mbrs.len() >= 2);
+    // seeds: maximal dead area
+    let (mut seed_a, mut seed_b, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..mbrs.len() {
+        for j in (i + 1)..mbrs.len() {
+            let mut joint = mbrs[i].clone();
+            joint.expand_to_mbr(&mbrs[j]);
+            let dead = joint.area() - mbrs[i].area() - mbrs[j].area();
+            if dead > worst {
+                worst = dead;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+    let mut left = vec![seed_a];
+    let mut right = vec![seed_b];
+    let mut left_mbr = mbrs[seed_a].clone();
+    let mut right_mbr = mbrs[seed_b].clone();
+    let remaining: Vec<usize> = (0..mbrs.len()).filter(|&i| i != seed_a && i != seed_b).collect();
+    let total = mbrs.len();
+    for (k, &i) in remaining.iter().enumerate() {
+        let left_needs = min_fill.saturating_sub(left.len());
+        let right_needs = min_fill.saturating_sub(right.len());
+        let left_over = remaining.len() - k;
+        if left_needs >= left_over {
+            left.push(i);
+            left_mbr.expand_to_mbr(&mbrs[i]);
+            continue;
+        }
+        if right_needs >= left_over {
+            right.push(i);
+            right_mbr.expand_to_mbr(&mbrs[i]);
+            continue;
+        }
+        let grow_l = left_mbr.enlargement(&mbrs[i]);
+        let grow_r = right_mbr.enlargement(&mbrs[i]);
+        if grow_l < grow_r || (grow_l == grow_r && left.len() <= right.len()) {
+            left.push(i);
+            left_mbr.expand_to_mbr(&mbrs[i]);
+        } else {
+            right.push(i);
+            right_mbr.expand_to_mbr(&mbrs[i]);
+        }
+    }
+    debug_assert_eq!(left.len() + right.len(), total);
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(side: usize) -> Vec<f64> {
+        let mut coords = Vec::with_capacity(side * side * 2);
+        for i in 0..side {
+            for j in 0..side {
+                coords.push(i as f64);
+                coords.push(j as f64);
+            }
+        }
+        coords
+    }
+
+    fn brute_force_ball(coords: &[f64], dim: usize, center: &[f64], r: f64) -> Vec<u32> {
+        (0..coords.len() / dim)
+            .filter(|&i| within(center, row(coords, dim, i), r))
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_queries_nothing() {
+        let t = RTree::new(2, 4);
+        assert!(t.is_empty());
+        assert_eq!(t.ball_indices(&[0.0, 0.0], 10.0), Vec::<u32>::new());
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn insert_queries_match_brute_force() {
+        let coords = grid_points(12);
+        let mut t = RTree::new(2, 4);
+        for p in coords.chunks_exact(2) {
+            t.insert(p);
+        }
+        assert_eq!(t.len(), 144);
+        for center in [[0.0, 0.0], [5.5, 5.5], [11.0, 3.0]] {
+            for r in [0.0, 1.0, 2.5, 20.0] {
+                let mut got = t.ball_indices(&center, r);
+                got.sort_unstable();
+                assert_eq!(got, brute_force_ball(&coords, 2, &center, r), "center {center:?} r {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_load_queries_match_brute_force() {
+        let coords = grid_points(12);
+        let t = RTree::bulk_load(&coords, 2, 5);
+        assert_eq!(t.len(), 144);
+        for center in [[0.0, 0.0], [5.5, 5.5], [11.0, 3.0]] {
+            for r in [0.0, 1.0, 2.5, 20.0] {
+                let mut got = t.ball_indices(&center, r);
+                got.sort_unstable();
+                assert_eq!(got, brute_force_ball(&coords, 2, &center, r));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_all_returned() {
+        let mut t = RTree::new(2, 3);
+        for _ in 0..10 {
+            t.insert(&[1.0, 1.0]);
+        }
+        assert_eq!(t.ball_indices(&[1.0, 1.0], 0.0).len(), 10);
+    }
+
+    #[test]
+    fn tree_grows_in_height() {
+        let mut t = RTree::new(1, 2);
+        for i in 0..64 {
+            t.insert(&[i as f64]);
+        }
+        assert!(t.height() >= 3, "height {} too small for fanout 2", t.height());
+        let mut got = t.ball_indices(&[31.5], 2.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![30, 31, 32, 33]);
+    }
+
+    #[test]
+    fn high_dimensional_query() {
+        let dim = 6;
+        let n = 200;
+        let coords: Vec<f64> = (0..n * dim).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
+        let t = RTree::bulk_load(&coords, dim, 8);
+        let center = row(&coords, dim, 42).to_vec();
+        let mut got = t.ball_indices(&center, 0.5);
+        got.sort_unstable();
+        assert_eq!(got, brute_force_ball(&coords, dim, &center, 0.5));
+    }
+
+    #[test]
+    fn point_accessor_roundtrips() {
+        let mut t = RTree::new(3, 4);
+        let idx = t.insert(&[1.0, 2.0, 3.0]);
+        assert_eq!(t.point(idx), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn size_bytes_grows_with_points() {
+        let small = RTree::bulk_load(&grid_points(4), 2, 8);
+        let large = RTree::bulk_load(&grid_points(16), 2, 8);
+        assert!(large.size_bytes() > small.size_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dim_insert_panics() {
+        let mut t = RTree::new(2, 4);
+        t.insert(&[1.0]);
+    }
+}

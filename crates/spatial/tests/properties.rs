@@ -1,0 +1,91 @@
+//! Property-based tests of the spatial substrate.
+
+use egg_spatial::distance::{euclidean, row, squared_euclidean, within};
+use egg_spatial::{Mbr, RTree};
+use proptest::prelude::*;
+
+fn cloud(dim: usize, max_points: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, dim..=dim * max_points).prop_map(move |mut v| {
+        v.truncate(v.len() / dim * dim);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn triangle_inequality(a in prop::collection::vec(-5.0f64..5.0, 3),
+                           b in prop::collection::vec(-5.0f64..5.0, 3),
+                           c in prop::collection::vec(-5.0f64..5.0, 3)) {
+        prop_assert!(euclidean(&a, &c) <= euclidean(&a, &b) + euclidean(&b, &c) + 1e-9);
+    }
+
+    #[test]
+    fn within_matches_distance(a in prop::collection::vec(-5.0f64..5.0, 2),
+                               b in prop::collection::vec(-5.0f64..5.0, 2),
+                               r in 0.0f64..10.0) {
+        prop_assert_eq!(within(&a, &b, r), euclidean(&a, &b) <= r);
+    }
+
+    #[test]
+    fn mbr_contains_all_its_points(coords in cloud(2, 40)) {
+        prop_assume!(!coords.is_empty());
+        let mbr = Mbr::from_points(&coords, 2).unwrap();
+        for p in coords.chunks_exact(2) {
+            prop_assert!(mbr.contains_point(p));
+            prop_assert_eq!(mbr.min_sq_dist_to_point(p), 0.0);
+        }
+    }
+
+    #[test]
+    fn mbr_expansion_is_monotone(coords in cloud(3, 20), extra in prop::collection::vec(-20.0f64..20.0, 3)) {
+        prop_assume!(!coords.is_empty());
+        let base = Mbr::from_points(&coords, 3).unwrap();
+        let mut grown = base.clone();
+        grown.expand_to_point(&extra);
+        prop_assert!(grown.area() >= base.area() - 1e-12);
+        prop_assert!(grown.contains_point(&extra));
+        for p in coords.chunks_exact(3) {
+            prop_assert!(grown.contains_point(p));
+        }
+    }
+
+    #[test]
+    fn mbr_intersection_symmetric(a in cloud(2, 10), b in cloud(2, 10)) {
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let ma = Mbr::from_points(&a, 2).unwrap();
+        let mb = Mbr::from_points(&b, 2).unwrap();
+        prop_assert_eq!(ma.intersects(&mb), mb.intersects(&ma));
+    }
+
+    #[test]
+    fn rtree_returns_exactly_the_ball(coords in cloud(2, 80), r in 0.0f64..8.0) {
+        prop_assume!(!coords.is_empty());
+        let n = coords.len() / 2;
+        let tree = RTree::bulk_load(&coords, 2, 6);
+        let center = row(&coords, 2, n / 2).to_vec();
+        let mut got = tree.ball_indices(&center, r);
+        got.sort_unstable();
+        let expected: Vec<u32> = (0..n)
+            .filter(|&i| squared_euclidean(&center, row(&coords, 2, i)) <= r * r)
+            .map(|i| i as u32)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn rtree_insert_preserves_all_points(coords in cloud(3, 50)) {
+        let n = coords.len() / 3;
+        let mut tree = RTree::new(3, 4);
+        for p in coords.chunks_exact(3) {
+            tree.insert(p);
+        }
+        prop_assert_eq!(tree.len(), n);
+        // a huge ball returns everything
+        if n > 0 {
+            let center = row(&coords, 3, 0);
+            prop_assert_eq!(tree.ball_indices(center, 1e6).len(), n);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Non-convex shapes: synchronization vs k-means vs DBSCAN.
+//!
+//! The SynC papers motivate synchronization clustering with clusters that
+//! centroid methods cannot represent. This example runs EGG-SynC, DBSCAN
+//! and k-means on two classic non-convex benchmarks (interleaved moons,
+//! concentric rings) and reports boundary purity: does any cluster mix
+//! points from different shapes?
+//!
+//! ```sh
+//! cargo run --release --example arbitrary_shapes
+//! ```
+
+use egg_sync::core::{Dbscan, KMeans};
+use egg_sync::data::generator::{concentric_rings, two_moons};
+use egg_sync::data::Dataset;
+use egg_sync::prelude::*;
+
+fn report(name: &str, data: &Dataset, truth: &[u32], eps: f64) {
+    println!("— {name} ({} points) —", data.len());
+    println!(
+        "{:<10} {:>9} {:>10} {:>10} {:>24}",
+        "method", "clusters", "purity", "NMI", "mixes shape boundaries?"
+    );
+    let algorithms: Vec<Box<dyn ClusterAlgorithm>> = vec![
+        Box::new(EggSync::new(eps)),
+        Box::new(Dbscan::new(eps)),
+        Box::new(KMeans::new(2)),
+    ];
+    for algo in &algorithms {
+        let result = algo.cluster(data);
+        let purity = metrics::purity(truth, &result.labels);
+        println!(
+            "{:<10} {:>9} {:>10.3} {:>10.3} {:>24}",
+            algo.name(),
+            result.num_clusters,
+            purity,
+            metrics::nmi(truth, &result.labels),
+            if purity > 0.995 { "no (respects shapes)" } else { "YES (cuts through)" },
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let (moons, moon_truth) = two_moons(300, 0.01, 7);
+    report("two interleaved moons", &moons, &moon_truth, 0.06);
+
+    let (rings, ring_truth) = concentric_rings(250, 0.006, 3);
+    report("concentric rings", &rings, &ring_truth, 0.05);
+
+    println!(
+        "Synchronization condenses elongated shapes into several pure segments\n\
+         (interior arc points have symmetric neighborhoods, so the arc collapses\n\
+         locally); it never merges across a shape boundary. DBSCAN recovers each\n\
+         shape whole; k-means cuts straight through both, even given the true k."
+    );
+}

@@ -1,0 +1,68 @@
+//! Run all five algorithms on one dataset and compare runtime, iteration
+//! count, cluster count and agreement with the exact result.
+//!
+//! ```sh
+//! cargo run --release --example compare_algorithms [n] [epsilon]
+//! ```
+
+use std::time::Instant;
+
+use egg_sync::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2_000);
+    let epsilon: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.05);
+
+    let (data, _) = GaussianSpec {
+        n,
+        dim: 2,
+        clusters: 5,
+        std_dev: 5.0,
+        ..GaussianSpec::default()
+    }
+    .generate_normalized();
+    println!("dataset: {n} points, 2 dims, 5 Gaussian clusters, ε = {epsilon}\n");
+
+    // exact reference first — everything is scored against it
+    let reference = EggSync::new(epsilon).cluster(&data);
+
+    let algorithms: Vec<Box<dyn ClusterAlgorithm>> = vec![
+        Box::new(Sync::new(epsilon)),
+        Box::new(FSync::new(epsilon)),
+        Box::new(MpSync::new(epsilon)),
+        Box::new(GpuSync::new(epsilon)),
+        Box::new(EggSync::new(epsilon)),
+    ];
+
+    println!(
+        "{:<10} {:>10} {:>7} {:>9} {:>12} {:>14} {:>10}",
+        "algorithm", "wall [s]", "iters", "clusters", "NMI vs exact", "sim GPU [s]", "exact?"
+    );
+    for algo in &algorithms {
+        let start = Instant::now();
+        let result = algo.cluster(&data);
+        let wall = start.elapsed().as_secs_f64();
+        let agreement = metrics::nmi(&reference.labels, &result.labels);
+        let exact = metrics::same_partition(&reference.labels, &result.labels);
+        let sim = result
+            .trace
+            .total_sim_seconds
+            .map_or_else(|| "-".to_owned(), |s| format!("{s:.6}"));
+        println!(
+            "{:<10} {:>10.3} {:>7} {:>9} {:>12.4} {:>14} {:>10}",
+            algo.name(),
+            wall,
+            result.iterations,
+            result.num_clusters,
+            agreement,
+            sim,
+            if exact { "yes" } else { "no" },
+        );
+    }
+
+    println!(
+        "\nNote: on this host the GPU is simulated; 'sim GPU' is the cost-model estimate \
+         on the paper's RTX 3090, 'wall' is single-core host time."
+    );
+}

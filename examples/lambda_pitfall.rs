@@ -1,0 +1,77 @@
+//! The Figure-1 pitfall: λ-termination stops too early and reports wrong
+//! clusters; EGG-SynC's exact criterion keeps iterating until the result
+//! is provably final.
+//!
+//! The dataset is two large blobs whose ε-balls do not touch, connected by
+//! a small "bridge" blob within ε of both. Synchronization will eventually
+//! drag everything into one cluster — but the bridge is so small that the
+//! cluster order parameter r_c crosses λ = 0.999 while three groups still
+//! exist, so SynC (and FSynC, GPU-SynC) stop with 3 clusters.
+//!
+//! ```sh
+//! cargo run --release --example lambda_pitfall
+//! ```
+
+use egg_sync::data::generator::bridged_clusters;
+use egg_sync::data::Dataset;
+use egg_sync::prelude::*;
+
+/// Render a 2-D labeled point set as an ASCII scatter plot.
+fn ascii_plot(data: &Dataset, labels: &[u32], width: usize, height: usize) {
+    let glyphs: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ*";
+    let mut canvas = vec![vec![b' '; width]; height];
+    for (i, p) in data.iter().enumerate() {
+        let x = ((p[0] * (width - 1) as f64) as usize).min(width - 1);
+        let y = ((p[1] * (height - 1) as f64) as usize).min(height - 1);
+        let glyph = glyphs[(labels[i] as usize).min(glyphs.len() - 1)];
+        canvas[height - 1 - y][x] = glyph;
+    }
+    for row in canvas {
+        println!("  |{}|", String::from_utf8_lossy(&row));
+    }
+}
+
+fn main() {
+    let (data, epsilon) = bridged_clusters(800, 6, 9);
+    println!(
+        "bridge dataset: {} points (two blobs of 800, bridge of 6), ε = {epsilon}",
+        data.len()
+    );
+
+    let lambda_result = Sync::new(epsilon).cluster(&data);
+    let exact_result = EggSync::new(epsilon).cluster(&data);
+
+    println!("\nSynC with λ-termination (λ = 0.999):");
+    println!(
+        "  stopped after {:>4} iterations with {} clusters  ← WRONG",
+        lambda_result.iterations, lambda_result.num_clusters
+    );
+    let final_rc = lambda_result
+        .trace
+        .iterations
+        .last()
+        .and_then(|r| r.rc)
+        .unwrap_or(f64::NAN);
+    println!("  (r_c reached {final_rc:.5} — the bridge's pull is invisible to it)");
+
+    println!("\nEGG-SynC with the exact criterion (no λ at all):");
+    println!(
+        "  stopped after {:>4} iterations with {} cluster(s)  ← exact",
+        exact_result.iterations, exact_result.num_clusters
+    );
+
+    println!("\ninput data, labeled by the λ-terminated SynC (one letter per cluster):");
+    ascii_plot(&data, &lambda_result.labels, 64, 9);
+    println!("\nthe same data, labeled by EGG-SynC:");
+    ascii_plot(&data, &exact_result.labels, 64, 9);
+
+    assert!(lambda_result.num_clusters > 1, "λ-termination should split the data");
+    assert_eq!(exact_result.num_clusters, 1, "exact termination must merge everything");
+
+    // The same effect drives the paper's Skin experiment: GPU-SynC stops
+    // after 7 iterations, EGG-SynC needs 343 to resolve the merge.
+    println!(
+        "\nSame shape as the paper's Skin anomaly: {}x more iterations for the correct answer.",
+        exact_result.iterations / lambda_result.iterations.max(1)
+    );
+}

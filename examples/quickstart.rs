@@ -1,0 +1,52 @@
+//! Quickstart: cluster a synthetic dataset with EGG-SynC.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use egg_sync::prelude::*;
+
+fn main() {
+    // 1. Get data. Any row-major point set works; here we use the paper's
+    //    synthetic generator (5 Gaussian clusters in 2-D).
+    let (raw, truth) = GaussianSpec {
+        n: 5_000,
+        dim: 2,
+        clusters: 5,
+        std_dev: 5.0,
+        ..GaussianSpec::default()
+    }
+    .generate();
+
+    // 2. Min/max-normalize into [0, 1]^d — synchronization clustering
+    //    requires it (the sine update needs distances below π/2).
+    let data = raw.normalized();
+
+    // 3. Cluster. ε is the only model parameter; there is no λ threshold —
+    //    EGG-SynC terminates exactly, when synchronization provably cannot
+    //    change any neighborhood anymore.
+    let clustering = EggSync::new(0.05).cluster(&data);
+
+    println!("EGG-SynC on {} points ({} dims):", data.len(), data.dim());
+    println!("  clusters:    {}", clustering.num_clusters);
+    println!("  iterations:  {}", clustering.iterations);
+    println!("  converged:   {}", clustering.converged);
+    println!("  outliers:    {}", clustering.outliers().len());
+    println!("  wall time:   {:.3} s", clustering.trace.total_seconds);
+    if let Some(sim) = clustering.trace.total_sim_seconds {
+        println!("  simulated GPU time: {:.6} s", sim);
+    }
+
+    // 4. Compare against the ground truth used by the generator.
+    println!(
+        "  agreement with ground truth: NMI {:.3}, ARI {:.3}, purity {:.3}",
+        metrics::nmi(&truth, &clustering.labels),
+        metrics::ari(&truth, &clustering.labels),
+        metrics::purity(&truth, &clustering.labels),
+    );
+
+    // 5. Cluster sizes, largest first.
+    let mut sizes = clustering.cluster_sizes();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!("  largest clusters: {:?}", &sizes[..sizes.len().min(8)]);
+}

@@ -1,0 +1,39 @@
+//! # egg-sync — EGG-SynC reproduction suite
+//!
+//! Umbrella crate for the reproduction of **"EGG-SynC: Exact
+//! GPU-parallelized Grid-based Clustering by Synchronization"**
+//! (Jørgensen & Assent, EDBT 2023). It re-exports the workspace's public
+//! API and hosts the runnable examples and cross-crate integration tests.
+//!
+//! * [`core`] (`egg-sync-core`) — the algorithms: [`core::EggSync`] and
+//!   the baselines [`core::Sync`], [`core::FSync`], [`core::MpSync`],
+//!   [`core::GpuSync`], plus the CPU oracle [`core::ExactSync`].
+//! * [`data`] (`egg-data`) — datasets, generators, UCI proxies, metrics.
+//! * [`gpu`] (`egg-gpu-sim`) — the CUDA-style execution-model simulator.
+//! * [`spatial`] (`egg-spatial`) — MBRs and the R-Tree substrate.
+//!
+//! ```
+//! use egg_sync::prelude::*;
+//!
+//! let (data, _) = GaussianSpec { n: 500, ..GaussianSpec::default() }
+//!     .generate_normalized();
+//! let clustering = EggSync::new(0.05).cluster(&data);
+//! println!("{} clusters in {} iterations", clustering.num_clusters, clustering.iterations);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use egg_data as data;
+pub use egg_gpu_sim as gpu;
+pub use egg_spatial as spatial;
+pub use egg_sync_core as core;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use egg_data::generator::GaussianSpec;
+    pub use egg_data::{catalog::UciDataset, metrics, Dataset};
+    pub use egg_sync_core::{
+        ClusterAlgorithm, Clustering, Dbscan, EggSync, ExactSync, FSync, GpuSync, KMeans, MpSync,
+        Sync, SyncParams,
+    };
+}

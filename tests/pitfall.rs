@@ -1,0 +1,82 @@
+//! Reproductions of the paper's correctness anecdotes: the Figure-1
+//! λ-termination pitfall and the Skin-dataset iteration-count anomaly
+//! (§5.1.3).
+
+use egg_sync::data::generator::bridged_clusters;
+use egg_sync::prelude::*;
+
+#[test]
+fn figure1_lambda_termination_splits_what_should_merge() {
+    let (data, eps) = bridged_clusters(400, 4, 9);
+    let lambda = Sync::new(eps).cluster(&data);
+    let exact = EggSync::new(eps).cluster(&data);
+
+    // λ-termination gives up almost immediately with separate clusters…
+    assert!(lambda.converged);
+    assert!(
+        lambda.iterations <= 10,
+        "λ-termination should stop early, took {}",
+        lambda.iterations
+    );
+    assert!(
+        lambda.num_clusters >= 2,
+        "λ-termination should report the blobs as separate"
+    );
+
+    // …while the exact criterion keeps dragging until everything merged.
+    assert!(exact.converged);
+    assert_eq!(exact.num_clusters, 1, "exact result is a single cluster");
+    assert!(
+        exact.iterations > 10 * lambda.iterations,
+        "the merge requires many more iterations ({} vs {})",
+        exact.iterations,
+        lambda.iterations
+    );
+}
+
+#[test]
+fn gpu_sync_shows_the_same_pitfall() {
+    let (data, eps) = bridged_clusters(400, 4, 9);
+    let gpu = GpuSync::new(eps).cluster(&data);
+    let egg = EggSync::new(eps).cluster(&data);
+    assert!(gpu.num_clusters > egg.num_clusters);
+    assert_eq!(egg.num_clusters, 1);
+}
+
+#[test]
+fn skin_proxy_reproduces_the_iteration_gap() {
+    // scaled-down Skin proxy (the full one has 245k points); the embedded
+    // bridge forces the exact algorithm through a long merge phase while
+    // λ-termination stops after a handful of iterations — the paper
+    // reports 7 vs 343 on the real dataset
+    let data = UciDataset::Skin.generate_scaled(2_000);
+    let eps = 0.05;
+    let lambda = Sync::new(eps).cluster(&data);
+    let exact = EggSync::new(eps).cluster(&data);
+    assert!(
+        lambda.iterations * 5 < exact.iterations,
+        "expected a large iteration gap, got λ {} vs exact {}",
+        lambda.iterations,
+        exact.iterations
+    );
+    assert!(exact.num_clusters < lambda.num_clusters);
+}
+
+#[test]
+fn outliers_survive_as_singletons() {
+    // two tight blobs plus three isolated points: the isolated points must
+    // come out as singleton clusters, not be absorbed
+    let mut rows = Vec::new();
+    for i in 0..50 {
+        rows.push(vec![0.2 + (i % 7) as f64 * 1e-3, 0.2 + (i % 5) as f64 * 1e-3]);
+        rows.push(vec![0.8 + (i % 7) as f64 * 1e-3, 0.8 + (i % 5) as f64 * 1e-3]);
+    }
+    rows.push(vec![0.5, 0.1]);
+    rows.push(vec![0.1, 0.9]);
+    rows.push(vec![0.9, 0.1]);
+    let data = Dataset::from_rows(&rows);
+    let result = EggSync::new(0.05).cluster(&data);
+    assert!(result.converged);
+    assert_eq!(result.num_clusters, 5);
+    assert_eq!(result.outliers().len(), 3);
+}

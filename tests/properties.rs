@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) over the model's invariants and the
+//! equivalence of the structural shortcuts with their brute-force
+//! definitions.
+
+use egg_sync::core::grid::{GridGeometry, GridVariant, HostGrid};
+use egg_sync::core::model::{
+    brute_force_neighborhood, criterion_met, delta, update_point,
+};
+use egg_sync::prelude::*;
+use egg_sync::spatial::distance::{euclidean, row};
+use egg_sync::spatial::{Mbr, RTree};
+use proptest::prelude::*;
+
+/// Random point cloud in [0,1]^dim as a flat row-major vector.
+fn cloud(dim: usize, max_n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..=1.0, dim..=dim * max_n).prop_map(move |mut v| {
+        v.truncate(v.len() / dim * dim);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn update_never_leaves_unit_cube(coords in cloud(2, 40)) {
+        // the Kuramoto update moves each point towards the hull of its
+        // neighbors, so normalized data stays normalized
+        let dim = 2;
+        let n = coords.len() / dim;
+        let mut out = vec![0.0; dim];
+        for p in 0..n {
+            update_point(&coords, dim, p, 0.1, &mut out);
+            for &x in &out {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&x), "left the cube: {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_is_contractive_for_shared_neighborhoods(
+        a in 0.3f64..0.45, b in 0.45f64..0.6, y in 0.4f64..0.6
+    ) {
+        // Lemma 4.4: two points with identical neighborhoods move closer
+        let eps = 0.4; // big enough that {p,q} see exactly each other
+        let coords = vec![a, y, b, y];
+        let mut pa = vec![0.0; 2];
+        let mut pb = vec![0.0; 2];
+        update_point(&coords, 2, 0, eps, &mut pa);
+        update_point(&coords, 2, 1, eps, &mut pb);
+        let before = euclidean(&coords[0..2], &coords[2..4]);
+        let after = euclidean(&pa, &pb);
+        prop_assert!(after <= before + 1e-15);
+    }
+
+    #[test]
+    fn grid_ball_query_equals_brute_force(coords in cloud(2, 60), eps in 0.02f64..0.3) {
+        let dim = 2;
+        let n = coords.len() / dim;
+        prop_assume!(n > 0);
+        let geo = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+        let grid = HostGrid::build(&geo, &coords);
+        for p_idx in 0..n.min(8) {
+            let p = row(&coords, dim, p_idx);
+            let mut got = grid.ball_indices(p, eps);
+            got.sort_unstable();
+            let expected: Vec<u32> = brute_force_neighborhood(&coords, dim, p_idx, eps)
+                .into_iter().map(|i| i as u32).collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn rtree_ball_query_equals_brute_force(coords in cloud(3, 50), eps in 0.05f64..0.5) {
+        let dim = 3;
+        let n = coords.len() / dim;
+        prop_assume!(n > 0);
+        let tree = RTree::bulk_load(&coords, dim, 8);
+        for p_idx in 0..n.min(8) {
+            let p = row(&coords, dim, p_idx);
+            let mut got = tree.ball_indices(p, eps);
+            got.sort_unstable();
+            let expected: Vec<u32> = brute_force_neighborhood(&coords, dim, p_idx, eps)
+                .into_iter().map(|i| i as u32).collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn rtree_insert_equals_bulk_load_results(coords in cloud(2, 40), eps in 0.05f64..0.4) {
+        let dim = 2;
+        let n = coords.len() / dim;
+        prop_assume!(n > 0);
+        let bulk = RTree::bulk_load(&coords, dim, 5);
+        let mut incremental = RTree::new(dim, 5);
+        for p in coords.chunks_exact(dim) {
+            incremental.insert(p);
+        }
+        let center = row(&coords, dim, 0);
+        let mut a = bulk.ball_indices(center, eps);
+        let mut b = incremental.ball_indices(center, eps);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mbr_min_dist_is_a_lower_bound(
+        coords in prop::collection::vec(0.0f64..=1.0, 4..40),
+        px in 0.0f64..=1.0, py in 0.0f64..=1.0
+    ) {
+        let pts: Vec<f64> = coords[..coords.len() / 2 * 2].to_vec();
+        let mbr = Mbr::from_points(&pts, 2).unwrap();
+        let p = [px, py];
+        let lower = mbr.min_dist_to_point(&p);
+        for q in pts.chunks_exact(2) {
+            prop_assert!(lower <= euclidean(&p, q) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn delta_margin_properties(eps in 0.001f64..1.0) {
+        let d = delta(eps);
+        prop_assert!(d > 0.0);
+        prop_assert!(d < eps);
+    }
+
+    #[test]
+    fn metrics_axioms(labels in prop::collection::vec(0u32..5, 1..60)) {
+        // identity scores
+        prop_assert!((metrics::nmi(&labels, &labels) - 1.0).abs() < 1e-9);
+        prop_assert!((metrics::ari(&labels, &labels) - 1.0).abs() < 1e-9);
+        prop_assert!(metrics::same_partition(&labels, &labels));
+        // permuting label names preserves everything
+        let renamed: Vec<u32> = labels.iter().map(|&l| (l + 3) % 5 + 10).collect();
+        prop_assert!(metrics::same_partition(&labels, &renamed));
+        prop_assert!((metrics::nmi(&labels, &renamed) - 1.0).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    // the expensive end-to-end property gets fewer cases
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn egg_equals_oracle_on_random_clouds(coords in cloud(2, 30), eps in 0.03f64..0.15) {
+        let n = coords.len() / 2;
+        prop_assume!(n > 0);
+        let data = Dataset::from_coords(coords, 2);
+        let oracle = ExactSync::new(eps).cluster(&data);
+        let egg = EggSync::new(eps).cluster(&data);
+        prop_assume!(oracle.converged && egg.converged);
+        prop_assert!(
+            metrics::same_partition(&oracle.labels, &egg.labels),
+            "partitions diverged: {} vs {}", oracle.num_clusters, egg.num_clusters
+        );
+    }
+
+    #[test]
+    fn converged_states_satisfy_the_criterion(coords in cloud(2, 25), eps in 0.05f64..0.2) {
+        let n = coords.len() / 2;
+        prop_assume!(n > 0);
+        let data = Dataset::from_coords(coords, 2);
+        let result = ExactSync::new(eps).cluster(&data);
+        prop_assume!(result.converged);
+        // the state at which gathering happened certifies Definition 4.2's
+        // fixed-point: clusters are ε-separated, internally ≤ ε/2
+        let f = result.final_coords.coords();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = euclidean(row(f, 2, i), row(f, 2, j));
+                if result.labels[i] == result.labels[j] {
+                    prop_assert!(d <= eps / 2.0 + 1e-12);
+                } else {
+                    prop_assert!(d > eps);
+                }
+            }
+        }
+        let _ = criterion_met(f, 2, eps); // must not panic on any state
+    }
+}

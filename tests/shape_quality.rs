@@ -1,0 +1,77 @@
+//! The papers' motivational quality claims, demonstrated end to end on
+//! non-convex shapes.
+//!
+//! A note on what synchronization clustering does with elongated shapes:
+//! points in the interior of a long uniform arc have nearly symmetric
+//! ε-neighborhoods, so the Kuramoto update condenses the arc into several
+//! local synchronization centers rather than one — SynC legitimately
+//! *fragments* such shapes into segments. What the model guarantees (and
+//! what these tests assert) is that it never **merges across** shape
+//! boundaries: every synchronization cluster is pure. Centroid-based
+//! k-means, by contrast, cuts straight through both moons/rings even when
+//! given the true k. DBSCAN, as a density method, recovers the shapes
+//! whole — the trade-off the papers discuss.
+
+use egg_sync::core::{Dbscan, KMeans};
+use egg_sync::data::generator::{concentric_rings, two_moons};
+use egg_sync::prelude::*;
+
+#[test]
+fn egg_sync_respects_moon_boundaries_where_kmeans_cuts_through() {
+    let (data, truth) = two_moons(300, 0.01, 7);
+    let egg = EggSync::new(0.06).cluster(&data);
+    let km = KMeans::new(2).cluster(&data);
+
+    // every EGG cluster lies wholly inside one moon…
+    let egg_purity = metrics::purity(&truth, &egg.labels);
+    assert!(
+        egg_purity > 0.995,
+        "EGG-SynC must not merge across the moons (purity {egg_purity:.3}, {} clusters)",
+        egg.num_clusters
+    );
+    // …while k-means with the true k mixes the moons in its clusters
+    let km_purity = metrics::purity(&truth, &km.labels);
+    assert!(
+        km_purity < 0.95,
+        "k-means should cut through the non-convex moons (purity {km_purity:.3})"
+    );
+}
+
+#[test]
+fn dbscan_recovers_the_rings_whole_kmeans_does_not() {
+    let (data, truth) = concentric_rings(250, 0.006, 3);
+    let db = Dbscan::new(0.05).cluster(&data);
+    assert!(
+        metrics::nmi(&truth, &db.labels) > 0.95,
+        "DBSCAN should recover both rings ({} clusters)",
+        db.num_clusters
+    );
+    let km = KMeans::new(2).cluster(&data);
+    assert!(metrics::nmi(&truth, &km.labels) < 0.5);
+}
+
+#[test]
+fn egg_sync_respects_ring_boundaries() {
+    let (data, truth) = concentric_rings(250, 0.006, 3);
+    let egg = EggSync::new(0.05).cluster(&data);
+    let purity = metrics::purity(&truth, &egg.labels);
+    assert!(
+        purity > 0.995,
+        "EGG-SynC must not merge the rings (purity {purity:.3}, {} clusters)",
+        egg.num_clusters
+    );
+    // the fragments on each ring are segments, i.e. clusters count stays
+    // far below the all-singletons degenerate answer
+    assert!(egg.num_clusters < data.len() / 4);
+}
+
+#[test]
+fn moons_ground_truth_is_shaped_as_designed() {
+    let (data, truth) = two_moons(100, 0.005, 1);
+    assert_eq!(data.len(), 200);
+    assert_eq!(truth.iter().filter(|&&l| l == 0).count(), 100);
+    // every coordinate stays in the unit square
+    for p in data.iter() {
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)), "{p:?}");
+    }
+}
