@@ -9,9 +9,13 @@
 use egg_bench::{default_synthetic, measure, scaled, Experiment};
 use egg_sync_core::{EggSync, GpuSync, Sync};
 
+/// Host-engine thread counts swept for the engine-scaling rows.
+const HOST_THREADS: [usize; 2] = [1, 4];
+
 fn main() {
     let mut exp = Experiment::new("fig3b_speedup", "n");
     let mut speedups: Vec<(usize, f64, f64, Option<f64>)> = Vec::new();
+    let mut engine_rows: Vec<(usize, f64, f64)> = Vec::new();
     for &raw_n in &[1_000usize, 2_000, 4_000] {
         let n = scaled(raw_n);
         let data = default_synthetic(n);
@@ -28,6 +32,22 @@ fn main() {
         exp.push(sync);
         exp.push(gpu);
         exp.push(egg);
+        // host execution engine: same algorithm, swept over thread counts
+        let mut host_runs = Vec::new();
+        for threads in HOST_THREADS {
+            let mut m = measure(&EggSync::host(0.05, Some(threads)), &data, n as f64);
+            m.algorithm = format!("EGG-host/t{threads}");
+            host_runs.push((m.wall_seconds, m.iterations, m.clusters));
+            exp.push(m);
+        }
+        let (_, iters0, clusters0) = host_runs[0];
+        assert!(
+            host_runs
+                .iter()
+                .all(|&(_, i, c)| (i, c) == (iters0, clusters0)),
+            "engine determinism violated at n={n}: {host_runs:?}"
+        );
+        engine_rows.push((n, host_runs[0].0, host_runs[host_runs.len() - 1].0));
     }
     println!("\nEGG-SynC speedup:");
     println!(
@@ -42,6 +62,17 @@ fn main() {
             g,
             gs.map_or_else(|| "-".to_owned(), |v| format!("{v:.1}x"))
         );
+    }
+    println!("\nHost engine scaling (identical output at every width):");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "n",
+        format!("t{} wall", HOST_THREADS[0]),
+        format!("t{} wall", HOST_THREADS[HOST_THREADS.len() - 1]),
+        "speedup"
+    );
+    for (n, w1, wk) in &engine_rows {
+        println!("{:>8} {:>11.3}s {:>11.3}s {:>9.2}x", n, w1, wk, w1 / wk);
     }
     exp.finish();
 }

@@ -37,7 +37,12 @@ fn main() {
                 structure_bytes: clustering.trace.peak_structure_bytes,
             });
         }
-        let times: Vec<f64> = clustering.trace.iterations.iter().map(|r| r.seconds).collect();
+        let times: Vec<f64> = clustering
+            .trace
+            .iterations
+            .iter()
+            .map(|r| r.seconds)
+            .collect();
         if times.len() >= 4 {
             let half = times.len() / 2;
             let first: f64 = times[..half].iter().sum::<f64>() / half as f64;

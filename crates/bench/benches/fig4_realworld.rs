@@ -16,7 +16,10 @@ fn main() {
     let mut exp = Experiment::new("fig4_realworld", "dataset_idx");
     let brute_cap = scaled(5_000);
     let gpu_cap = scaled(5_000);
-    println!("(sizes scaled to ≤{} for O(n²) baselines, ≤{gpu_cap} for GPU-SynC)", brute_cap);
+    println!(
+        "(sizes scaled to ≤{} for O(n²) baselines, ≤{gpu_cap} for GPU-SynC)",
+        brute_cap
+    );
     for (idx, ds) in UciDataset::ALL.iter().enumerate() {
         let full = ds.full_size();
         let n = scaled(full.min(6_000));

@@ -21,7 +21,9 @@ fn bench_primitives(c: &mut Criterion) {
     });
     group.bench_function("compact_100k", |b| {
         let flags = device.alloc_from_slice::<u64>(
-            &(0..n as u64).map(|i| u64::from(i % 3 == 0)).collect::<Vec<_>>(),
+            &(0..n as u64)
+                .map(|i| u64::from(i % 3 == 0))
+                .collect::<Vec<_>>(),
         );
         let out = device.alloc::<u64>(n);
         b.iter(|| primitives::compact_indices(&device, &flags, &out, n))

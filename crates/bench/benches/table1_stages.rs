@@ -11,26 +11,43 @@
 
 use egg_bench::{default_synthetic, results_dir, scaled};
 use egg_sync_core::instrument::Stage;
-use egg_sync_core::{ClusterAlgorithm, EggSync, GpuSync};
+use egg_sync_core::{ClusterAlgorithm, Clustering, EggSync, GpuSync};
 use std::io::Write;
+
+/// Host-engine thread counts swept for the per-stage breakdown.
+const HOST_THREADS: [usize; 2] = [1, 4];
 
 fn main() {
     println!("=== table1_stages ===");
     let mut json_rows = Vec::new();
     println!(
-        "{:<8} {:<10} {:>11} {:>16} {:>11} {:>12} {:>11} {:>12}",
-        "n", "method", "Allocating", "Build structure", "Update", "Extra check", "Clustering", "Free Memory"
+        "{:<8} {:<12} {:>11} {:>16} {:>11} {:>12} {:>11} {:>12}",
+        "n",
+        "method",
+        "Allocating",
+        "Build structure",
+        "Update",
+        "Extra check",
+        "Clustering",
+        "Free Memory"
     );
     for &raw_n in &[2_000usize, 4_000, 8_000] {
         let n = scaled(raw_n);
         let data = default_synthetic(n);
-        for (name, result) in [
-            ("GPU-SynC", GpuSync::new(0.05).cluster(&data)),
-            ("EGG-SynC", EggSync::new(0.05).cluster(&data)),
-        ] {
+        let mut runs: Vec<(String, Clustering)> = vec![
+            ("GPU-SynC".to_owned(), GpuSync::new(0.05).cluster(&data)),
+            ("EGG-SynC".to_owned(), EggSync::new(0.05).cluster(&data)),
+        ];
+        for threads in HOST_THREADS {
+            runs.push((
+                format!("EGG-host/t{threads}"),
+                EggSync::host(0.05, Some(threads)).cluster(&data),
+            ));
+        }
+        for (name, result) in runs {
             let stages = &result.trace.stages;
             println!(
-                "{:<8} {:<10} {:>11.6} {:>16.6} {:>11.6} {:>12.6} {:>11.6} {:>12.6}",
+                "{:<8} {:<12} {:>11.6} {:>16.6} {:>11.6} {:>12.6} {:>11.6} {:>12.6}",
                 n,
                 name,
                 stages.get(Stage::Allocating),
@@ -42,7 +59,7 @@ fn main() {
             );
             if let Some(sim) = &result.trace.sim_stages {
                 println!(
-                    "{:<8} {:<10} {:>11.6} {:>16.6} {:>11.6} {:>12.6} {:>11.6} {:>12.6}  (simulated GPU)",
+                    "{:<8} {:<12} {:>11.6} {:>16.6} {:>11.6} {:>12.6} {:>11.6} {:>12.6}  (simulated GPU)",
                     "", "",
                     sim.get(Stage::Allocating),
                     sim.get(Stage::BuildStructure),
@@ -57,6 +74,7 @@ fn main() {
                 "method": name,
                 "host_stages": stages,
                 "sim_stages": result.trace.sim_stages,
+                "engine_threads": result.trace.engine_threads,
                 "iterations": result.iterations,
             }));
         }
@@ -66,9 +84,11 @@ fn main() {
     let path = dir.join("table1_stages.json");
     let mut f = std::fs::File::create(&path).expect("create results file");
     f.write_all(
-        serde_json::to_string_pretty(&serde_json::json!({"experiment": "table1_stages", "rows": json_rows}))
-            .expect("serializable")
-            .as_bytes(),
+        serde_json::to_string_pretty(
+            &serde_json::json!({"experiment": "table1_stages", "rows": json_rows}),
+        )
+        .expect("serializable")
+        .as_bytes(),
     )
     .expect("write results");
     println!("(series written to {})", path.display());

@@ -142,7 +142,11 @@ impl Experiment {
             "x_label": self.x_label,
             "rows": self.rows,
         });
-        file.write_all(serde_json::to_string_pretty(&payload).expect("serializable").as_bytes())?;
+        file.write_all(
+            serde_json::to_string_pretty(&payload)
+                .expect("serializable")
+                .as_bytes(),
+        )?;
         println!("(series written to {})\n", path.display());
         Ok(())
     }
@@ -153,10 +157,9 @@ impl Experiment {
 /// directory as CWD, so the path is anchored at this crate's manifest and
 /// resolved to the workspace's target directory (or `CARGO_TARGET_DIR`).
 pub fn results_dir() -> PathBuf {
-    let target = std::env::var("CARGO_TARGET_DIR").map(PathBuf::from).unwrap_or_else(|_| {
-        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-            .join("../../target")
-    });
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target"));
     target.join("paper_results")
 }
 

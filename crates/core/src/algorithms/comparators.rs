@@ -268,7 +268,10 @@ mod tests {
     fn dbscan_isolated_points_are_noise_singletons() {
         let mut rows = vec![vec![0.5, 0.05]];
         for i in 0..40 {
-            rows.push(vec![0.2 + (i % 7) as f64 * 1e-3, 0.2 + (i % 5) as f64 * 1e-3]);
+            rows.push(vec![
+                0.2 + (i % 7) as f64 * 1e-3,
+                0.2 + (i % 5) as f64 * 1e-3,
+            ]);
         }
         let data = Dataset::from_rows(&rows);
         let result = Dbscan::new(0.05).cluster(&data);
@@ -292,7 +295,10 @@ mod tests {
 
     #[test]
     fn both_handle_empty_input() {
-        assert_eq!(Dbscan::new(0.05).cluster(&Dataset::empty(2)).num_clusters, 0);
+        assert_eq!(
+            Dbscan::new(0.05).cluster(&Dataset::empty(2)).num_clusters,
+            0
+        );
         assert_eq!(KMeans::new(3).cluster(&Dataset::empty(2)).num_clusters, 0);
     }
 

@@ -62,8 +62,7 @@ impl ClusterAlgorithm for FSync {
                 neighbor_buf.clear();
                 tree.for_each_in_ball(p, eps, |_, q| neighbor_buf.extend_from_slice(q));
                 let out = &mut next[p_idx * dim..(p_idx + 1) * dim];
-                rc_sum +=
-                    update_point_with_neighbors(p, neighbor_buf.chunks_exact(dim), out);
+                rc_sum += update_point_with_neighbors(p, neighbor_buf.chunks_exact(dim), out);
             }
             rc_sum / n as f64
         })

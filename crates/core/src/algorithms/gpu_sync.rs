@@ -60,7 +60,10 @@ impl ClusterAlgorithm for GpuSync {
     fn cluster(&self, data: &Dataset) -> Clustering {
         let dim = data.dim();
         let n = data.len();
-        assert!(dim <= MAX_DIM, "GPU kernels support at most {MAX_DIM} dimensions");
+        assert!(
+            dim <= MAX_DIM,
+            "GPU kernels support at most {MAX_DIM} dimensions"
+        );
         let mut trace = RunTrace::default();
         if n == 0 {
             return Clustering::from_labels(Vec::new(), 0, true, data.clone(), trace);
@@ -146,11 +149,13 @@ impl ClusterAlgorithm for GpuSync {
 
         // --- gather clusters on the device (min-label propagation) -------
         let sim_before = device.sim_kernel_nanos();
-        let (labels, secs) = timed(|| {
-            gpu_gather_labels(&device, &coords_cur, n, dim, self.params.gamma)
-        });
+        let (labels, secs) =
+            timed(|| gpu_gather_labels(&device, &coords_cur, n, dim, self.params.gamma));
         trace.stages.add(Stage::Clustering, secs);
-        sim_stages.add(Stage::Clustering, (device.sim_kernel_nanos() - sim_before) as f64 / 1e9);
+        sim_stages.add(
+            Stage::Clustering,
+            (device.sim_kernel_nanos() - sim_before) as f64 / 1e9,
+        );
 
         let final_coords = Dataset::from_coords(coords_cur.to_vec(), dim);
         trace.observe_structure_bytes(device.memory_used() as usize);
@@ -252,7 +257,11 @@ mod tests {
         let result = GpuSync::new(0.05).cluster(&data);
         let sim = result.trace.total_sim_seconds.expect("sim time recorded");
         assert!(sim > 0.0);
-        assert!(result.trace.iterations.iter().all(|r| r.sim_seconds.unwrap() > 0.0));
+        assert!(result
+            .trace
+            .iterations
+            .iter()
+            .all(|r| r.sim_seconds.unwrap() > 0.0));
     }
 
     #[test]

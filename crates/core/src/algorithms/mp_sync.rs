@@ -1,15 +1,18 @@
 //! MP-SynC — the paper's straightforward CPU-multiprocessor baseline.
 //!
 //! Identical model and λ-termination to [`crate::Sync`]; the per-point
-//! updates of one iteration are distributed over host threads (the paper:
-//! "distribute updates of all points among threads"). The update is
-//! synchronous — all threads read the same iteration-`t` coordinates and
-//! write disjoint slices of the iteration-`t+1` buffer — so the result is
-//! bit-identical to sequential SynC.
+//! updates of one iteration are distributed over the shared host
+//! [`Executor`] (the paper: "distribute updates of all points among
+//! threads"). The update is synchronous — all workers read the same
+//! iteration-`t` coordinates and write disjoint chunks of the
+//! iteration-`t+1` buffer — so the coordinates are bit-identical to
+//! sequential SynC, and the engine's fixed chunking makes the `r_c`
+//! reduction bit-identical across worker counts too.
 
 use egg_data::Dataset;
 
 use crate::algorithms::run_lambda_terminated;
+use crate::exec::{Executor, POINT_CHUNK};
 use crate::model::{update_point, SyncParams};
 use crate::result::{ClusterAlgorithm, Clustering};
 
@@ -36,12 +39,6 @@ impl MpSync {
     pub fn with_params(params: SyncParams, threads: Option<usize>) -> Self {
         Self { params, threads }
     }
-
-    fn workers(&self) -> usize {
-        self.threads
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
-            .max(1)
-    }
 }
 
 impl ClusterAlgorithm for MpSync {
@@ -53,41 +50,19 @@ impl ClusterAlgorithm for MpSync {
         let dim = data.dim();
         let n = data.len();
         let eps = self.params.epsilon;
-        let workers = self.workers();
-        run_lambda_terminated(data, &self.params, |coords, next, _trace| {
-            if workers == 1 || n < 2 * workers {
-                let mut rc_sum = 0.0;
-                for p_idx in 0..n {
-                    let out = &mut next[p_idx * dim..(p_idx + 1) * dim];
-                    rc_sum += update_point(coords, dim, p_idx, eps, out);
+        let exec = Executor::new(self.threads);
+        let mut result = run_lambda_terminated(data, &self.params, |coords, next, _trace| {
+            let rc_parts = exec.map_chunks_mut(next, POINT_CHUNK * dim, |offset, chunk| {
+                let mut acc = 0.0;
+                for (r, out) in chunk.chunks_exact_mut(dim).enumerate() {
+                    acc += update_point(coords, dim, offset / dim + r, eps, out);
                 }
-                return rc_sum / n as f64;
-            }
-            let chunk_points = n.div_ceil(workers);
-            let mut rc_parts = vec![0.0f64; workers];
-            crossbeam::scope(|scope| {
-                let mut rest = &mut next[..];
-                for (w, rc_part) in rc_parts.iter_mut().enumerate() {
-                    let start = w * chunk_points;
-                    let end = ((w + 1) * chunk_points).min(n);
-                    if start >= end {
-                        break;
-                    }
-                    let (mine, tail) = rest.split_at_mut((end - start) * dim);
-                    rest = tail;
-                    scope.spawn(move |_| {
-                        let mut acc = 0.0;
-                        for p_idx in start..end {
-                            let out = &mut mine[(p_idx - start) * dim..(p_idx - start + 1) * dim];
-                            acc += update_point(coords, dim, p_idx, eps, out);
-                        }
-                        *rc_part = acc;
-                    });
-                }
-            })
-            .expect("MP-SynC worker panicked");
+                acc
+            });
             rc_parts.iter().sum::<f64>() / n as f64
-        })
+        });
+        result.trace.engine_threads = Some(exec.workers());
+        result
     }
 }
 
@@ -117,7 +92,10 @@ mod tests {
         let par = MpSync::with_params(SyncParams::new(0.05), Some(4)).cluster(&data);
         assert_eq!(seq.iterations, par.iterations);
         assert!(same_partition(&seq.labels, &par.labels));
-        assert_eq!(seq.final_coords, par.final_coords, "updates must be bit-identical");
+        assert_eq!(
+            seq.final_coords, par.final_coords,
+            "updates must be bit-identical"
+        );
     }
 
     #[test]
@@ -134,6 +112,28 @@ mod tests {
         let par = MpSync::with_params(SyncParams::new(0.05), Some(64)).cluster(&data);
         assert!(par.converged);
         assert_eq!(par.labels.len(), 6);
+    }
+
+    #[test]
+    fn identical_across_worker_counts() {
+        let data = blobs(300, 5);
+        let reference = MpSync::with_params(SyncParams::new(0.05), Some(1)).cluster(&data);
+        for threads in [Some(3), Some(8), None] {
+            let run = MpSync::with_params(SyncParams::new(0.05), threads).cluster(&data);
+            assert_eq!(run.iterations, reference.iterations, "threads {threads:?}");
+            assert_eq!(run.labels, reference.labels, "threads {threads:?}");
+            assert_eq!(
+                run.final_coords, reference.final_coords,
+                "threads {threads:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_records_engine_threads() {
+        let data = blobs(60, 8);
+        let run = MpSync::with_params(SyncParams::new(0.05), Some(2)).cluster(&data);
+        assert_eq!(run.trace.engine_threads, Some(2));
     }
 
     #[test]

@@ -131,7 +131,12 @@ mod tests {
     fn rc_is_monotone_enough_to_terminate() {
         let (data, _) = blobs(150, 2, 5);
         let result = Sync::new(0.05).cluster(&data);
-        let rcs: Vec<f64> = result.trace.iterations.iter().map(|r| r.rc.unwrap()).collect();
+        let rcs: Vec<f64> = result
+            .trace
+            .iterations
+            .iter()
+            .map(|r| r.rc.unwrap())
+            .collect();
         assert!(rcs.last().unwrap() >= &0.999);
         assert!(rcs.first().unwrap() < rcs.last().unwrap() || rcs.len() == 1);
     }
@@ -150,7 +155,10 @@ mod tests {
                         .map(|(a, b)| (a - b) * (a - b))
                         .sum::<f64>()
                         .sqrt();
-                    assert!(dist <= 2.0 * 0.025, "same-cluster points {i},{j} apart by {dist}");
+                    assert!(
+                        dist <= 2.0 * 0.025,
+                        "same-cluster points {i},{j} apart by {dist}"
+                    );
                 }
             }
         }

@@ -15,13 +15,26 @@
 use egg_data::Dataset;
 use egg_gpu_sim::{Device, DeviceConfig};
 
-use crate::grid::{GridGeometry, GridVariant, GridWorkspace};
+use crate::exec::Executor;
+use crate::grid::{CellGrid, GridGeometry, GridVariant, GridWorkspace};
 use crate::instrument::{timed, IterationRecord, RunTrace, Stage, StageTimings};
 use crate::result::{ClusterAlgorithm, Clustering};
 
 use super::gather::gather_labels;
-use super::termination::second_term_holds;
-use super::update::{egg_update, UpdateOptions};
+use super::termination::{second_term_holds, second_term_holds_host};
+use super::update::{egg_update, egg_update_host, UpdateOptions};
+
+/// Execution backend for [`EggSync`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The paper's device algorithm on the simulated GPU (default).
+    #[default]
+    SimulatedGpu,
+    /// The host execution engine: the same grid/update/termination
+    /// pipeline fanned over an [`Executor`]'s worker threads, bit-for-bit
+    /// deterministic for any thread count.
+    Host,
+}
 
 /// Exact GPU-parallelized Grid-based clustering by Synchronization.
 #[derive(Debug, Clone)]
@@ -38,6 +51,12 @@ pub struct EggSync {
     pub options: UpdateOptions,
     /// Simulated-device configuration.
     pub device_config: DeviceConfig,
+    /// Where the pipeline executes.
+    pub backend: Backend,
+    /// Worker threads for the execution engine (`None` = the host's
+    /// available parallelism). On the [`Backend::SimulatedGpu`] backend
+    /// this overrides [`DeviceConfig::host_threads`] when set.
+    pub threads: Option<usize>,
 }
 
 impl EggSync {
@@ -51,6 +70,8 @@ impl EggSync {
             variant: GridVariant::Auto,
             options: UpdateOptions::default(),
             device_config: DeviceConfig::default(),
+            backend: Backend::default(),
+            threads: None,
         }
     }
 
@@ -61,21 +82,118 @@ impl EggSync {
             ..Self::new(epsilon)
         }
     }
-}
 
-impl ClusterAlgorithm for EggSync {
-    fn name(&self) -> &'static str {
-        "EGG-SynC"
+    /// EGG-SynC on the host execution engine with the given worker count
+    /// (`None` = the host's available parallelism).
+    pub fn host(epsilon: f64, threads: Option<usize>) -> Self {
+        Self {
+            backend: Backend::Host,
+            threads,
+            ..Self::new(epsilon)
+        }
     }
 
-    fn cluster(&self, data: &Dataset) -> Clustering {
+    /// Algorithm 4 on the host execution engine: identical pipeline and
+    /// classification logic to the device path, with [`CellGrid`] as the
+    /// grid structure and no simulated-GPU cost accounting.
+    fn cluster_host(&self, data: &Dataset) -> Clustering {
+        let dim = data.dim();
+        let n = data.len();
+        let exec = Executor::new(self.threads);
+        let mut trace = RunTrace {
+            engine_threads: Some(exec.workers()),
+            ..RunTrace::default()
+        };
+        if n == 0 {
+            return Clustering::from_labels(Vec::new(), 0, true, data.clone(), trace);
+        }
+
+        let geometry = GridGeometry::new(dim, self.epsilon, n, self.variant);
+        let ((mut coords_cur, mut coords_next), alloc_secs) =
+            timed(|| (data.coords().to_vec(), vec![0.0f64; n * dim]));
+        trace.stages.add(Stage::Allocating, alloc_secs);
+
+        let mut iterations = 0usize;
+        let mut converged = false;
+        let mut last_grid: Option<CellGrid> = None;
+        while iterations < self.max_iterations {
+            let iter_start = std::time::Instant::now();
+
+            // construct grid + summaries from state t
+            let (grid, build_secs) = timed(|| CellGrid::build(&exec, geometry, &coords_cur));
+            trace.stages.add(Stage::BuildStructure, build_secs);
+            trace.observe_structure_bytes(grid.memory_bytes());
+
+            // update t → t+1, certifying the first term on state t
+            let (first_term, update_secs) = timed(|| {
+                egg_update_host(
+                    &exec,
+                    &grid,
+                    &coords_cur,
+                    &mut coords_next,
+                    self.epsilon,
+                    self.options,
+                )
+            });
+            trace.stages.add(Stage::Update, update_secs);
+
+            // second term, only when the first survived (state t!)
+            let mut done = false;
+            if first_term {
+                let (second, check_secs) =
+                    timed(|| second_term_holds_host(&exec, &grid, &coords_cur, self.epsilon));
+                trace.stages.add(Stage::ExtraCheck, check_secs);
+                done = second;
+            }
+
+            std::mem::swap(&mut coords_cur, &mut coords_next);
+            iterations += 1;
+            trace.iterations.push(IterationRecord {
+                iteration: iterations - 1,
+                seconds: iter_start.elapsed().as_secs_f64(),
+                sim_seconds: None,
+                rc: None,
+            });
+            last_grid = Some(grid);
+            if done {
+                converged = true;
+                break;
+            }
+        }
+
+        // --- gather: non-empty cells of the certified grid are clusters --
+        let (labels, gather_secs) = timed(|| {
+            last_grid
+                .as_ref()
+                .map(|g| g.point_cell().to_vec())
+                .unwrap_or_default()
+        });
+        trace.stages.add(Stage::Clustering, gather_secs);
+
+        let final_coords = Dataset::from_coords(coords_cur, dim);
+        let (_, free_secs) = timed(|| {
+            drop(last_grid);
+            drop(coords_next);
+        });
+        trace.stages.add(Stage::FreeMemory, free_secs);
+        trace.total_seconds = trace.stages.total();
+        Clustering::from_labels(labels, iterations, converged, final_coords, trace)
+    }
+
+    /// Algorithm 4 on the simulated GPU.
+    fn cluster_device(&self, data: &Dataset) -> Clustering {
         let dim = data.dim();
         let n = data.len();
         let mut trace = RunTrace::default();
         if n == 0 {
             return Clustering::from_labels(Vec::new(), 0, true, data.clone(), trace);
         }
-        let device = Device::new(self.device_config.clone());
+        let mut device_config = self.device_config.clone();
+        if self.threads.is_some() {
+            device_config.host_threads = self.threads;
+        }
+        let device = Device::new(device_config);
+        trace.engine_threads = Some(device.workers());
         let mut sim_stages = StageTimings::default();
         let mut sim_mark = 0u64;
         let mut take_sim = |device: &Device, stages: &mut StageTimings, stage: Stage| {
@@ -137,9 +255,8 @@ impl ClusterAlgorithm for EggSync {
             // second term, only when the first survived (state t!)
             let mut done = false;
             if first_term {
-                let (second, check_secs) = timed(|| {
-                    second_term_holds(&device, &grid, &pre, &coords_cur, n, self.epsilon)
-                });
+                let (second, check_secs) =
+                    timed(|| second_term_holds(&device, &grid, &pre, &coords_cur, n, self.epsilon));
                 trace.stages.add(Stage::ExtraCheck, check_secs);
                 take_sim(&device, &mut sim_stages, Stage::ExtraCheck);
                 done = second;
@@ -161,12 +278,8 @@ impl ClusterAlgorithm for EggSync {
         }
 
         // --- gather: non-empty cells of the certified grid are clusters --
-        let (labels, gather_secs) = timed(|| {
-            last_grid
-                .as_ref()
-                .map(gather_labels)
-                .unwrap_or_default()
-        });
+        let (labels, gather_secs) =
+            timed(|| last_grid.as_ref().map(gather_labels).unwrap_or_default());
         trace.stages.add(Stage::Clustering, gather_secs);
         take_sim(&device, &mut sim_stages, Stage::Clustering);
 
@@ -182,6 +295,22 @@ impl ClusterAlgorithm for EggSync {
         trace.total_sim_seconds = Some(sim_stages.total());
         trace.sim_stages = Some(sim_stages);
         Clustering::from_labels(labels, iterations, converged, final_coords, trace)
+    }
+}
+
+impl ClusterAlgorithm for EggSync {
+    fn name(&self) -> &'static str {
+        match self.backend {
+            Backend::SimulatedGpu => "EGG-SynC",
+            Backend::Host => "EGG-SynC (host)",
+        }
+    }
+
+    fn cluster(&self, data: &Dataset) -> Clustering {
+        match self.backend {
+            Backend::SimulatedGpu => self.cluster_device(data),
+            Backend::Host => self.cluster_host(data),
+        }
     }
 }
 
@@ -234,7 +363,10 @@ mod tests {
                 same_partition(&reference.labels, &other.labels),
                 "variant {variant:?} diverged"
             );
-            assert_eq!(reference.iterations, other.iterations, "variant {variant:?}");
+            assert_eq!(
+                reference.iterations, other.iterations,
+                "variant {variant:?}"
+            );
         }
     }
 
@@ -288,13 +420,72 @@ mod tests {
 
     #[test]
     fn empty_single_duplicate_inputs() {
-        assert_eq!(EggSync::new(0.05).cluster(&Dataset::empty(2)).num_clusters, 0);
+        assert_eq!(
+            EggSync::new(0.05).cluster(&Dataset::empty(2)).num_clusters,
+            0
+        );
         let single = EggSync::new(0.05).cluster(&Dataset::from_coords(vec![0.4, 0.6], 2));
         assert!(single.converged);
         assert_eq!(single.num_clusters, 1);
         let dup = EggSync::new(0.05).cluster(&Dataset::from_coords([0.5, 0.5].repeat(7), 2));
         assert!(dup.converged);
         assert_eq!(dup.num_clusters, 1);
+        assert_eq!(dup.labels, vec![0; 7]);
+    }
+
+    #[test]
+    fn host_backend_matches_device_partition() {
+        let (data, _) = blobs(200, 3, 77);
+        let device = EggSync::new(0.05).cluster(&data);
+        let host = EggSync::host(0.05, None).cluster(&data);
+        assert!(host.converged);
+        assert!(
+            same_partition(&device.labels, &host.labels),
+            "device {} vs host {} clusters",
+            device.num_clusters,
+            host.num_clusters
+        );
+    }
+
+    #[test]
+    fn host_backend_is_identical_across_thread_counts() {
+        let (data, _) = blobs(250, 4, 21);
+        let reference = EggSync::host(0.05, Some(1)).cluster(&data);
+        for threads in [Some(4), None] {
+            let run = EggSync::host(0.05, threads).cluster(&data);
+            assert_eq!(run.labels, reference.labels, "threads {threads:?}");
+            assert_eq!(run.iterations, reference.iterations);
+            // not merely close: the engine promises bitwise equality
+            assert_eq!(
+                run.final_coords.coords(),
+                reference.final_coords.coords(),
+                "threads {threads:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn host_backend_trace_reports_engine_threads() {
+        let (data, _) = blobs(120, 2, 1);
+        let result = EggSync::host(0.05, Some(3)).cluster(&data);
+        let trace = &result.trace;
+        assert_eq!(trace.engine_threads, Some(3));
+        assert!(trace.sim_stages.is_none() && trace.total_sim_seconds.is_none());
+        assert!(trace.stages.get(Stage::BuildStructure) > 0.0);
+        assert!(trace.stages.get(Stage::Update) > 0.0);
+        assert!(trace.peak_structure_bytes > 0);
+        assert_eq!(trace.iterations.len(), result.iterations);
+    }
+
+    #[test]
+    fn host_backend_edge_inputs() {
+        let algo = EggSync::host(0.05, Some(2));
+        assert_eq!(algo.cluster(&Dataset::empty(2)).num_clusters, 0);
+        let single = algo.cluster(&Dataset::from_coords(vec![0.4, 0.6], 2));
+        assert!(single.converged);
+        assert_eq!(single.num_clusters, 1);
+        let dup = algo.cluster(&Dataset::from_coords([0.5, 0.5].repeat(7), 2));
+        assert!(dup.converged);
         assert_eq!(dup.labels, vec![0; 7]);
     }
 

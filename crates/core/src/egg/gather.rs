@@ -13,7 +13,11 @@ use crate::grid::DeviceGrid;
 /// Read the cluster labels off the grid: one compacted-cell index per
 /// point.
 pub fn gather_labels(grid: &DeviceGrid) -> Vec<u32> {
-    grid.point_cell.to_vec().into_iter().map(|c| c as u32).collect()
+    grid.point_cell
+        .to_vec()
+        .into_iter()
+        .map(|c| c as u32)
+        .collect()
 }
 
 #[cfg(test)]

@@ -165,7 +165,12 @@ mod tests {
                 .num_clusters,
             1
         );
-        assert_eq!(ExactSync::new(0.05).cluster(&Dataset::empty(2)).num_clusters, 0);
+        assert_eq!(
+            ExactSync::new(0.05)
+                .cluster(&Dataset::empty(2))
+                .num_clusters,
+            0
+        );
     }
 
     #[test]

@@ -11,8 +11,9 @@
 use egg_gpu_sim::{grid_for, Device, DeviceBuffer};
 
 use crate::algorithms::gpu_sync::{BLOCK, MAX_DIM};
+use crate::exec::{Executor, POINT_CHUNK};
 use crate::grid::device::seg_start;
-use crate::grid::{DeviceGrid, PreGrid};
+use crate::grid::{CellGrid, DeviceGrid, GridGeometry, PreGrid};
 use crate::model::delta;
 
 /// Launch the second-term kernel over the state `coords` (the positions the
@@ -80,7 +81,15 @@ pub fn second_term_holds(
                         // q1 hovers in the shell: can one of its
                         // ε/2-neighbors drag it towards p?
                         if shell_pair_reaches(
-                            grid, pre, coords, &geo, &p[..dim], &q1[..dim], eps_sq, half_sq, dim,
+                            grid,
+                            pre,
+                            coords,
+                            &geo,
+                            &p[..dim],
+                            &q1[..dim],
+                            eps_sq,
+                            half_sq,
+                            dim,
                         ) {
                             flag.store(0, 0);
                             return;
@@ -160,6 +169,105 @@ fn shell_pair_reaches(
     false
 }
 
+/// Host-engine counterpart of [`second_term_holds`]: evaluate the second
+/// term of Definition 4.2 over `exec`'s workers. Each point is a pure
+/// predicate, so the verdict equals the sequential evaluation —
+/// [`Executor::all`] only short-circuits *how much* work runs once a
+/// draggable pair is found, never the outcome.
+pub fn second_term_holds_host(
+    exec: &Executor,
+    grid: &CellGrid,
+    coords: &[f64],
+    epsilon: f64,
+) -> bool {
+    let geo = *grid.geometry();
+    let dim = geo.dim;
+    let n = coords.len() / dim;
+    let eps_sq = epsilon * epsilon;
+    let shell = epsilon + delta(epsilon);
+    let shell_sq = shell * shell;
+    let half_sq = (epsilon / 2.0) * (epsilon / 2.0);
+    exec.all(n, POINT_CHUNK, |p_idx| {
+        let p = &coords[p_idx * dim..(p_idx + 1) * dim];
+        let mut dragged = false;
+        grid.for_each_cell_in_reach(geo.outer_id_of_point(p), |c| {
+            if dragged || geo.min_sq_dist_to_cell(p, grid.cell_key(c)) > shell_sq {
+                return;
+            }
+            for &q1_idx in grid.cell_points(c) {
+                let q1 = &coords[q1_idx as usize * dim..(q1_idx as usize + 1) * dim];
+                let mut d_sq = 0.0;
+                for i in 0..dim {
+                    let d = q1[i] - p[i];
+                    d_sq += d * d;
+                }
+                if d_sq <= eps_sq || d_sq > shell_sq {
+                    continue;
+                }
+                // q1 hovers in the shell: can one of its ε/2-neighbors
+                // drag it towards p?
+                if shell_pair_reaches_host(grid, coords, &geo, p, q1, eps_sq, half_sq, dim) {
+                    dragged = true;
+                    return;
+                }
+            }
+        });
+        !dragged
+    })
+}
+
+/// Host analogue of [`shell_pair_reaches`]: scan `q₁`'s surrounding cells
+/// for a partner `q₂ ∈ N_{ε/2}(q₁)` whose pair-MBR with `q₁` intersects
+/// the ε-ball of `p`.
+#[allow(clippy::too_many_arguments)]
+fn shell_pair_reaches_host(
+    grid: &CellGrid,
+    coords: &[f64],
+    geo: &GridGeometry,
+    p: &[f64],
+    q1: &[f64],
+    eps_sq: f64,
+    half_sq: f64,
+    dim: usize,
+) -> bool {
+    let mut reaches = false;
+    grid.for_each_cell_in_reach(geo.outer_id_of_point(q1), |c| {
+        if reaches || geo.min_sq_dist_to_cell(q1, grid.cell_key(c)) > half_sq {
+            return;
+        }
+        for &q2_idx in grid.cell_points(c) {
+            let q2 = &coords[q2_idx as usize * dim..(q2_idx as usize + 1) * dim];
+            let mut d_sq = 0.0;
+            for i in 0..dim {
+                let d = q2[i] - q1[i];
+                d_sq += d * d;
+            }
+            if d_sq > half_sq {
+                continue;
+            }
+            // MBR of {q1, q2} against the ε-ball of p
+            let mut mbr_sq = 0.0;
+            for i in 0..dim {
+                let lo_i = q1[i].min(q2[i]);
+                let hi_i = q1[i].max(q2[i]);
+                let d = if p[i] < lo_i {
+                    lo_i - p[i]
+                } else if p[i] > hi_i {
+                    p[i] - hi_i
+                } else {
+                    0.0
+                };
+                mbr_sq += d * d;
+            }
+            if mbr_sq <= eps_sq {
+                reaches = true;
+                return;
+            }
+        }
+    });
+    reaches
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,9 +305,7 @@ mod tests {
     fn matches_brute_force_on_random_clouds() {
         for seed in 0..6u64 {
             let coords: Vec<f64> = (0..120)
-                .map(|i| {
-                    ((i as u64 + seed * 977).wrapping_mul(2654435761) % 1009) as f64 / 1009.0
-                })
+                .map(|i| ((i as u64 + seed * 977).wrapping_mul(2654435761) % 1009) as f64 / 1009.0)
                 .collect();
             let eps = 0.06 + seed as f64 * 0.01;
             assert_eq!(
@@ -214,5 +320,47 @@ mod tests {
     fn empty_and_single_point_hold_trivially() {
         assert!(device_second_term(&[], 2, 0.05));
         assert!(device_second_term(&[0.5, 0.5], 2, 0.05));
+    }
+
+    fn host_second_term(coords: &[f64], dim: usize, eps: f64, workers: usize) -> bool {
+        let n = coords.len() / dim;
+        let exec = Executor::new(Some(workers));
+        let geo = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+        let grid = CellGrid::build(&exec, geo, coords);
+        second_term_holds_host(&exec, &grid, coords, eps)
+    }
+
+    #[test]
+    fn host_matches_brute_force_on_hand_built_configurations() {
+        let violation = vec![0.50, 0.50, 0.601, 0.50, 0.59, 0.545];
+        let clean = vec![0.10, 0.10, 0.12, 0.10, 0.90, 0.90, 0.88, 0.90];
+        for workers in [1, 4] {
+            assert!(!host_second_term(&violation, 2, 0.1, workers));
+            assert!(host_second_term(&clean, 2, 0.1, workers));
+        }
+    }
+
+    #[test]
+    fn host_matches_brute_force_on_random_clouds() {
+        for seed in 0..6u64 {
+            let coords: Vec<f64> = (0..120)
+                .map(|i| ((i as u64 + seed * 977).wrapping_mul(2654435761) % 1009) as f64 / 1009.0)
+                .collect();
+            let eps = 0.06 + seed as f64 * 0.01;
+            let expected = criterion_term2_met(&coords, 2, eps);
+            for workers in [1, 3, 8] {
+                assert_eq!(
+                    host_second_term(&coords, 2, eps, workers),
+                    expected,
+                    "seed {seed} workers {workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn host_empty_and_single_point_hold_trivially() {
+        assert!(host_second_term(&[], 2, 0.05, 4));
+        assert!(host_second_term(&[0.5, 0.5], 2, 0.05, 4));
     }
 }

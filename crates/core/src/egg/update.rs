@@ -21,7 +21,8 @@
 use egg_gpu_sim::{grid_for, Device, DeviceBuffer};
 
 use crate::algorithms::gpu_sync::{BLOCK, MAX_DIM};
-use crate::grid::{DeviceGrid, PreGrid};
+use crate::exec::{Executor, POINT_CHUNK};
+use crate::grid::{CellGrid, DeviceGrid, PreGrid};
 
 use super::super::grid::device::seg_start;
 
@@ -156,6 +157,85 @@ pub fn egg_update(
     });
 }
 
+/// Host-engine counterpart of [`egg_update`]: move every point of `coords`
+/// into `next` on `exec`'s workers, and return whether the *first term* of
+/// Definition 4.2 held (every neighborhood confined to its own cell).
+///
+/// Cell classification and the summary consumption are identical to the
+/// device kernel; `options.use_pregrid` is a no-op here because
+/// [`CellGrid::for_each_cell_in_reach`] already skips empty outer cells
+/// via its hash lookup.
+///
+/// Determinism: points are processed in fixed [`POINT_CHUNK`]-row chunks
+/// and each point walks cells in the grid's sorted order, so `next` is
+/// bit-for-bit identical for any worker count.
+pub fn egg_update_host(
+    exec: &Executor,
+    grid: &CellGrid,
+    coords: &[f64],
+    next: &mut [f64],
+    epsilon: f64,
+    options: UpdateOptions,
+) -> bool {
+    let geo = *grid.geometry();
+    let dim = geo.dim;
+    let eps_sq = epsilon * epsilon;
+    let locals = exec.map_chunks_mut(next, POINT_CHUNK * dim, |offset, chunk| {
+        let mut all_local = true;
+        for (r, out) in chunk.chunks_exact_mut(dim).enumerate() {
+            let p_idx = offset / dim + r;
+            let p = &coords[p_idx * dim..(p_idx + 1) * dim];
+            let (mut sin_p, mut cos_p) = ([0.0f64; MAX_DIM], [0.0f64; MAX_DIM]);
+            for i in 0..dim {
+                sin_p[i] = p[i].sin();
+                cos_p[i] = p[i].cos();
+            }
+            let mut sums = [0.0f64; MAX_DIM];
+            let mut neighbors = 0u64;
+            grid.for_each_cell_in_reach(geo.outer_id_of_point(p), |c| {
+                let key = grid.cell_key(c);
+                if geo.min_sq_dist_to_cell(p, key) > eps_sq {
+                    return;
+                }
+                let fully_within =
+                    options.use_summaries && geo.max_sq_dist_to_cell(p, key) <= eps_sq;
+                if fully_within {
+                    let (sin_sums, cos_sums) = (grid.sin_sums(c), grid.cos_sums(c));
+                    for i in 0..dim {
+                        sums[i] += cos_p[i] * sin_sums[i] - sin_p[i] * cos_sums[i];
+                    }
+                    neighbors += grid.cell_len(c) as u64;
+                } else {
+                    for &q_idx in grid.cell_points(c) {
+                        let q = &coords[q_idx as usize * dim..(q_idx as usize + 1) * dim];
+                        let mut dist_sq = 0.0;
+                        for i in 0..dim {
+                            let d = q[i] - p[i];
+                            dist_sq += d * d;
+                        }
+                        if dist_sq <= eps_sq {
+                            neighbors += 1;
+                            for i in 0..dim {
+                                sums[i] += (q[i] - p[i]).sin();
+                            }
+                        }
+                    }
+                }
+            });
+            let inv = 1.0 / neighbors as f64;
+            for i in 0..dim {
+                out[i] = p[i] + sums[i] * inv;
+            }
+            // first term of Definition 4.2, host edition
+            if neighbors != grid.cell_len(grid.point_cell()[p_idx] as usize) as u64 {
+                all_local = false;
+            }
+        }
+        all_local
+    });
+    locals.into_iter().all(|b| b)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,7 +291,13 @@ mod tests {
     fn matches_brute_force_with_all_optimizations() {
         let coords = cloud(300, 2);
         let expected = brute_force_update(&coords, 2, 0.08);
-        let (got, _) = run_update(&coords, 2, 0.08, GridVariant::Auto, UpdateOptions::default());
+        let (got, _) = run_update(
+            &coords,
+            2,
+            0.08,
+            GridVariant::Auto,
+            UpdateOptions::default(),
+        );
         assert_close(&got, &expected, 1e-9);
     }
 
@@ -285,7 +371,79 @@ mod tests {
     fn sync_flag_set_when_all_neighborhoods_are_cell_local() {
         // two isolated points, far beyond ε of each other
         let coords = vec![0.1, 0.1, 0.9, 0.9];
-        let (_, flag) = run_update(&coords, 2, 0.05, GridVariant::Auto, UpdateOptions::default());
+        let (_, flag) = run_update(
+            &coords,
+            2,
+            0.05,
+            GridVariant::Auto,
+            UpdateOptions::default(),
+        );
         assert!(flag);
+    }
+
+    fn run_update_host(
+        coords: &[f64],
+        dim: usize,
+        eps: f64,
+        workers: usize,
+        options: UpdateOptions,
+    ) -> (Vec<f64>, bool) {
+        let n = coords.len() / dim;
+        let exec = Executor::new(Some(workers));
+        let geo = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+        let grid = CellGrid::build(&exec, geo, coords);
+        let mut next = vec![0.0; coords.len()];
+        let first_term = egg_update_host(&exec, &grid, coords, &mut next, eps, options);
+        (next, first_term)
+    }
+
+    #[test]
+    fn host_matches_brute_force_with_all_optimizations() {
+        let coords = cloud(300, 2);
+        let expected = brute_force_update(&coords, 2, 0.08);
+        let (got, _) = run_update_host(&coords, 2, 0.08, 4, UpdateOptions::default());
+        assert_close(&got, &expected, 1e-9);
+    }
+
+    #[test]
+    fn host_matches_brute_force_without_summaries() {
+        let coords = cloud(200, 3);
+        let expected = brute_force_update(&coords, 3, 0.15);
+        let (got, _) = run_update_host(
+            &coords,
+            3,
+            0.15,
+            4,
+            UpdateOptions {
+                use_summaries: false,
+                use_pregrid: true,
+            },
+        );
+        assert_close(&got, &expected, 1e-12);
+    }
+
+    #[test]
+    fn host_is_bitwise_identical_across_worker_counts() {
+        let coords = cloud(2000, 2);
+        let (reference, ref_flag) = run_update_host(&coords, 2, 0.05, 1, UpdateOptions::default());
+        for workers in [2, 3, 8] {
+            let (got, flag) = run_update_host(&coords, 2, 0.05, workers, UpdateOptions::default());
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&got), bits(&reference), "workers = {workers}");
+            assert_eq!(flag, ref_flag);
+        }
+    }
+
+    #[test]
+    fn host_first_term_agrees_with_device_flag() {
+        for (coords, eps) in [
+            (vec![0.50, 0.50, 0.58, 0.50], 0.1),
+            (vec![0.1, 0.1, 0.9, 0.9], 0.05),
+        ] {
+            let (_, device_flag) =
+                run_update(&coords, 2, eps, GridVariant::Auto, UpdateOptions::default());
+            let (_, host_flag) = run_update_host(&coords, 2, eps, 2, UpdateOptions::default());
+            assert_eq!(host_flag, device_flag, "eps = {eps}");
+        }
     }
 }

@@ -1,0 +1,263 @@
+//! Host-parallel execution engine shared by every CPU-threaded stage.
+//!
+//! One [`Executor`] drives grid construction, the per-point update and the
+//! exact-termination check of the host EGG-SynC backend, as well as the
+//! MP-SynC baseline. Work is split into **fixed-size chunks** pulled from
+//! a shared queue by scoped `std::thread` workers.
+//!
+//! ## Determinism contract
+//!
+//! Every combinator here guarantees results that are *bit-for-bit
+//! identical regardless of the worker count*:
+//!
+//! * chunk boundaries depend only on the problem size and the chunk
+//!   length, never on how many workers exist or which worker claims a
+//!   chunk;
+//! * per-chunk results are returned **in chunk order**, so floating-point
+//!   reductions over them are performed in a fixed association order;
+//! * chunk closures must be pure with respect to scheduling (they receive
+//!   disjoint data and a deterministic index), which every call site in
+//!   this crate upholds.
+//!
+//! With one worker (or one chunk) the engine degenerates to an inline
+//! sequential loop with no thread spawn, so `threads: Some(1)` is the
+//! zero-overhead reference execution.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default points per work chunk for per-point stages. Small enough to
+/// balance ragged workloads, large enough to amortize queue traffic.
+pub const POINT_CHUNK: usize = 1024;
+
+/// Default cells per work chunk for per-cell stages (summaries).
+pub const CELL_CHUNK: usize = 256;
+
+/// A fixed-width pool of scoped host workers with deterministic chunking.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    workers: usize,
+}
+
+impl Executor {
+    /// An executor with `threads` workers; `None` uses the host's
+    /// available parallelism. The count is clamped to at least 1.
+    pub fn new(threads: Option<usize>) -> Self {
+        let workers = threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .max(1);
+        Self { workers }
+    }
+
+    /// A single-worker executor (inline sequential execution).
+    pub fn sequential() -> Self {
+        Self { workers: 1 }
+    }
+
+    /// Number of worker threads this executor fans work over.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Map `f` over `0..n` split into `chunk_len`-sized index ranges,
+    /// returning the per-chunk results **in chunk order**.
+    ///
+    /// `f` only gets shared access to captured state; use
+    /// [`Executor::map_chunks_mut`] when the stage writes a buffer.
+    pub fn map_ranges<R, F>(&self, n: usize, chunk_len: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let chunk_len = chunk_len.max(1);
+        let n_chunks = n.div_ceil(chunk_len);
+        let ranges = |c: usize| c * chunk_len..((c + 1) * chunk_len).min(n);
+        if self.workers == 1 || n_chunks <= 1 {
+            return (0..n_chunks).map(|c| f(ranges(c))).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n_chunks) {
+                scope.spawn(|| loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let r = f(ranges(c));
+                    *results[c].lock().unwrap() = Some(r);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("every chunk produces a result")
+            })
+            .collect()
+    }
+
+    /// Map `f` over disjoint `chunk_len`-sized mutable chunks of `data`,
+    /// returning the per-chunk results **in chunk order**. `f` receives
+    /// each chunk's element offset into `data` alongside the chunk.
+    ///
+    /// The chunking is `data.chunks_mut(chunk_len)` — when `data` holds
+    /// `dim` elements per logical row, pass a multiple of `dim` so chunks
+    /// align to row boundaries.
+    pub fn map_chunks_mut<T, R, F>(&self, data: &mut [T], chunk_len: usize, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut [T]) -> R + Sync,
+    {
+        let chunk_len = chunk_len.max(1);
+        let n_chunks = data.len().div_ceil(chunk_len);
+        if self.workers == 1 || n_chunks <= 1 {
+            return data
+                .chunks_mut(chunk_len)
+                .enumerate()
+                .map(|(c, chunk)| f(c * chunk_len, chunk))
+                .collect();
+        }
+        // Work queue of (chunk index, offset, chunk); popped back-to-front,
+        // so push in reverse to hand chunks out in ascending order.
+        let queue: Mutex<Vec<(usize, &mut [T])>> =
+            Mutex::new(data.chunks_mut(chunk_len).enumerate().rev().collect());
+        let results: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n_chunks) {
+                scope.spawn(|| loop {
+                    let item = queue.lock().unwrap().pop();
+                    let Some((c, chunk)) = item else { break };
+                    let r = f(c * chunk_len, chunk);
+                    *results[c].lock().unwrap() = Some(r);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("every chunk produces a result")
+            })
+            .collect()
+    }
+
+    /// Evaluate the pure predicate over every index in `0..n`, returning
+    /// whether it held everywhere. Chunks short-circuit: once any index
+    /// fails, remaining chunks are abandoned (already-running chunks
+    /// finish their current index). The verdict is deterministic because
+    /// the predicate is pure — only *how much* work is skipped varies.
+    pub fn all<F>(&self, n: usize, chunk_len: usize, pred: F) -> bool
+    where
+        F: Fn(usize) -> bool + Sync,
+    {
+        let chunk_len = chunk_len.max(1);
+        let n_chunks = n.div_ceil(chunk_len);
+        if self.workers == 1 || n_chunks <= 1 {
+            return (0..n).all(pred);
+        }
+        let next = AtomicUsize::new(0);
+        let ok = AtomicBool::new(true);
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n_chunks) {
+                scope.spawn(|| {
+                    while ok.load(Ordering::Relaxed) {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        for i in c * chunk_len..((c + 1) * chunk_len).min(n) {
+                            if !pred(i) {
+                                ok.store(false, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        ok.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_ranges_covers_everything_in_order() {
+        for workers in [1, 2, 7] {
+            let exec = Executor::new(Some(workers));
+            let got = exec.map_ranges(10, 3, |r| r.collect::<Vec<_>>());
+            assert_eq!(
+                got,
+                vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8], vec![9]],
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_chunks_mut_writes_disjoint_chunks() {
+        for workers in [1, 3, 16] {
+            let exec = Executor::new(Some(workers));
+            let mut data = vec![0usize; 100];
+            let offsets = exec.map_chunks_mut(&mut data, 7, |offset, chunk| {
+                for (i, x) in chunk.iter_mut().enumerate() {
+                    *x = offset + i;
+                }
+                offset
+            });
+            assert_eq!(data, (0..100).collect::<Vec<_>>(), "workers = {workers}");
+            assert_eq!(offsets, (0..100).step_by(7).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn reductions_are_identical_across_worker_counts() {
+        // the floating-point sum must associate identically for any width
+        let values: Vec<f64> = (0..10_000).map(|i| (i as f64).sin() * 1e-3).collect();
+        let reduce = |workers: usize| -> f64 {
+            Executor::new(Some(workers))
+                .map_ranges(values.len(), POINT_CHUNK, |r| {
+                    r.map(|i| values[i]).sum::<f64>()
+                })
+                .iter()
+                .sum()
+        };
+        let reference = reduce(1);
+        for workers in [2, 3, 8] {
+            assert_eq!(reduce(workers).to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn all_matches_sequential_verdict() {
+        for workers in [1, 4] {
+            let exec = Executor::new(Some(workers));
+            assert!(exec.all(5000, 64, |i| i < 5000));
+            assert!(!exec.all(5000, 64, |i| i != 4321));
+            assert!(exec.all(0, 64, |_| false), "vacuous truth on empty domain");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let exec = Executor::new(Some(4));
+        assert!(exec.map_ranges(0, 8, |_| 0u32).is_empty());
+        let mut empty: Vec<u64> = Vec::new();
+        assert!(exec.map_chunks_mut(&mut empty, 8, |_, _| 0u32).is_empty());
+    }
+
+    #[test]
+    fn worker_count_defaults_and_clamps() {
+        assert!(Executor::new(None).workers() >= 1);
+        assert_eq!(Executor::new(Some(0)).workers(), 1);
+        assert_eq!(Executor::sequential().workers(), 1);
+    }
+}

@@ -103,8 +103,8 @@ pub fn coding_cost(data: &Dataset, labels: &[u32]) -> f64 {
         // spherical Gaussian with MLE variance, floored to one quantization
         // cell so coincident points do not yield -∞
         let var = (variances[c] / (count * dim) as f64).max(1e-12);
-        let nll_nats = count as f64
-            * (dim as f64 / 2.0) * ((2.0 * std::f64::consts::PI * var).ln() + 1.0);
+        let nll_nats =
+            count as f64 * (dim as f64 / 2.0) * ((2.0 * std::f64::consts::PI * var).ln() + 1.0);
         // cluster prior (−log p(c) per member) and model parameters
         let prior_bits = count as f64 * (n as f64 / count as f64).log2();
         bits += nll_nats / ln2 + prior_bits + (dim as f64 + 2.0) / 2.0 * log2n;

@@ -154,7 +154,10 @@ mod tests {
         let mut rows = Vec::new();
         for (cx, cy) in [(0.20, 0.20), (0.28, 0.20), (0.75, 0.75), (0.83, 0.75)] {
             for i in 0..40 {
-                rows.push(vec![cx + (i % 7) as f64 * 1.5e-3, cy + (i % 5) as f64 * 1.5e-3]);
+                rows.push(vec![
+                    cx + (i % 7) as f64 * 1.5e-3,
+                    cy + (i % 5) as f64 * 1.5e-3,
+                ]);
             }
         }
         Dataset::from_rows(&rows)
@@ -169,7 +172,10 @@ mod tests {
         assert_eq!(h.levels[1].clusters, 2);
         assert_eq!(h.levels[2].clusters, 1);
         for w in h.levels.windows(2) {
-            assert!(w[1].clusters <= w[0].clusters, "cluster count must not grow");
+            assert!(
+                w[1].clusters <= w[0].clusters,
+                "cluster count must not grow"
+            );
         }
     }
 

@@ -42,8 +42,11 @@ pub struct OutlierDetection {
 impl OutlierDetection {
     /// Points with factor ≥ `threshold`, strongest first.
     pub fn outliers(&self, threshold: f64) -> Vec<&OutlierScore> {
-        let mut hits: Vec<&OutlierScore> =
-            self.scores.iter().filter(|s| s.factor >= threshold).collect();
+        let mut hits: Vec<&OutlierScore> = self
+            .scores
+            .iter()
+            .filter(|s| s.factor >= threshold)
+            .collect();
         hits.sort_by(|a, b| b.factor.total_cmp(&a.factor));
         hits
     }
@@ -106,8 +109,14 @@ mod tests {
     fn blobs_with_outliers() -> Dataset {
         let mut rows = Vec::new();
         for i in 0..60 {
-            rows.push(vec![0.2 + (i % 8) as f64 * 1e-3, 0.2 + (i % 6) as f64 * 1e-3]);
-            rows.push(vec![0.8 + (i % 8) as f64 * 1e-3, 0.8 + (i % 6) as f64 * 1e-3]);
+            rows.push(vec![
+                0.2 + (i % 8) as f64 * 1e-3,
+                0.2 + (i % 6) as f64 * 1e-3,
+            ]);
+            rows.push(vec![
+                0.8 + (i % 8) as f64 * 1e-3,
+                0.8 + (i % 6) as f64 * 1e-3,
+            ]);
         }
         rows.push(vec![0.5, 0.05]); // isolated
         rows.push(vec![0.05, 0.55]); // isolated

@@ -156,7 +156,11 @@ impl StreamClusterer {
     /// of each other (transitively). Returns one label per micro-cluster,
     /// aligned with [`StreamClusterer::micro_clusters`].
     pub fn macro_labels(&self) -> Vec<u32> {
-        let coords: Vec<f64> = self.micro.iter().flat_map(|m| m.center.iter().copied()).collect();
+        let coords: Vec<f64> = self
+            .micro
+            .iter()
+            .flat_map(|m| m.center.iter().copied())
+            .collect();
         crate::model::gather_gamma(&coords, self.dim, self.epsilon)
     }
 
@@ -222,7 +226,10 @@ mod tests {
         }
         assert_eq!(stream.len(), 1, "drift should merge into one summary");
         let center = &stream.micro_clusters()[0].center;
-        assert!(center[0] > 0.24, "summary should have followed the drift: {center:?}");
+        assert!(
+            center[0] > 0.24,
+            "summary should have followed the drift: {center:?}"
+        );
     }
 
     #[test]
@@ -256,16 +263,18 @@ mod tests {
         let mut stream = StreamClusterer::new(3, 0.05);
         stream.insert_batch(&Dataset::empty(3));
         assert!(stream.is_empty());
-        stream.insert_batch(&GaussianSpec {
-            n: 40,
-            dim: 3,
-            clusters: 1,
-            std_dev: 1.0,
-            seed: 9,
-            ..GaussianSpec::default()
-        }
-        .generate_normalized()
-        .0);
+        stream.insert_batch(
+            &GaussianSpec {
+                n: 40,
+                dim: 3,
+                clusters: 1,
+                std_dev: 1.0,
+                seed: 9,
+                ..GaussianSpec::default()
+            }
+            .generate_normalized()
+            .0,
+        );
         let before = stream.len();
         stream.insert_batch(&Dataset::empty(3));
         assert_eq!(stream.len(), before);

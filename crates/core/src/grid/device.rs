@@ -120,7 +120,10 @@ pub struct GridWorkspace {
 impl GridWorkspace {
     /// Allocate every buffer for `n` points under `geometry`.
     pub fn new(device: &Device, geometry: GridGeometry, n: usize) -> Self {
-        assert!(geometry.dim <= MAX_DIM, "kernels support at most {MAX_DIM} dimensions");
+        assert!(
+            geometry.dim <= MAX_DIM,
+            "kernels support at most {MAX_DIM} dimensions"
+        );
         let m = geometry.outer_cells;
         let nd = n * geometry.dim;
         Self {
@@ -251,7 +254,11 @@ impl GridWorkspace {
         // -- 5 & 6: compaction indices and point end offsets --------------
         primitives::inclusive_scan(&dev, &self.i_incl, &self.i_idxs, n);
         primitives::inclusive_scan(&dev, &self.i_sizes, &self.i_ends, n);
-        let num_inner = if n == 0 { 0 } else { self.i_idxs.load(n - 1) as usize };
+        let num_inner = if n == 0 {
+            0
+        } else {
+            self.i_idxs.load(n - 1) as usize
+        };
 
         // -- 7: populate cells with points, record compacted cell ---------
         primitives::fill(&dev, &self.cell_fill, 0u64);
@@ -322,7 +329,8 @@ impl GridWorkspace {
         primitives::fill(&dev, &self.sin_sums, 0.0f64);
         primitives::fill(&dev, &self.cos_sums, 0.0f64);
         {
-            let (point_cell, sin_sums, cos_sums) = (&self.point_cell, &self.sin_sums, &self.cos_sums);
+            let (point_cell, sin_sums, cos_sums) =
+                (&self.point_cell, &self.sin_sums, &self.cos_sums);
             dev.launch("grid_summaries", grid_for(n, BLOCK), BLOCK, |t| {
                 let p = t.global_id();
                 if p >= n {
@@ -408,7 +416,11 @@ impl GridWorkspace {
         }
         let ends = dev.alloc::<u64>(count.max(1));
         primitives::inclusive_scan(dev, &sizes, &ends, count);
-        let total = if count == 0 { 0 } else { ends.load(count - 1) as usize };
+        let total = if count == 0 {
+            0
+        } else {
+            ends.load(count - 1) as usize
+        };
 
         // populate the concatenated surrounding lists
         let cells = dev.alloc::<u64>(total.max(1));
@@ -453,7 +465,12 @@ mod tests {
             .collect()
     }
 
-    fn build(coords: &[f64], dim: usize, eps: f64, variant: GridVariant) -> (Device, DeviceGrid, GridWorkspace) {
+    fn build(
+        coords: &[f64],
+        dim: usize,
+        eps: f64,
+        variant: GridVariant,
+    ) -> (Device, DeviceGrid, GridWorkspace) {
         let n = coords.len() / dim;
         let device = Device::new(DeviceConfig::default());
         let geo = GridGeometry::new(dim, eps, n, variant);
@@ -470,7 +487,11 @@ mod tests {
         let host = HostGrid::build(&geo, coords);
 
         // same number of non-empty cells
-        assert_eq!(grid.num_inner, host.num_cells(), "cell count mismatch ({variant:?})");
+        assert_eq!(
+            grid.num_inner,
+            host.num_cells(),
+            "cell count mismatch ({variant:?})"
+        );
 
         // every point's device cell holds exactly the host cell's members
         let point_cell = grid.point_cell.to_vec();
@@ -484,7 +505,10 @@ mod tests {
             dev_members.sort_unstable();
             let mut host_members = host.cell_of(row(coords, dim, p)).to_vec();
             host_members.sort_unstable();
-            assert_eq!(dev_members, host_members, "cell members differ for point {p}");
+            assert_eq!(
+                dev_members, host_members,
+                "cell members differ for point {p}"
+            );
         }
 
         // summaries equal the direct per-cell sums

@@ -272,8 +272,14 @@ mod tests {
     #[test]
     fn variant_dimensionalities() {
         let n = 10_000;
-        assert_eq!(GridGeometry::new(4, 0.05, n, GridVariant::Sequential).outer_dims, 0);
-        assert_eq!(GridGeometry::new(2, 0.05, n, GridVariant::RandomAccess).outer_dims, 2);
+        assert_eq!(
+            GridGeometry::new(4, 0.05, n, GridVariant::Sequential).outer_dims,
+            0
+        );
+        assert_eq!(
+            GridGeometry::new(2, 0.05, n, GridVariant::RandomAccess).outer_dims,
+            2
+        );
         let auto = GridGeometry::new(16, 0.05, n, GridVariant::Auto);
         assert!(auto.outer_dims < 16);
         assert!(auto.outer_cells <= (n * 16).max(64));

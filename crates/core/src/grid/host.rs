@@ -1,13 +1,22 @@
-//! A plain hash-map grid on the host.
+//! Host-side grids.
 //!
-//! The reference implementation of the grid semantics: tests cross-check
-//! the simulated-GPU construction (Algorithm 2) against this, and the CPU
-//! oracle uses it for neighborhood queries. Deliberately simple — a
-//! `HashMap` from full-dimensional cell coordinates to point lists.
+//! Two structures live here:
+//!
+//! * [`HostGrid`] — the reference implementation of the grid semantics:
+//!   tests cross-check the simulated-GPU construction (Algorithm 2)
+//!   against this, and the CPU oracle uses it for neighborhood queries.
+//!   Deliberately simple — a `HashMap` from full-dimensional cell
+//!   coordinates to point lists.
+//! * [`CellGrid`] — the host execution engine's production grid:
+//!   flattened CSR arrays plus the per-cell Σsin/Σcos summaries of
+//!   §4.3.1, constructed in parallel on an [`Executor`] with a
+//!   deterministic layout for any worker count.
 
 use std::collections::HashMap;
 
 use egg_spatial::distance::{row, squared_euclidean};
+
+use crate::exec::{Executor, CELL_CHUNK, POINT_CHUNK};
 
 use super::geometry::GridGeometry;
 
@@ -103,6 +112,193 @@ impl<'a> HostGrid<'a> {
     }
 }
 
+/// Flattened host grid with per-cell trigonometric summaries — the host
+/// execution engine's counterpart of the device grid (§4.2 + §4.3.1).
+///
+/// Construction is parallel over an [`Executor`] yet **deterministic for
+/// any worker count**: points are binned into fixed-size chunk-local
+/// buckets that are merged in chunk order (keeping each cell's point list
+/// ascending), cells are then sorted by `(outer id, cell coordinates)`,
+/// and each cell's summary is accumulated sequentially in point order.
+#[derive(Debug)]
+pub struct CellGrid {
+    geometry: GridGeometry,
+    /// Cell coordinates, `num_cells × dim`, in sorted cell order.
+    cell_keys: Vec<u64>,
+    /// CSR offsets into `cell_points`, length `num_cells + 1`.
+    cell_starts: Vec<u32>,
+    /// Point indices grouped by cell, ascending within each cell.
+    cell_points: Vec<u32>,
+    /// Compacted cell index of every point.
+    point_cell: Vec<u32>,
+    /// Per-cell `[Σsin_0.. Σsin_{d-1}, Σcos_0.. Σcos_{d-1}]`.
+    trig_sums: Vec<f64>,
+    /// Outer id → contiguous `(lo, hi)` range in sorted cell order.
+    outer_ranges: HashMap<usize, (u32, u32)>,
+}
+
+impl CellGrid {
+    /// Bucket every point of `coords` (row-major, `geometry.dim` columns)
+    /// and compute the per-cell summaries, fanning both passes over
+    /// `exec`'s workers.
+    pub fn build(exec: &Executor, geometry: GridGeometry, coords: &[f64]) -> Self {
+        let dim = geometry.dim;
+        let n = coords.len() / dim;
+
+        // Pass 1 — chunk-local binning (fixed chunks, not per-worker, so
+        // the merge order below is independent of the worker count).
+        let partials = exec.map_ranges(n, POINT_CHUNK, |range| {
+            let mut local: HashMap<Vec<u64>, Vec<u32>> = HashMap::new();
+            let mut key = vec![0u64; dim];
+            for p_idx in range {
+                geometry.cell_coords_of(row(coords, dim, p_idx), &mut key);
+                match local.get_mut(&key) {
+                    Some(points) => points.push(p_idx as u32),
+                    None => {
+                        local.insert(key.clone(), vec![p_idx as u32]);
+                    }
+                }
+            }
+            local
+        });
+
+        // Merge in chunk order: each cell's point list stays ascending.
+        let mut merged: HashMap<Vec<u64>, Vec<u32>> = HashMap::new();
+        for partial in partials {
+            for (key, mut points) in partial {
+                merged.entry(key).or_default().append(&mut points);
+            }
+        }
+
+        // Deterministic cell order: (outer id, full cell coordinates).
+        let mut cells: Vec<(usize, Vec<u64>, Vec<u32>)> = merged
+            .into_iter()
+            .map(|(key, points)| (geometry.outer_id_of_coords(&key), key, points))
+            .collect();
+        cells.sort_unstable_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+
+        // Flatten into CSR arrays; invert into the per-point cell index.
+        let num_cells = cells.len();
+        let mut cell_keys = Vec::with_capacity(num_cells * dim);
+        let mut cell_starts = Vec::with_capacity(num_cells + 1);
+        let mut cell_points = Vec::with_capacity(n);
+        let mut point_cell = vec![0u32; n];
+        let mut outer_ranges: HashMap<usize, (u32, u32)> = HashMap::new();
+        cell_starts.push(0u32);
+        for (c, (oid, key, points)) in cells.iter().enumerate() {
+            cell_keys.extend_from_slice(key);
+            for &p_idx in points {
+                point_cell[p_idx as usize] = c as u32;
+            }
+            cell_points.extend_from_slice(points);
+            cell_starts.push(cell_points.len() as u32);
+            outer_ranges
+                .entry(*oid)
+                .and_modify(|(_, hi)| *hi = c as u32 + 1)
+                .or_insert((c as u32, c as u32 + 1));
+        }
+
+        // Pass 2 — per-cell Σsin/Σcos, parallel over cells; each cell is
+        // accumulated sequentially in point order, so the sums are
+        // bitwise-reproducible.
+        let mut trig_sums = vec![0.0f64; num_cells * 2 * dim];
+        exec.map_chunks_mut(&mut trig_sums, CELL_CHUNK * 2 * dim, |offset, chunk| {
+            let first = offset / (2 * dim);
+            for (r, sums) in chunk.chunks_exact_mut(2 * dim).enumerate() {
+                let c = first + r;
+                let lo = cell_starts[c] as usize;
+                let hi = cell_starts[c + 1] as usize;
+                for &p_idx in &cell_points[lo..hi] {
+                    for i in 0..dim {
+                        let x = coords[p_idx as usize * dim + i];
+                        sums[i] += x.sin();
+                        sums[dim + i] += x.cos();
+                    }
+                }
+            }
+        });
+
+        Self {
+            geometry,
+            cell_keys,
+            cell_starts,
+            cell_points,
+            point_cell,
+            trig_sums,
+            outer_ranges,
+        }
+    }
+
+    /// The geometry the grid was built under.
+    pub fn geometry(&self) -> &GridGeometry {
+        &self.geometry
+    }
+
+    /// Number of non-empty cells.
+    pub fn num_cells(&self) -> usize {
+        self.cell_starts.len().saturating_sub(1)
+    }
+
+    /// Full-dimensional coordinates of compacted cell `c`.
+    pub fn cell_key(&self, c: usize) -> &[u64] {
+        let dim = self.geometry.dim;
+        &self.cell_keys[c * dim..(c + 1) * dim]
+    }
+
+    /// Point indices inside compacted cell `c` (ascending).
+    pub fn cell_points(&self, c: usize) -> &[u32] {
+        &self.cell_points[self.cell_starts[c] as usize..self.cell_starts[c + 1] as usize]
+    }
+
+    /// Number of points in compacted cell `c`.
+    pub fn cell_len(&self, c: usize) -> usize {
+        (self.cell_starts[c + 1] - self.cell_starts[c]) as usize
+    }
+
+    /// Compacted cell index of every point — the cluster labels once the
+    /// synchronization criterion holds (§4.3.4).
+    pub fn point_cell(&self) -> &[u32] {
+        &self.point_cell
+    }
+
+    /// Per-dimension Σsin over the points of cell `c`.
+    pub fn sin_sums(&self, c: usize) -> &[f64] {
+        let dim = self.geometry.dim;
+        &self.trig_sums[c * 2 * dim..c * 2 * dim + dim]
+    }
+
+    /// Per-dimension Σcos over the points of cell `c`.
+    pub fn cos_sums(&self, c: usize) -> &[f64] {
+        let dim = self.geometry.dim;
+        &self.trig_sums[c * 2 * dim + dim..(c + 1) * 2 * dim]
+    }
+
+    /// Invoke `f` with the compacted index of every non-empty cell in the
+    /// outer cells surrounding (and including) outer cell `oid` — the
+    /// host analogue of the preGrid walk (§4.2.5): empty outer buckets
+    /// are skipped by the hash lookup instead of a precomputed list.
+    pub fn for_each_cell_in_reach(&self, oid: usize, mut f: impl FnMut(usize)) {
+        self.geometry.for_each_surrounding_outer(oid, |o| {
+            if let Some(&(lo, hi)) = self.outer_ranges.get(&o) {
+                for c in lo..hi {
+                    f(c as usize);
+                }
+            }
+        });
+    }
+
+    /// Approximate heap footprint of the structure in bytes (Figure 3h's
+    /// accounting for the host backend).
+    pub fn memory_bytes(&self) -> usize {
+        self.cell_keys.len() * 8
+            + self.cell_starts.len() * 4
+            + self.cell_points.len() * 4
+            + self.point_cell.len() * 4
+            + self.trig_sums.len() * 8
+            + self.outer_ranges.len() * 24
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::geometry::GridVariant;
@@ -164,8 +360,9 @@ mod tests {
         for (_, pts) in grid.iter_cells() {
             for (a, &i) in pts.iter().enumerate() {
                 for &j in &pts[a + 1..] {
-                    let d = squared_euclidean(row(&coords, 2, i as usize), row(&coords, 2, j as usize))
-                        .sqrt();
+                    let d =
+                        squared_euclidean(row(&coords, 2, i as usize), row(&coords, 2, j as usize))
+                            .sqrt();
                     assert!(d <= eps / 2.0 + 1e-12, "cell mates {i},{j} at distance {d}");
                 }
             }
@@ -178,5 +375,103 @@ mod tests {
         let grid = HostGrid::build(&g, &coords);
         assert_eq!(grid.num_cells(), 0);
         assert!(grid.ball_indices(&[0.5, 0.5, 0.5], 0.2).is_empty());
+    }
+
+    fn pseudo_cloud(n: usize, dim: usize) -> Vec<f64> {
+        (0..n * dim)
+            .map(|i| ((i as u64).wrapping_mul(2654435761) % 1000) as f64 / 1000.0)
+            .collect()
+    }
+
+    #[test]
+    fn cell_grid_agrees_with_host_grid() {
+        let coords = pseudo_cloud(400, 2);
+        let g = GridGeometry::new(2, 0.07, 200, GridVariant::Auto);
+        let reference = HostGrid::build(&g, &coords);
+        let grid = CellGrid::build(&Executor::sequential(), g, &coords);
+        assert_eq!(grid.num_cells(), reference.num_cells());
+        for c in 0..grid.num_cells() {
+            let mut expected: Vec<u32> = reference
+                .cell_of(row(&coords, 2, grid.cell_points(c)[0] as usize))
+                .to_vec();
+            expected.sort_unstable();
+            assert_eq!(grid.cell_points(c), &expected[..], "cell {c}");
+            assert_eq!(grid.cell_len(c), expected.len());
+            for &p in grid.cell_points(c) {
+                assert_eq!(grid.point_cell()[p as usize] as usize, c);
+            }
+        }
+    }
+
+    #[test]
+    fn cell_grid_summaries_match_brute_force() {
+        let coords = pseudo_cloud(300, 3);
+        let g = GridGeometry::new(3, 0.12, 100, GridVariant::Auto);
+        let grid = CellGrid::build(&Executor::new(Some(4)), g, &coords);
+        for c in 0..grid.num_cells() {
+            for i in 0..3 {
+                let sin: f64 = grid
+                    .cell_points(c)
+                    .iter()
+                    .map(|&p| coords[p as usize * 3 + i].sin())
+                    .sum();
+                let cos: f64 = grid
+                    .cell_points(c)
+                    .iter()
+                    .map(|&p| coords[p as usize * 3 + i].cos())
+                    .sum();
+                assert!((grid.sin_sums(c)[i] - sin).abs() < 1e-12);
+                assert!((grid.cos_sums(c)[i] - cos).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cell_grid_layout_is_identical_across_worker_counts() {
+        let coords = pseudo_cloud(5000, 2);
+        let g = GridGeometry::new(2, 0.04, 2500, GridVariant::Auto);
+        let reference = CellGrid::build(&Executor::sequential(), g, &coords);
+        for workers in [2, 3, 8] {
+            let grid = CellGrid::build(&Executor::new(Some(workers)), g, &coords);
+            assert_eq!(grid.cell_keys, reference.cell_keys, "workers = {workers}");
+            assert_eq!(grid.cell_starts, reference.cell_starts);
+            assert_eq!(grid.cell_points, reference.cell_points);
+            assert_eq!(grid.point_cell, reference.point_cell);
+            // summaries must be bitwise identical, not just close
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&grid.trig_sums), bits(&reference.trig_sums));
+        }
+    }
+
+    #[test]
+    fn cell_grid_reach_covers_epsilon_ball() {
+        let coords = pseudo_cloud(600, 2);
+        let eps = 0.08;
+        let g = GridGeometry::new(2, eps, 300, GridVariant::Auto);
+        let grid = CellGrid::build(&Executor::sequential(), g, &coords);
+        // every ε-neighbor of p must live in a cell enumerated by
+        // for_each_cell_in_reach of p's outer cell
+        for p_idx in [0usize, 57, 123, 299] {
+            let p = row(&coords, 2, p_idx);
+            let oid = g.outer_id_of_point(p);
+            let mut seen = Vec::new();
+            grid.for_each_cell_in_reach(oid, |c| seen.extend_from_slice(grid.cell_points(c)));
+            for q_idx in 0..300 {
+                if squared_euclidean(p, row(&coords, 2, q_idx)) <= eps * eps {
+                    assert!(seen.contains(&(q_idx as u32)), "p={p_idx} misses q={q_idx}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cell_grid_empty_input() {
+        let g = GridGeometry::new(2, 0.05, 0, GridVariant::Auto);
+        let grid = CellGrid::build(&Executor::new(Some(4)), g, &[]);
+        assert_eq!(grid.num_cells(), 0);
+        assert!(grid.point_cell().is_empty());
+        let mut visited = 0;
+        grid.for_each_cell_in_reach(0, |_| visited += 1);
+        assert_eq!(visited, 0);
     }
 }

@@ -27,4 +27,4 @@ mod host;
 
 pub use device::{DeviceGrid, GridWorkspace, PreGrid};
 pub use geometry::{GridGeometry, GridVariant, MAX_OUTER_CELLS};
-pub use host::HostGrid;
+pub use host::{CellGrid, HostGrid};

@@ -103,6 +103,9 @@ pub struct RunTrace {
     pub total_seconds: f64,
     /// Total simulated GPU seconds (GPU-backed algorithms only).
     pub total_sim_seconds: Option<f64>,
+    /// Worker threads of the host execution engine that produced this run
+    /// (engine-backed algorithms only) — the x-axis of thread sweeps.
+    pub engine_threads: Option<usize>,
 }
 
 impl RunTrace {

@@ -56,6 +56,7 @@
 
 pub mod algorithms;
 pub mod egg;
+pub mod exec;
 pub mod extensions;
 pub mod grid;
 pub mod instrument;
@@ -67,7 +68,8 @@ pub use algorithms::fsync::FSync;
 pub use algorithms::gpu_sync::GpuSync;
 pub use algorithms::mp_sync::MpSync;
 pub use algorithms::sync::Sync;
-pub use egg::algorithm::EggSync;
+pub use egg::algorithm::{Backend, EggSync};
 pub use egg::reference::ExactSync;
+pub use exec::Executor;
 pub use model::SyncParams;
 pub use result::{ClusterAlgorithm, Clustering};

@@ -54,7 +54,12 @@ pub fn delta(epsilon: f64) -> f64 {
 
 /// Collect the indices of the closed ε-neighborhood of point `p_idx` by
 /// linear scan (includes the point itself).
-pub fn brute_force_neighborhood(coords: &[f64], dim: usize, p_idx: usize, epsilon: f64) -> Vec<usize> {
+pub fn brute_force_neighborhood(
+    coords: &[f64],
+    dim: usize,
+    p_idx: usize,
+    epsilon: f64,
+) -> Vec<usize> {
     let n = coords.len() / dim;
     let p = row(coords, dim, p_idx);
     let eps_sq = epsilon * epsilon;
@@ -279,7 +284,10 @@ mod tests {
         let before = (coords[2] - coords[0]).abs();
         let after = (b[0] - a[0]).abs();
         assert!(after < before);
-        assert!(a[0] > 0.50 && b[0] < 0.52, "points moved towards each other");
+        assert!(
+            a[0] > 0.50 && b[0] < 0.52,
+            "points moved towards each other"
+        );
         assert!((a[1] - 0.5).abs() < 1e-15 && (b[1] - 0.5).abs() < 1e-15);
     }
 

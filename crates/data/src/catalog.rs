@@ -250,8 +250,14 @@ mod tests {
                 }
             }
         }
-        assert!(near[0] > 100 && near[2] > 100, "big blobs missing: {near:?}");
-        assert!(near[1] > 0 && near[1] < near[0] / 10, "bridge wrong size: {near:?}");
+        assert!(
+            near[0] > 100 && near[2] > 100,
+            "big blobs missing: {near:?}"
+        );
+        assert!(
+            near[1] > 0 && near[1] < near[0] / 10,
+            "bridge wrong size: {near:?}"
+        );
     }
 
     #[test]

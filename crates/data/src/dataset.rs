@@ -126,7 +126,11 @@ impl Dataset {
         let mut coords = Vec::with_capacity(self.coords.len());
         for p in self.coords.chunks_exact(self.dim) {
             for d in 0..self.dim {
-                coords.push(if span[d] > 0.0 { (p[d] - min[d]) / span[d] } else { 0.0 });
+                coords.push(if span[d] > 0.0 {
+                    (p[d] - min[d]) / span[d]
+                } else {
+                    0.0
+                });
             }
         }
         Self::from_coords(coords, self.dim)

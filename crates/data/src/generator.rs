@@ -77,7 +77,8 @@ impl GaussianSpec {
                     .collect()
             })
             .collect();
-        let normal = Normal::new(0.0, self.std_dev).expect("std_dev must be finite and non-negative");
+        let normal =
+            Normal::new(0.0, self.std_dev).expect("std_dev must be finite and non-negative");
         let mut coords = Vec::with_capacity(self.n * self.dim);
         let mut labels = Vec::with_capacity(self.n);
         for i in 0..self.n {
@@ -143,7 +144,9 @@ pub fn concentric_rings(n_per_ring: usize, noise: f64, seed: u64) -> (Dataset, V
 /// Uniform noise over `[lo, hi]^d` — used by robustness tests.
 pub fn uniform_noise(n: usize, dim: usize, range: (f64, f64), seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    let coords = (0..n * dim).map(|_| rng.gen_range(range.0..=range.1)).collect();
+    let coords = (0..n * dim)
+        .map(|_| rng.gen_range(range.0..=range.1))
+        .collect();
     Dataset::from_coords(coords, dim)
 }
 
@@ -217,7 +220,10 @@ mod tests {
             n: 50,
             ..GaussianSpec::default()
         };
-        let other = GaussianSpec { seed: 99, ..base.clone() };
+        let other = GaussianSpec {
+            seed: 99,
+            ..base.clone()
+        };
         assert_ne!(base.generate().0, other.generate().0);
     }
 
@@ -273,15 +279,18 @@ mod tests {
         }
         for a in 0..3 {
             for b in (a + 1)..3 {
-                let dist =
-                    egg_spatial_distance(&means[a], &means[b]);
+                let dist = egg_spatial_distance(&means[a], &means[b]);
                 assert!(dist > 10.0, "cluster means {a} and {b} too close: {dist}");
             }
         }
     }
 
     fn egg_spatial_distance(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
     }
 
     #[test]

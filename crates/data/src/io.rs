@@ -40,7 +40,11 @@ impl std::fmt::Display for CsvError {
             CsvError::BadField { line, field } => {
                 write!(f, "line {line}: cannot parse field '{field}' as a number")
             }
-            CsvError::RaggedRow { line, found, expected } => {
+            CsvError::RaggedRow {
+                line,
+                found,
+                expected,
+            } => {
                 write!(f, "line {line}: {found} fields, expected {expected}")
             }
         }
@@ -180,7 +184,11 @@ mod tests {
     fn ragged_row_is_reported() {
         let err = read_csv("1,2\n3\n".as_bytes()).unwrap_err();
         match err {
-            CsvError::RaggedRow { line, found, expected } => {
+            CsvError::RaggedRow {
+                line,
+                found,
+                expected,
+            } => {
                 assert_eq!((line, found, expected), (2, 1, 2));
             }
             other => panic!("unexpected error {other:?}"),

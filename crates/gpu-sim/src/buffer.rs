@@ -249,7 +249,12 @@ impl<T: DeviceWord> DeviceBuffer<T> {
 
 impl<T: DeviceWord + std::fmt::Debug> std::fmt::Debug for DeviceBuffer<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "DeviceBuffer<{}>[len={}]", std::any::type_name::<T>(), self.len())
+        write!(
+            f,
+            "DeviceBuffer<{}>[len={}]",
+            std::any::type_name::<T>(),
+            self.len()
+        )
     }
 }
 

@@ -84,7 +84,13 @@ impl CostModel {
     }
 
     /// Estimate the simulated device time for one kernel's operation counts.
-    pub fn kernel_time(&self, threads: u64, reads: u64, writes: u64, atomics: u64) -> SimulatedTime {
+    pub fn kernel_time(
+        &self,
+        threads: u64,
+        reads: u64,
+        writes: u64,
+        atomics: u64,
+    ) -> SimulatedTime {
         let mem_ops = (reads + writes) as f64;
         let instrs = mem_ops * self.instrs_per_memop
             + threads as f64 * self.instrs_per_thread

@@ -1,10 +1,9 @@
 //! The simulated device: allocation, kernel launch, performance log.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use parking_lot::Mutex;
 use serde::Serialize;
 
 use crate::buffer::{BufferInner, DeviceBuffer};
@@ -84,7 +83,10 @@ pub enum DeviceError {
 impl std::fmt::Display for DeviceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DeviceError::OutOfMemory { requested, available } => write!(
+            DeviceError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
                 f,
                 "device out of memory: requested {requested} bytes, {available} available"
             ),
@@ -250,9 +252,9 @@ impl Device {
             return;
         }
         let next = AtomicU64::new(0);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let b = next.fetch_add(1, Ordering::Relaxed) as usize;
                     if b >= grid_dim {
                         break;
@@ -260,8 +262,7 @@ impl Device {
                     per_block(b);
                 });
             }
-        })
-        .expect("kernel worker panicked");
+        });
     }
 
     fn timed(&self, name: &str, grid_dim: usize, block_dim: usize, body: impl FnOnce()) {
@@ -275,7 +276,7 @@ impl Device {
         let writes = after.writes - before.writes;
         let atomics = after.atomics - before.atomics;
         let sim = self.inner.cost.kernel_time(threads, reads, writes, atomics);
-        self.inner.kernel_log.lock().push(KernelStats {
+        self.inner.kernel_log.lock().unwrap().push(KernelStats {
             name: name.to_owned(),
             grid_dim,
             block_dim,
@@ -291,7 +292,7 @@ impl Device {
     /// Produce a report over all kernels since the last [`Device::reset`],
     /// including simulated PCIe time for host↔device copies.
     pub fn report(&self) -> PerfReport {
-        let kernels = self.inner.kernel_log.lock().clone();
+        let kernels = self.inner.kernel_log.lock().unwrap().clone();
         let snap = self.inner.counters.snapshot();
         let mut report = PerfReport {
             total_threads: kernels.iter().map(|k| k.threads).sum(),
@@ -317,13 +318,19 @@ impl Device {
     /// intended for per-iteration deltas during a run (unlike
     /// [`Device::report`], which clones the kernel log).
     pub fn sim_kernel_nanos(&self) -> u64 {
-        self.inner.kernel_log.lock().iter().map(|k| k.sim_nanos).sum()
+        self.inner
+            .kernel_log
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|k| k.sim_nanos)
+            .sum()
     }
 
     /// Clear the kernel log and all operation counters. (Allocations and
     /// memory accounting are unaffected.)
     pub fn reset(&self) {
-        self.inner.kernel_log.lock().clear();
+        self.inner.kernel_log.lock().unwrap().clear();
         let c = &self.inner.counters;
         c.reads.store(0, Ordering::Relaxed);
         c.writes.store(0, Ordering::Relaxed);

@@ -30,7 +30,7 @@
 //!   into *simulated GPU time*, which the benchmark harnesses report next
 //!   to host wall-clock time.
 //!
-//! Blocks are distributed over host worker threads (crossbeam); on a
+//! Blocks are distributed over scoped host worker threads; on a
 //! single-core host execution degenerates to sequential, but the kernel
 //! structure — and therefore the simulated timing — is unchanged.
 //!

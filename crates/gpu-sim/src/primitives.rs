@@ -32,7 +32,12 @@ pub fn fill<T: DeviceWord>(device: &Device, buf: &DeviceBuffer<T>, value: T) {
 ///
 /// # Panics
 /// Panics if either buffer is shorter than `n`.
-pub fn copy<T: DeviceWord>(device: &Device, src: &DeviceBuffer<T>, dst: &DeviceBuffer<T>, n: usize) {
+pub fn copy<T: DeviceWord>(
+    device: &Device,
+    src: &DeviceBuffer<T>,
+    dst: &DeviceBuffer<T>,
+    n: usize,
+) {
     assert!(src.len() >= n && dst.len() >= n, "copy range out of bounds");
     if n == 0 {
         return;
@@ -53,8 +58,16 @@ pub fn copy<T: DeviceWord>(device: &Device, src: &DeviceBuffer<T>, dst: &DeviceB
 ///
 /// # Panics
 /// Panics if `output.len() < n` or `input.len() < n`.
-pub fn inclusive_scan(device: &Device, input: &DeviceBuffer<u64>, output: &DeviceBuffer<u64>, n: usize) {
-    assert!(input.len() >= n && output.len() >= n, "scan range out of bounds");
+pub fn inclusive_scan(
+    device: &Device,
+    input: &DeviceBuffer<u64>,
+    output: &DeviceBuffer<u64>,
+    n: usize,
+) {
+    assert!(
+        input.len() >= n && output.len() >= n,
+        "scan range out of bounds"
+    );
     if n == 0 {
         return;
     }
@@ -117,7 +130,12 @@ pub fn inclusive_scan(device: &Device, input: &DeviceBuffer<u64>, output: &Devic
 
 /// Exclusive prefix sum of `input[0..n]` into `output[0..n]`
 /// (`output[i] = input[0] + … + input[i-1]`, `output[0] = 0`).
-pub fn exclusive_scan(device: &Device, input: &DeviceBuffer<u64>, output: &DeviceBuffer<u64>, n: usize) {
+pub fn exclusive_scan(
+    device: &Device,
+    input: &DeviceBuffer<u64>,
+    output: &DeviceBuffer<u64>,
+    n: usize,
+) {
     if n == 0 {
         return;
     }
@@ -136,7 +154,11 @@ pub fn exclusive_scan(device: &Device, input: &DeviceBuffer<u64>, output: &Devic
 ///
 /// Block-local partial sums followed by a device-wide atomic accumulation —
 /// the standard two-level GPU reduction.
-pub fn reduce_sum<T: DeviceWord + WordArith>(device: &Device, input: &DeviceBuffer<T>, n: usize) -> T {
+pub fn reduce_sum<T: DeviceWord + WordArith>(
+    device: &Device,
+    input: &DeviceBuffer<T>,
+    n: usize,
+) -> T {
     assert!(input.len() >= n, "reduce range out of bounds");
     let total = device.alloc::<T>(1);
     if n == 0 {
@@ -172,7 +194,10 @@ pub fn compact_indices(
     out: &DeviceBuffer<u64>,
     n: usize,
 ) -> usize {
-    assert!(flags.len() >= n && out.len() >= n, "compact range out of bounds");
+    assert!(
+        flags.len() >= n && out.len() >= n,
+        "compact range out of bounds"
+    );
     if n == 0 {
         return 0;
     }

@@ -174,7 +174,10 @@ mod tests {
     fn nan_payload_preserved() {
         let weird = f64::from_bits(0x7ff8_dead_beef_0001);
         assert!(weird.is_nan());
-        assert_eq!(f64::from_bits(DeviceWord::to_bits(weird)).to_bits(), weird.to_bits());
+        assert_eq!(
+            f64::from_bits(DeviceWord::to_bits(weird)).to_bits(),
+            weird.to_bits()
+        );
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness exposing the API surface the
+//! workspace's benches use: `benchmark_group` / `sample_size` /
+//! `bench_function` / `Bencher::{iter, iter_batched}` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Two modes, selected from the command line exactly like the real crate:
+//!
+//! * default — time each benchmark over `sample_size` samples and print
+//!   min / mean per benchmark;
+//! * `--test` — run every benchmark body exactly once and report `ok`,
+//!   which is what the CI bench-smoke job uses.
+//!
+//! Unknown flags (e.g. `--bench`, filters) are accepted and ignored so
+//! `cargo bench` invocations pass through cleanly.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle, one per binary.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 100,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        if self.criterion.test_mode {
+            let mut b = Bencher {
+                mode: Mode::Once,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("test {label} ... ok");
+            return self;
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                mode: Mode::Timed,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            total += b.elapsed;
+            min = min.min(b.elapsed);
+        }
+        let mean = total / self.sample_size as u32;
+        println!(
+            "{label}: min {:.3} ms, mean {:.3} ms ({} samples)",
+            min.as_secs_f64() * 1e3,
+            mean.as_secs_f64() * 1e3,
+            self.sample_size
+        );
+        self
+    }
+
+    /// End the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    /// `--test`: run the body once, don't time.
+    Once,
+    /// Default: accumulate wall-clock time of the routine.
+    Timed,
+}
+
+/// Passed to each benchmark closure to drive its iterations.
+pub struct Bencher {
+    mode: Mode,
+    elapsed: Duration,
+}
+
+/// How batched inputs are sized; only a parity token in this shim.
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+impl Bencher {
+    /// Time `routine`, running it once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Once => {
+                black_box(routine());
+            }
+            Mode::Timed => {
+                let start = Instant::now();
+                black_box(routine());
+                self.elapsed += start.elapsed();
+            }
+        }
+    }
+
+    /// Time `routine` over inputs built by the untimed `setup`.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        match self.mode {
+            Mode::Once => {
+                black_box(routine(input));
+            }
+            Mode::Timed => {
+                let start = Instant::now();
+                black_box(routine(input));
+                self.elapsed += start.elapsed();
+            }
+        }
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("case", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert_eq!(ran, 1, "--test mode runs the body exactly once");
+    }
+
+    #[test]
+    fn timed_mode_collects_samples() {
+        let mut c = Criterion { test_mode: false };
+        let mut ran = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("case", |b| {
+            b.iter_batched(|| 2u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.bench_function("counted", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert_eq!(ran, 5);
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides [`Normal`] (the only distribution the workspace samples) via
+//! the Box-Muller transform, plus the [`Distribution`] trait with the
+//! `sample` signature call sites expect.
+
+use rand::Rng;
+
+/// Types that produce samples of `T` from a source of randomness,
+/// mirroring `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    /// Draw one sample using `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Normal (Gaussian) distribution with mean `mu` and standard deviation
+/// `sigma`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+/// Error for invalid [`Normal`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or non-finite.
+    BadVariance,
+    /// The mean was non-finite.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::BadVariance => f.write_str("standard deviation is not finite and >= 0"),
+            NormalError::MeanTooSmall => f.write_str("mean is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+impl Normal {
+    /// Construct from mean and standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller: u1 in (0, 1] so ln(u1) is finite.
+        let u1 = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let angle = 2.0 * std::f64::consts::PI * u2;
+        self.mean + self.std_dev * radius * angle.cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{SeedableRng, StdRng};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+        assert!(Normal::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn sample_moments_match_parameters() {
+        let dist = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_is_constant() {
+        let dist = Normal::new(1.5, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(dist.sample(&mut rng), 1.5);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the handful of external dependencies it uses are replaced by small
+//! in-tree shims with the same import surface. This one covers the slice
+//! of `serde` the workspace actually exercises:
+//!
+//! * `#[derive(Serialize)]` / `#[derive(Deserialize)]` on plain structs
+//!   and enums (re-exported from the sibling `serde_derive` shim);
+//! * [`Serialize`] as a "convert to a JSON value" trait, consumed by the
+//!   `serde_json` shim's `json!`/`to_string_pretty`;
+//! * [`Deserialize`] as a marker only — nothing in the workspace
+//!   deserializes, it only derives the trait.
+//!
+//! The shim is intentionally NOT a general serde replacement: no
+//! serializer abstraction, no attributes, no zero-copy. If the workspace
+//! ever gains network access, deleting `crates/shims` and restoring the
+//! registry versions in `Cargo.toml` is the entire migration.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree — the single serialization target of the shim.
+///
+/// Field order of derived structs is preserved (objects are association
+/// lists, not maps), which keeps emitted JSON stable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (emitted without a decimal point).
+    UInt(u64),
+    /// Signed integer (emitted without a decimal point).
+    Int(i64),
+    /// Floating-point number; non-finite values serialize as `null`.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with preserved key order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can render themselves into a [`Value`] tree.
+///
+/// The derive macro implements this for structs (objects keyed by field
+/// name) and enums (unit variants as strings, data variants as
+/// single-entry objects, matching serde's externally-tagged default).
+pub trait Serialize {
+    /// Convert `self` into a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait kept so `#[derive(Deserialize)]` remains a valid
+/// declaration. The workspace never deserializes; the derive emits an
+/// empty impl.
+pub trait Deserialize {}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u32.to_value(), Value::UInt(3));
+        assert_eq!((-2i64).to_value(), Value::Int(-2));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!("x".to_value(), Value::Str("x".to_owned()));
+        assert_eq!(true.to_value(), Value::Bool(true));
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![(1.0f64, 2.0f64)];
+        assert_eq!(
+            v.to_value(),
+            Value::Array(vec![Value::Array(vec![
+                Value::Float(1.0),
+                Value::Float(2.0)
+            ])])
+        );
+        assert_eq!(Option::<u64>::None.to_value(), Value::Null);
+        assert_eq!([1u64; 2].to_value(), Value::Array(vec![Value::UInt(1); 2]));
+    }
+}

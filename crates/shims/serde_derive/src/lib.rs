@@ -1,0 +1,237 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the shimmed `serde` crate by parsing the item's token stream directly —
+//! `syn`/`quote` are registry crates and therefore unavailable in this
+//! offline workspace. The parser covers exactly the shapes the workspace
+//! derives on:
+//!
+//! * structs with named fields (serialized as objects in field order);
+//! * tuple structs (serialized as arrays);
+//! * enums with unit and tuple variants (externally tagged, like serde).
+//!
+//! Attributes (doc comments, `#[derive]` lists themselves) and visibility
+//! qualifiers are skipped; generic parameters are not supported because no
+//! derived type in the workspace has any.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the shimmed `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(arity) => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v.arity {
+                    0 => format!(
+                        "Self::{0} => ::serde::Value::Str(\"{0}\".to_string())",
+                        v.name
+                    ),
+                    1 => format!(
+                        "Self::{0}(f0) => ::serde::Value::Object(vec![(\"{0}\".to_string(), ::serde::Serialize::to_value(f0))])",
+                        v.name
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..n).map(|i| format!("f{i}")).collect();
+                        let vals: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        format!(
+                            "Self::{0}({1}) => ::serde::Value::Object(vec![(\"{0}\".to_string(), ::serde::Value::Array(vec![{2}]))])",
+                            v.name,
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{ fn to_value(&self) -> ::serde::Value {{ {} }} }}",
+        item.name, body
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derive the shimmed `serde::Deserialize` marker for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // skip outer attributes and visibility before the struct/enum keyword
+    let kind = loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // '#' + [..] group
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // optional pub(crate) / pub(in ...)
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                break id.to_string();
+            }
+            other => panic!("unexpected token before item keyword: {other}"),
+        }
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    // find the body group (no generics supported; tuple structs end with
+    // a parenthesized group followed by ';')
+    let body = loop {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && kind == "struct" => {
+                let arity = split_top_level_commas(g.stream()).len();
+                return Item {
+                    name,
+                    shape: Shape::TupleStruct(arity),
+                };
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("derive shim does not support generic parameters on `{name}`")
+            }
+            _ => i += 1,
+        }
+    };
+    let shape = if kind == "struct" {
+        Shape::NamedStruct(parse_named_fields(body))
+    } else {
+        Shape::Enum(parse_variants(body))
+    };
+    Item { name, shape }
+}
+
+/// Split a token stream into segments at commas that are not nested in
+/// angle brackets (commas inside (), [], {} are already hidden in groups).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    split_top_level_commas(body)
+        .into_iter()
+        .filter_map(|field| field_name(&field))
+        .collect()
+}
+
+/// The first identifier of a field declaration after attributes and
+/// visibility — its name.
+fn field_name(tokens: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return Some(id.to_string()),
+            other => panic!("unexpected token in field: {other}"),
+        }
+    }
+    None
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(body)
+        .into_iter()
+        .filter_map(|v| parse_variant(&v))
+        .collect()
+}
+
+fn parse_variant(tokens: &[TokenTree]) -> Option<Variant> {
+    let mut i = 0;
+    // skip doc comments / attributes
+    while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '#' {
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    let name = match tokens.get(i)? {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected variant name, found {other}"),
+    };
+    let arity = match tokens.get(i + 1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            split_top_level_commas(g.stream()).len()
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            panic!("derive shim does not support struct-style enum variants ({name})")
+        }
+        _ => 0,
+    };
+    Some(Variant { name, arity })
+}

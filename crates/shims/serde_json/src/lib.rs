@@ -1,0 +1,173 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Backed by the shimmed `serde` crate's [`Value`] model; provides the
+//! subset the workspace uses: the [`json!`] macro over object literals,
+//! [`to_value`], [`to_string`] and [`to_string_pretty`]. Emitted JSON is
+//! deterministic: object keys keep their declaration order.
+
+pub use serde::Value;
+
+/// Convert any [`serde::Serialize`] type into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serialize to a compact JSON string. Infallible for this shim's value
+/// model; the `Result` mirrors the real crate's signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serialization error type. The shim never fails, but callers match the
+/// real crate's `Result` signatures.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Build a [`Value`] from a JSON-ish literal. Supports the object form
+/// used by the workspace (`json!({"key": expr, ...})`, values being any
+/// `Serialize` expression) plus a bare expression fallback.
+#[macro_export]
+macro_rules! json {
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, x, d| {
+                write_value(o, x, indent, d)
+            })
+        }
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter(),
+            indent,
+            depth,
+            ('{', '}'),
+            |o, (k, x), d| {
+                write_escaped(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, x, indent, d);
+            },
+        ),
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    items: impl ExactSizeIterator<Item = T>,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: impl FnMut(&mut String, T, usize),
+) {
+    out.push(brackets.0);
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(brackets.1);
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let s = format!("{f}");
+        out.push_str(&s);
+        // keep floats recognizable as floats, like the real crate
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_objects() {
+        let v = json!({"a": 1u64, "b": [1.5f64, 2.0f64], "s": "x\"y"});
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[1.5,2.0],"s":"x\"y"}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.starts_with("{\n  \"a\": 1,"));
+        assert!(pretty.ends_with("\n}"));
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn empty_containers_stay_tight() {
+        assert_eq!(to_string_pretty(&Vec::<u64>::new()).unwrap(), "[]");
+    }
+}

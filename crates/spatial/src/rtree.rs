@@ -300,7 +300,10 @@ impl RTree {
             Entries::Inner(children) => std::mem::take(children),
             Entries::Leaf(_) => unreachable!("split_inner on leaf node"),
         };
-        let mbrs: Vec<Mbr> = children.iter().map(|&c| self.nodes[c].mbr.clone()).collect();
+        let mbrs: Vec<Mbr> = children
+            .iter()
+            .map(|&c| self.nodes[c].mbr.clone())
+            .collect();
         let (left, right) = quadratic_partition(&mbrs, self.min_fill);
         let mbr_of = |group: &[usize]| {
             let mut m = mbrs[group[0]].clone();
@@ -396,7 +399,9 @@ fn quadratic_partition(mbrs: &[Mbr], min_fill: usize) -> (Vec<usize>, Vec<usize>
     let mut right = vec![seed_b];
     let mut left_mbr = mbrs[seed_a].clone();
     let mut right_mbr = mbrs[seed_b].clone();
-    let remaining: Vec<usize> = (0..mbrs.len()).filter(|&i| i != seed_a && i != seed_b).collect();
+    let remaining: Vec<usize> = (0..mbrs.len())
+        .filter(|&i| i != seed_a && i != seed_b)
+        .collect();
     let total = mbrs.len();
     for (k, &i) in remaining.iter().enumerate() {
         let left_needs = min_fill.saturating_sub(left.len());
@@ -468,7 +473,11 @@ mod tests {
             for r in [0.0, 1.0, 2.5, 20.0] {
                 let mut got = t.ball_indices(&center, r);
                 got.sort_unstable();
-                assert_eq!(got, brute_force_ball(&coords, 2, &center, r), "center {center:?} r {r}");
+                assert_eq!(
+                    got,
+                    brute_force_ball(&coords, 2, &center, r),
+                    "center {center:?} r {r}"
+                );
             }
         }
     }
@@ -502,7 +511,11 @@ mod tests {
         for i in 0..64 {
             t.insert(&[i as f64]);
         }
-        assert!(t.height() >= 3, "height {} too small for fanout 2", t.height());
+        assert!(
+            t.height() >= 3,
+            "height {} too small for fanout 2",
+            t.height()
+        );
         let mut got = t.ball_indices(&[31.5], 2.0);
         got.sort_unstable();
         assert_eq!(got, vec![30, 31, 32, 33]);
@@ -512,7 +525,9 @@ mod tests {
     fn high_dimensional_query() {
         let dim = 6;
         let n = 200;
-        let coords: Vec<f64> = (0..n * dim).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
+        let coords: Vec<f64> = (0..n * dim)
+            .map(|i| ((i * 37) % 101) as f64 / 101.0)
+            .collect();
         let t = RTree::bulk_load(&coords, dim, 8);
         let center = row(&coords, dim, 42).to_vec();
         let mut got = t.ball_indices(&center, 0.5);

@@ -35,7 +35,11 @@ fn report(name: &str, data: &Dataset, truth: &[u32], eps: f64) {
             result.num_clusters,
             purity,
             metrics::nmi(truth, &result.labels),
-            if purity > 0.995 { "no (respects shapes)" } else { "YES (cuts through)" },
+            if purity > 0.995 {
+                "no (respects shapes)"
+            } else {
+                "YES (cuts through)"
+            },
         );
     }
     println!();

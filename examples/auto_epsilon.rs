@@ -26,7 +26,11 @@ fn main() {
     println!("— automatic ε selection (MDL/BIC coding cost) —");
     let selection = select_epsilon(&data, &default_ladder());
     for c in &selection.candidates {
-        let marker = if c.epsilon == selection.best_epsilon { "←" } else { " " };
+        let marker = if c.epsilon == selection.best_epsilon {
+            "←"
+        } else {
+            " "
+        };
         println!(
             "  ε = {:<7} {:>12.0} bits  {:>4} clusters  {:>4} outliers {marker}",
             c.epsilon, c.score, c.clusters, c.outliers
@@ -54,7 +58,10 @@ fn main() {
     println!("\n— synchronization hierarchy —");
     let hierarchy = build_hierarchy(&data, &[0.025, 0.05, 0.1, 1.5]);
     for level in &hierarchy.levels {
-        println!("  ε = {:<6} → {:>4} clusters", level.epsilon, level.clusters);
+        println!(
+            "  ε = {:<6} → {:>4} clusters",
+            level.epsilon, level.clusters
+        );
     }
     println!(
         "point 0 merges through clusters {:?} on its way to the root",

@@ -63,9 +63,7 @@ fn main() {
     let clustering = EggSync::new(0.08).cluster(&data);
     println!(
         "EGG-SynC found {} segments in {} iterations ({:.3} s)\n",
-        clustering.num_clusters,
-        clustering.iterations,
-        clustering.trace.total_seconds
+        clustering.num_clusters, clustering.iterations, clustering.trace.total_seconds
     );
 
     // profile each segment by its mean raw feature vector
@@ -97,7 +95,10 @@ fn main() {
     }
 
     let outliers = clustering.outliers();
-    println!("\nsingleton clusters (natural outliers): {}", outliers.len());
+    println!(
+        "\nsingleton clusters (natural outliers): {}",
+        outliers.len()
+    );
     for &i in outliers.iter().take(10) {
         let p = raw.point(i);
         println!(

@@ -65,8 +65,14 @@ fn main() {
     println!("\nthe same data, labeled by EGG-SynC:");
     ascii_plot(&data, &exact_result.labels, 64, 9);
 
-    assert!(lambda_result.num_clusters > 1, "λ-termination should split the data");
-    assert_eq!(exact_result.num_clusters, 1, "exact termination must merge everything");
+    assert!(
+        lambda_result.num_clusters > 1,
+        "λ-termination should split the data"
+    );
+    assert_eq!(
+        exact_result.num_clusters, 1,
+        "exact termination must merge everything"
+    );
 
     // The same effect drives the paper's Skin experiment: GPU-SynC stops
     // after 7 iterations, EGG-SynC needs 343 to resolve the merge.

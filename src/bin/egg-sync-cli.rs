@@ -157,7 +157,9 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
 fn cmd_outliers(args: &[String]) -> Result<(), String> {
     let flags = Flags { args };
     let data = load_input(&flags, !flags.present("--no-normalize"))?;
-    let epsilon: f64 = flags.parsed("--epsilon")?.ok_or("--epsilon <e> is required")?;
+    let epsilon: f64 = flags
+        .parsed("--epsilon")?
+        .ok_or("--epsilon <e> is required")?;
     let threshold: f64 = flags.parsed("--threshold")?.unwrap_or(0.9);
     let detection = detect_outliers(&data, epsilon);
     let hits = detection.outliers(threshold);
@@ -186,7 +188,9 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         seed: flags.parsed("--seed")?.unwrap_or(42),
         ..GaussianSpec::default()
     };
-    let path = flags.value("--output").ok_or("--output <csv> is required")?;
+    let path = flags
+        .value("--output")
+        .ok_or("--output <csv> is required")?;
     let (data, labels) = spec.generate_normalized();
     let with_labels = flags.present("--with-labels");
     io::write_csv_file(path, &data, with_labels.then_some(labels.as_slice()))

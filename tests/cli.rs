@@ -32,7 +32,11 @@ fn generate_then_cluster_roundtrip() {
         ])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = cli()
         .args([
@@ -46,7 +50,11 @@ fn generate_then_cluster_roundtrip() {
         ])
         .output()
         .expect("run cluster");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("400 points"), "stdout: {stdout}");
     assert!(stdout.contains("converged"), "stdout: {stdout}");
@@ -62,7 +70,13 @@ fn generate_then_cluster_roundtrip() {
 fn cluster_with_explicit_algorithm() {
     let data_path = temp_path("points_sync.csv");
     cli()
-        .args(["generate", "--n", "150", "--output", data_path.to_str().unwrap()])
+        .args([
+            "generate",
+            "--n",
+            "150",
+            "--output",
+            data_path.to_str().unwrap(),
+        ])
         .output()
         .expect("generate");
     for algo in ["sync", "fsync", "mpsync", "exact"] {
@@ -110,7 +124,11 @@ fn outliers_subcommand_reports() {
         ])
         .output()
         .expect("run outliers");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("1 outliers"), "stdout: {stdout}");
     assert!(stdout.contains("point     60"), "stdout: {stdout}");

@@ -3,9 +3,7 @@
 //! definitions.
 
 use egg_sync::core::grid::{GridGeometry, GridVariant, HostGrid};
-use egg_sync::core::model::{
-    brute_force_neighborhood, criterion_met, delta, update_point,
-};
+use egg_sync::core::model::{brute_force_neighborhood, criterion_met, delta, update_point};
 use egg_sync::prelude::*;
 use egg_sync::spatial::distance::{euclidean, row};
 use egg_sync::spatial::{Mbr, RTree};
@@ -177,5 +175,77 @@ proptest! {
             }
         }
         let _ = criterion_met(f, 2, eps); // must not panic on any state
+    }
+}
+
+proptest! {
+    // determinism of the host execution engine (8 end-to-end cases)
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn host_engine_is_thread_count_invariant(coords in cloud(2, 30), eps in 0.03f64..0.15) {
+        // the engine's contract: identical cluster assignments AND
+        // bit-identical final coordinates for any worker count
+        let n = coords.len() / 2;
+        prop_assume!(n > 0);
+        let data = Dataset::from_coords(coords, 2);
+        let reference = EggSync::host(eps, Some(1)).cluster(&data);
+        for threads in [Some(4), None] {
+            let run = EggSync::host(eps, threads).cluster(&data);
+            prop_assert_eq!(&run.labels, &reference.labels, "threads {:?}", threads);
+            prop_assert_eq!(run.iterations, reference.iterations, "threads {:?}", threads);
+            prop_assert_eq!(
+                run.final_coords.coords(),
+                reference.final_coords.coords(),
+                "threads {:?}", threads
+            );
+        }
+    }
+
+    #[test]
+    fn mp_sync_is_thread_count_invariant(coords in cloud(2, 30), eps in 0.04f64..0.15) {
+        let n = coords.len() / 2;
+        prop_assume!(n > 0);
+        let data = Dataset::from_coords(coords, 2);
+        let reference = MpSync::with_params(SyncParams::new(eps), Some(1)).cluster(&data);
+        for threads in [Some(4), None] {
+            let run = MpSync::with_params(SyncParams::new(eps), threads).cluster(&data);
+            prop_assert_eq!(&run.labels, &reference.labels, "threads {:?}", threads);
+            prop_assert_eq!(run.iterations, reference.iterations, "threads {:?}", threads);
+            prop_assert_eq!(
+                run.final_coords.coords(),
+                reference.final_coords.coords(),
+                "threads {:?}", threads
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_termination_matches_sequential_reference(
+        coords in cloud(2, 40), eps in 0.03f64..0.2
+    ) {
+        // the short-circuiting parallel check must agree with the
+        // brute-force Definition 4.2 term-2 evaluation for every width
+        use egg_sync::core::egg::termination::second_term_holds_host;
+        use egg_sync::core::exec::Executor;
+        use egg_sync::core::grid::CellGrid;
+        use egg_sync::core::model::criterion_term2_met;
+        let n = coords.len() / 2;
+        prop_assume!(n > 0);
+        let expected = criterion_term2_met(&coords, 2, eps);
+        let geo = GridGeometry::new(2, eps, n, GridVariant::Auto);
+        for workers in [1, 4] {
+            let exec = Executor::new(Some(workers));
+            let grid = CellGrid::build(&exec, geo, &coords);
+            prop_assert_eq!(
+                second_term_holds_host(&exec, &grid, &coords, eps),
+                expected,
+                "workers {}", workers
+            );
+        }
     }
 }
