@@ -1,29 +1,35 @@
 //! Ablation — EGG-SynC's individual optimizations.
 //!
-//! Toggles the two structural optimizations DESIGN.md calls out:
+//! Toggles the three structural optimizations DESIGN.md calls out:
 //!
 //! * the per-cell sin/cos **summaries** (§4.3.1) that let fully covered
-//!   cells be consumed without touching their points, and
+//!   cells be consumed without touching their points,
 //! * the **precomputed surrounding non-empty cells** (§4.2.5) that stop
-//!   threads from probing empty space.
+//!   threads from probing empty space, and
+//! * the per-point **trig tables** that replace every per-pair
+//!   `sin(q − p)` in the partial-cell path with an angle-addition FMA.
 //!
-//! All four combinations produce identical clusterings (enforced by the
-//! test suite); this bench quantifies what each trick buys.
+//! All combinations produce identical clusterings (enforced by the test
+//! suite); this bench quantifies what each trick buys. The second group
+//! isolates the trig-table toggle on the paper-scale n=100k, d=4 workload
+//! (shrunk by `EGG_BENCH_SCALE` in quick mode) on the host engine, where
+//! the transcendental cost is purely wall-clock.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use egg_bench::default_synthetic;
+use egg_bench::{default_synthetic, scaled};
 use egg_sync_core::egg::update::UpdateOptions;
 use egg_sync_core::{ClusterAlgorithm, EggSync};
 
 fn bench_toggles(c: &mut Criterion) {
-    let data = default_synthetic(2_000);
+    let data = default_synthetic(scaled(2_000));
     let mut group = c.benchmark_group("egg_ablation");
     group.sample_size(10);
-    for (label, use_summaries, use_pregrid) in [
-        ("full", true, true),
-        ("no_summaries", false, true),
-        ("no_pregrid", true, false),
-        ("neither", false, false),
+    for (label, use_summaries, use_pregrid, use_trig_tables) in [
+        ("full", true, true, true),
+        ("no_trig_tables", true, true, false),
+        ("no_summaries", false, true, true),
+        ("no_pregrid", true, false, true),
+        ("none", false, false, false),
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {
@@ -31,6 +37,7 @@ fn bench_toggles(c: &mut Criterion) {
                 algo.options = UpdateOptions {
                     use_summaries,
                     use_pregrid,
+                    use_trig_tables,
                 };
                 algo.cluster(&data)
             })
@@ -39,5 +46,32 @@ fn bench_toggles(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_toggles);
+fn bench_trig_tables_100k_d4(c: &mut Criterion) {
+    let n = scaled(100_000);
+    let data = egg_data::generator::GaussianSpec {
+        n,
+        dim: 4,
+        ..egg_data::generator::GaussianSpec::default()
+    }
+    .generate_normalized()
+    .0;
+    let eps = 0.2;
+    let mut group = c.benchmark_group("egg_trig_tables_100k_d4");
+    group.sample_size(10);
+    for (label, use_trig_tables) in [("trig_tables", true), ("per_pair_sin", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut algo = EggSync::host(eps, Some(1));
+                algo.options = UpdateOptions {
+                    use_trig_tables,
+                    ..UpdateOptions::default()
+                };
+                algo.cluster(&data)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_toggles, bench_trig_tables_100k_d4);
 criterion_main!(benches);

@@ -6,7 +6,9 @@
 //! gap growing in n. The O(n²) baselines are capped at smaller sizes here
 //! (single-core host); EGG-SynC runs the full sweep.
 
-use egg_bench::{default_synthetic, measure, scaled, Experiment};
+use egg_bench::{
+    append_bench_ledger, bench_ledger_row, default_synthetic, measure, scaled, Experiment,
+};
 use egg_sync_core::{EggSync, FSync, GpuSync, MpSync, Sync};
 
 fn main() {
@@ -26,6 +28,26 @@ fn main() {
             exp.push(measure(&GpuSync::new(0.05), &data, n as f64));
         }
         exp.push(measure(&EggSync::new(0.05), &data, n as f64));
+    }
+    let ledger_rows: Vec<_> = exp
+        .rows()
+        .iter()
+        .map(|m| {
+            bench_ledger_row(
+                "fig3a_scalability",
+                &m.algorithm,
+                m.x as usize,
+                2,
+                m.engine_threads.unwrap_or(1),
+                m.iterations,
+                m.wall_seconds,
+                &m.stages,
+            )
+        })
+        .collect();
+    match append_bench_ledger(&ledger_rows) {
+        Ok(ledger) => println!("(ledger appended to {})", ledger.display()),
+        Err(e) => eprintln!("warning: could not append BENCH_egg.json: {e}"),
     }
     exp.finish();
 }

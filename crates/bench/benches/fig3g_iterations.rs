@@ -35,6 +35,8 @@ fn main() {
                 iterations: clustering.iterations,
                 clusters: clustering.num_clusters,
                 structure_bytes: clustering.trace.peak_structure_bytes,
+                stages: clustering.trace.stages,
+                engine_threads: clustering.trace.engine_threads,
             });
         }
         let times: Vec<f64> = clustering

@@ -1,6 +1,8 @@
 //! Micro — the simulated device's parallel primitives (§4.2.1's
 //! size → scan → populate idiom): inclusive scan, reduction, stream
-//! compaction, and the raw atomic-increment list-claim pattern.
+//! compaction, and the raw atomic-increment list-claim pattern — plus the
+//! raw cost gap the trig-table fast path exploits: per-pair `sin(q − p)`
+//! vs. the angle-addition FMA over precomputed sin/cos tables.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use egg_gpu_sim::{grid_for, primitives, Device, DeviceConfig};
@@ -46,5 +48,47 @@ fn bench_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_primitives);
+/// 1e6 pairwise sine terms, the unit of work in the partial-cell path:
+/// direct `sin(q − p)` against `sin q · cos p − cos q · sin p` with the
+/// tables built once up front (n·d transcendentals amortized over all
+/// pairs, as the EGG-update does per iteration).
+fn bench_pair_sin(c: &mut Criterion) {
+    const PAIRS: usize = 1_000_000;
+    // 1k distinct coordinates → 1e6 ordered pairs, like a dense cell walk
+    let side = 1_000usize;
+    let coords: Vec<f64> = (0..side)
+        .map(|i| (i as u64).wrapping_mul(2654435761) as f64 / u32::MAX as f64)
+        .collect();
+    assert_eq!(side * side, PAIRS);
+
+    let mut group = c.benchmark_group("pairwise_sin_1e6");
+    group.sample_size(20);
+    group.bench_function("per_pair_sin", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &p in &coords {
+                for &q in &coords {
+                    acc += (q - p).sin();
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("trig_table_fma", |b| {
+        b.iter(|| {
+            let sin_t: Vec<f64> = coords.iter().map(|x| x.sin()).collect();
+            let cos_t: Vec<f64> = coords.iter().map(|x| x.cos()).collect();
+            let mut acc = 0.0f64;
+            for (&sin_p, &cos_p) in sin_t.iter().zip(&cos_t) {
+                for (&sin_q, &cos_q) in sin_t.iter().zip(&cos_t) {
+                    acc += sin_q.mul_add(cos_p, -(cos_q * sin_p));
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_pair_sin);
 criterion_main!(benches);

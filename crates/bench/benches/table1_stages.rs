@@ -9,7 +9,7 @@
 //! single-core host; both host wall-clock and simulated-GPU stage times
 //! are printed.
 
-use egg_bench::{default_synthetic, results_dir, scaled};
+use egg_bench::{append_bench_ledger, bench_ledger_row, default_synthetic, results_dir, scaled};
 use egg_sync_core::instrument::Stage;
 use egg_sync_core::{ClusterAlgorithm, Clustering, EggSync, GpuSync};
 use std::io::Write;
@@ -20,6 +20,7 @@ const HOST_THREADS: [usize; 2] = [1, 4];
 fn main() {
     println!("=== table1_stages ===");
     let mut json_rows = Vec::new();
+    let mut ledger_rows = Vec::new();
     println!(
         "{:<8} {:<12} {:>11} {:>16} {:>11} {:>12} {:>11} {:>12}",
         "n",
@@ -69,6 +70,16 @@ fn main() {
                     sim.get(Stage::FreeMemory),
                 );
             }
+            ledger_rows.push(bench_ledger_row(
+                "table1_stages",
+                &name,
+                n,
+                data.dim(),
+                result.trace.engine_threads.unwrap_or(1),
+                result.iterations,
+                result.trace.total_seconds,
+                stages,
+            ));
             json_rows.push(serde_json::json!({
                 "n": n,
                 "method": name,
@@ -92,4 +103,8 @@ fn main() {
     )
     .expect("write results");
     println!("(series written to {})", path.display());
+    match append_bench_ledger(&ledger_rows) {
+        Ok(ledger) => println!("(ledger appended to {})", ledger.display()),
+        Err(e) => eprintln!("warning: could not append BENCH_egg.json: {e}"),
+    }
 }

@@ -19,6 +19,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use egg_data::Dataset;
+use egg_sync_core::instrument::{Stage, StageTimings};
 use egg_sync_core::{ClusterAlgorithm, Clustering};
 use serde::Serialize;
 
@@ -39,6 +40,10 @@ pub struct Measurement {
     pub clusters: usize,
     /// Peak auxiliary-structure bytes.
     pub structure_bytes: usize,
+    /// Per-stage host wall-clock breakdown of the run.
+    pub stages: StageTimings,
+    /// Host execution-engine worker threads, when the engine ran.
+    pub engine_threads: Option<usize>,
 }
 
 /// Run one algorithm on one dataset and record a [`Measurement`].
@@ -59,7 +64,85 @@ pub fn measurement_from(name: &str, x: f64, wall: f64, result: &Clustering) -> M
         iterations: result.iterations,
         clusters: result.num_clusters,
         structure_bytes: result.trace.peak_structure_bytes,
+        stages: result.trace.stages,
+        engine_threads: result.trace.engine_threads,
     }
+}
+
+fn secs_to_ns(seconds: f64) -> u64 {
+    (seconds * 1e9).round().max(0.0) as u64
+}
+
+/// One row of the cross-PR benchmark ledger `BENCH_egg.json`: which
+/// experiment and method produced the run, its workload shape (n, d,
+/// threads), and the per-stage nanoseconds that trend dashboards diff
+/// across commits.
+#[allow(clippy::too_many_arguments)]
+pub fn bench_ledger_row(
+    experiment: &str,
+    method: &str,
+    n: usize,
+    d: usize,
+    threads: usize,
+    iterations: usize,
+    wall_seconds: f64,
+    stages: &StageTimings,
+) -> serde_json::Value {
+    let stages_ns = serde_json::json!({
+        "allocating": secs_to_ns(stages.get(Stage::Allocating)),
+        "build_structure": secs_to_ns(stages.get(Stage::BuildStructure)),
+        "update": secs_to_ns(stages.get(Stage::Update)),
+        "extra_check": secs_to_ns(stages.get(Stage::ExtraCheck)),
+        "clustering": secs_to_ns(stages.get(Stage::Clustering)),
+        "free_memory": secs_to_ns(stages.get(Stage::FreeMemory)),
+    });
+    serde_json::json!({
+        "experiment": experiment,
+        "method": method,
+        "n": n,
+        "d": d,
+        "threads": threads,
+        "iterations": iterations,
+        "wall_ns": secs_to_ns(wall_seconds),
+        "stages_ns": stages_ns,
+    })
+}
+
+/// Append ledger rows to the JSON array at `path`, creating the file if
+/// needed. The in-tree `serde_json` shim is write-only, so existing
+/// content is preserved by splicing the new rows in front of the array's
+/// closing bracket instead of parse-and-rewrite.
+pub fn append_bench_ledger_at(
+    path: &std::path::Path,
+    rows: &[serde_json::Value],
+) -> std::io::Result<()> {
+    let mut text = std::fs::read_to_string(path).unwrap_or_default();
+    if text.rfind(']').is_none() {
+        text = "[\n]\n".to_owned();
+    }
+    let insert_at = text.rfind(']').expect("array close ensured above");
+    let has_rows = text[..insert_at].contains('}');
+    let mut payload = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        if has_rows || i > 0 {
+            payload.push(',');
+        }
+        payload.push('\n');
+        payload.push_str(&serde_json::to_string(row).expect("serializable"));
+    }
+    payload.push('\n');
+    text.insert_str(insert_at, &payload);
+    std::fs::write(path, text)
+}
+
+/// Append rows to the default ledger `target/paper_results/BENCH_egg.json`
+/// and return its path.
+pub fn append_bench_ledger(rows: &[serde_json::Value]) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_egg.json");
+    append_bench_ledger_at(&path, rows)?;
+    Ok(path)
 }
 
 /// Collects an experiment's measurements, prints the paper-style table and
@@ -212,5 +295,36 @@ mod tests {
     #[test]
     fn scaled_respects_floor() {
         assert!(scaled(10) >= 64);
+    }
+
+    #[test]
+    fn ledger_append_creates_then_splices() {
+        let path = std::env::temp_dir().join(format!("egg_ledger_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let stages = StageTimings::default();
+        let row = |m: &str| bench_ledger_row("unit", m, 100, 2, 1, 3, 0.5, &stages);
+        append_bench_ledger_at(&path, &[row("a"), row("b")]).unwrap();
+        append_bench_ledger_at(&path, &[row("c")]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        // three rows survive two appends, in a well-formed array
+        assert_eq!(text.matches("\"experiment\":").count(), 3);
+        assert_eq!(text.matches('[').count(), 1);
+        assert!(text.trim_end().ends_with(']'));
+        for m in ["\"a\"", "\"b\"", "\"c\""] {
+            assert!(text.contains(m), "missing row {m}");
+        }
+        assert!(text.contains("\"wall_ns\":500000000"));
+    }
+
+    #[test]
+    fn ledger_row_reports_stage_nanos() {
+        let mut stages = StageTimings::default();
+        stages.add(Stage::Update, 0.25);
+        let row = bench_ledger_row("unit", "EGG-SynC", 1000, 4, 2, 7, 1.0, &stages);
+        let text = serde_json::to_string(&row).unwrap();
+        assert!(text.contains("\"update\":250000000"));
+        assert!(text.contains("\"threads\":2"));
+        assert!(text.contains("\"d\":4"));
     }
 }

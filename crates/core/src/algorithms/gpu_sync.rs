@@ -72,11 +72,16 @@ impl ClusterAlgorithm for GpuSync {
         let device = Device::new(self.device_config.clone());
 
         // --- allocate & upload -------------------------------------------
-        let ((coords, next, rc_buf), alloc_secs) = timed(|| {
+        let ((coords, next, rc_buf, sin_t, cos_t), alloc_secs) = timed(|| {
             let coords = device.alloc_from_slice::<f64>(data.coords());
             let next = device.alloc::<f64>(n * dim);
             let rc_buf = device.alloc::<f64>(1);
-            (coords, next, rc_buf)
+            // per-point trig tables, refilled each iteration: the pairwise
+            // loop below consumes them through the angle-addition identity
+            // instead of evaluating sin(q−p) per pair per dimension
+            let sin_t = device.alloc::<f64>(n * dim);
+            let cos_t = device.alloc::<f64>(n * dim);
+            (coords, next, rc_buf, sin_t, cos_t)
         });
         trace.stages.add(Stage::Allocating, alloc_secs);
         trace.observe_structure_bytes(device.memory_used() as usize);
@@ -94,14 +99,32 @@ impl ClusterAlgorithm for GpuSync {
                 let cur = &coords_cur;
                 let nxt = &coords_next;
                 let rc_ref = &rc_buf;
+                let (sin_t, cos_t) = (&sin_t, &cos_t);
+                // refill the trig tables from the current positions: n·d
+                // transcendental pairs total, instead of one per candidate
+                // pair per dimension in the O(n²) loop below
+                device.launch("gpu_sync_trig", grid_for(n, BLOCK), BLOCK, |t| {
+                    let p_idx = t.global_id();
+                    if p_idx >= n {
+                        return;
+                    }
+                    for i in 0..dim {
+                        let x = cur.load(p_idx * dim + i);
+                        sin_t.store(p_idx * dim + i, x.sin());
+                        cos_t.store(p_idx * dim + i, x.cos());
+                    }
+                });
                 device.launch("gpu_sync_update", grid_for(n, BLOCK), BLOCK, |t| {
                     let p_idx = t.global_id();
                     if p_idx >= n {
                         return;
                     }
                     let mut p = [0.0f64; MAX_DIM];
+                    let (mut sin_p, mut cos_p) = ([0.0f64; MAX_DIM], [0.0f64; MAX_DIM]);
                     for i in 0..dim {
                         p[i] = cur.load(p_idx * dim + i);
+                        sin_p[i] = sin_t.load(p_idx * dim + i);
+                        cos_p[i] = cos_t.load(p_idx * dim + i);
                     }
                     let mut sums = [0.0f64; MAX_DIM];
                     let mut count = 0usize;
@@ -117,8 +140,10 @@ impl ClusterAlgorithm for GpuSync {
                         if dist_sq <= eps_sq {
                             count += 1;
                             rc_acc += (-dist_sq.sqrt()).exp();
+                            // sin(q−p) = sin q · cos p − cos q · sin p
                             for i in 0..dim {
-                                sums[i] += (q[i] - p[i]).sin();
+                                sums[i] += sin_t.load(q_idx * dim + i) * cos_p[i]
+                                    - cos_t.load(q_idx * dim + i) * sin_p[i];
                             }
                         }
                     }

@@ -22,7 +22,9 @@ use crate::result::{ClusterAlgorithm, Clustering};
 
 use super::gather::gather_labels;
 use super::termination::{second_term_holds, second_term_holds_host};
-use super::update::{egg_update, egg_update_host, UpdateOptions};
+use super::update::{
+    counters_from_device, egg_update, egg_update_host, UpdateOptions, COUNTER_SLOTS,
+};
 
 /// Execution backend for [`EggSync`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -108,24 +110,35 @@ impl EggSync {
             return Clustering::from_labels(Vec::new(), 0, true, data.clone(), trace);
         }
 
+        // --- allocate the iteration workspace once: ping-pong coordinate
+        // buffers, the reusable grid (CSR arrays, summaries, trig tables)
+        // and the per-chunk update scratch. The loop below only ever
+        // *reuses* these, so steady-state iterations are allocation-free.
         let geometry = GridGeometry::new(dim, self.epsilon, n, self.variant);
-        let ((mut coords_cur, mut coords_next), alloc_secs) =
-            timed(|| (data.coords().to_vec(), vec![0.0f64; n * dim]));
+        let ((mut coords_cur, mut coords_next, mut grid, mut chunk_stats), alloc_secs) =
+            timed(|| {
+                (
+                    data.coords().to_vec(),
+                    vec![0.0f64; n * dim],
+                    CellGrid::new(geometry),
+                    Vec::new(),
+                )
+            });
         trace.stages.add(Stage::Allocating, alloc_secs);
 
         let mut iterations = 0usize;
         let mut converged = false;
-        let mut last_grid: Option<CellGrid> = None;
         while iterations < self.max_iterations {
             let iter_start = std::time::Instant::now();
 
-            // construct grid + summaries from state t
-            let (grid, build_secs) = timed(|| CellGrid::build(&exec, geometry, &coords_cur));
+            // (re)construct grid + summaries + trig tables from state t,
+            // in place
+            let (_, build_secs) = timed(|| grid.rebuild(&exec, &coords_cur));
             trace.stages.add(Stage::BuildStructure, build_secs);
             trace.observe_structure_bytes(grid.memory_bytes());
 
             // update t → t+1, certifying the first term on state t
-            let (first_term, update_secs) = timed(|| {
+            let ((first_term, counters), update_secs) = timed(|| {
                 egg_update_host(
                     &exec,
                     &grid,
@@ -133,9 +146,11 @@ impl EggSync {
                     &mut coords_next,
                     self.epsilon,
                     self.options,
+                    &mut chunk_stats,
                 )
             });
             trace.stages.add(Stage::Update, update_secs);
+            trace.update_counters.merge(&counters);
 
             // second term, only when the first survived (state t!)
             let mut done = false;
@@ -154,7 +169,6 @@ impl EggSync {
                 sim_seconds: None,
                 rc: None,
             });
-            last_grid = Some(grid);
             if done {
                 converged = true;
                 break;
@@ -163,16 +177,18 @@ impl EggSync {
 
         // --- gather: non-empty cells of the certified grid are clusters --
         let (labels, gather_secs) = timed(|| {
-            last_grid
-                .as_ref()
-                .map(|g| g.point_cell().to_vec())
-                .unwrap_or_default()
+            if iterations > 0 {
+                grid.point_cell().to_vec()
+            } else {
+                Vec::new()
+            }
         });
         trace.stages.add(Stage::Clustering, gather_secs);
 
         let final_coords = Dataset::from_coords(coords_cur, dim);
         let (_, free_secs) = timed(|| {
-            drop(last_grid);
+            drop(grid);
+            drop(chunk_stats);
             drop(coords_next);
         });
         trace.stages.add(Stage::FreeMemory, free_secs);
@@ -204,13 +220,14 @@ impl EggSync {
 
         // --- allocate everything once (Algorithm 4 reuses all arrays) ----
         let geometry = GridGeometry::new(dim, self.epsilon, n, self.variant);
-        let ((mut coords_cur, mut coords_next, sync_flag, mut workspace), alloc_secs) =
+        let ((mut coords_cur, mut coords_next, sync_flag, counters, mut workspace), alloc_secs) =
             timed(|| {
                 let coords = device.alloc_from_slice::<f64>(data.coords());
                 let next = device.alloc::<f64>(n * dim);
                 let flag = device.alloc::<u64>(1);
+                let counters = device.alloc::<u64>(COUNTER_SLOTS);
                 let workspace = GridWorkspace::new(&device, geometry, n);
-                (coords, next, flag, workspace)
+                (coords, next, flag, counters, workspace)
             });
         trace.stages.add(Stage::Allocating, alloc_secs);
         take_sim(&device, &mut sim_stages, Stage::Allocating);
@@ -243,6 +260,7 @@ impl EggSync {
                     &coords_cur,
                     &coords_next,
                     &sync_flag,
+                    &counters,
                     n,
                     self.epsilon,
                     self.options,
@@ -252,11 +270,21 @@ impl EggSync {
             trace.stages.add(Stage::Update, update_secs);
             take_sim(&device, &mut sim_stages, Stage::Update);
 
-            // second term, only when the first survived (state t!)
+            // second term, only when the first survived (state t!) — the
+            // first-term verdict is already read, so the flag is reusable
             let mut done = false;
             if first_term {
-                let (second, check_secs) =
-                    timed(|| second_term_holds(&device, &grid, &pre, &coords_cur, n, self.epsilon));
+                let (second, check_secs) = timed(|| {
+                    second_term_holds(
+                        &device,
+                        &grid,
+                        &pre,
+                        &coords_cur,
+                        &sync_flag,
+                        n,
+                        self.epsilon,
+                    )
+                });
                 trace.stages.add(Stage::ExtraCheck, check_secs);
                 take_sim(&device, &mut sim_stages, Stage::ExtraCheck);
                 done = second;
@@ -284,6 +312,7 @@ impl EggSync {
         take_sim(&device, &mut sim_stages, Stage::Clustering);
 
         let final_coords = Dataset::from_coords(coords_cur.to_vec(), dim);
+        trace.update_counters = counters_from_device(&counters);
         trace.observe_structure_bytes(device.memory_used() as usize);
         let (_, free_secs) = timed(|| {
             drop(workspace);
@@ -374,16 +403,18 @@ mod tests {
     fn ablation_toggles_do_not_change_results() {
         let (data, _) = blobs(150, 3, 19);
         let reference = EggSync::new(0.05).cluster(&data);
-        for (summaries, pregrid) in [(false, true), (true, false), (false, false)] {
-            let mut algo = EggSync::new(0.05);
-            algo.options = UpdateOptions {
-                use_summaries: summaries,
-                use_pregrid: pregrid,
+        for bits in 0u8..7 {
+            let options = UpdateOptions {
+                use_summaries: bits & 1 != 0,
+                use_pregrid: bits & 2 != 0,
+                use_trig_tables: bits & 4 != 0,
             };
+            let mut algo = EggSync::new(0.05);
+            algo.options = options;
             let other = algo.cluster(&data);
             assert!(
                 same_partition(&reference.labels, &other.labels),
-                "summaries={summaries} pregrid={pregrid} diverged"
+                "{options:?} diverged"
             );
         }
     }

@@ -20,11 +20,16 @@ use crate::model::delta;
 /// grid was built from). Returns `true` when no point can be dragged into
 /// any neighborhood — together with a surviving first-term flag this
 /// certifies Definition 4.2 and the algorithm may gather and stop.
+///
+/// `flag` is a caller-owned single-slot scratch buffer (its prior contents
+/// are overwritten), so a run loop can allocate it once.
+#[allow(clippy::too_many_arguments)]
 pub fn second_term_holds(
     device: &Device,
     grid: &DeviceGrid,
     pre: &PreGrid,
     coords: &DeviceBuffer<f64>,
+    flag: &DeviceBuffer<u64>,
     n: usize,
     epsilon: f64,
 ) -> bool {
@@ -34,10 +39,8 @@ pub fn second_term_holds(
     let shell = epsilon + delta(epsilon);
     let shell_sq = shell * shell;
     let half_sq = (epsilon / 2.0) * (epsilon / 2.0);
-    let flag = device.alloc::<u64>(1);
     flag.store(0, 1);
     {
-        let flag = &flag;
         device.launch("egg_second_term", grid_for(n, BLOCK), BLOCK, |t| {
             let p_idx = t.global_id();
             if p_idx >= n || flag.load(0) == 0 {
@@ -170,7 +173,9 @@ fn shell_pair_reaches(
 }
 
 /// Host-engine counterpart of [`second_term_holds`]: evaluate the second
-/// term of Definition 4.2 over `exec`'s workers. Each point is a pure
+/// term of Definition 4.2 over `exec`'s workers, visiting points in the
+/// grid-sorted order of [`CellGrid::point_order`] so consecutive checks
+/// walk the same cells on warm cache lines. Each point is a pure
 /// predicate, so the verdict equals the sequential evaluation —
 /// [`Executor::all`] only short-circuits *how much* work runs once a
 /// draggable pair is found, never the outcome.
@@ -187,7 +192,9 @@ pub fn second_term_holds_host(
     let shell = epsilon + delta(epsilon);
     let shell_sq = shell * shell;
     let half_sq = (epsilon / 2.0) * (epsilon / 2.0);
-    exec.all(n, POINT_CHUNK, |p_idx| {
+    let order = grid.point_order();
+    exec.all(n, POINT_CHUNK, |entry| {
+        let p_idx = order[entry] as usize;
         let p = &coords[p_idx * dim..(p_idx + 1) * dim];
         let mut dragged = false;
         grid.for_each_cell_in_reach(geo.outer_id_of_point(p), |c| {
@@ -283,7 +290,8 @@ mod tests {
         let buf = device.alloc_from_slice(coords);
         let grid = ws.construct(&buf);
         let pre = ws.build_pregrid(&grid);
-        second_term_holds(&device, &grid, &pre, &buf, n, eps)
+        let flag = device.alloc::<u64>(1);
+        second_term_holds(&device, &grid, &pre, &buf, &flag, n, eps)
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!   precomputed Σsin/Σcos via the angle-addition identity — no point
 //!   access at all (§4.3.1);
 //! * **partially overlapping** (nearest corner within ε): fall back to the
-//!   points of that cell;
+//!   points of that cell — by default through the per-point trig table and
+//!   the same angle-addition identity, so the inner loop is pure
+//!   multiply-add with no transcendentals;
 //! * **disjoint**: skip.
 //!
 //! The kernel simultaneously evaluates the *first term* of the exact
@@ -21,10 +23,25 @@
 use egg_gpu_sim::{grid_for, Device, DeviceBuffer};
 
 use crate::algorithms::gpu_sync::{BLOCK, MAX_DIM};
-use crate::exec::{Executor, POINT_CHUNK};
+use crate::exec::{Executor, ScatterWriter, POINT_CHUNK};
 use crate::grid::{CellGrid, DeviceGrid, PreGrid};
+use crate::instrument::UpdateCounters;
 
 use super::super::grid::device::seg_start;
+
+/// Number of `u64` slots in the device-side update-counter buffer consumed
+/// by [`egg_update`]: `[summary_cells, point_pairs, sin_calls_avoided]`.
+pub const COUNTER_SLOTS: usize = 3;
+
+/// Read an [`UpdateCounters`] back from a device counter buffer of
+/// [`COUNTER_SLOTS`] slots.
+pub fn counters_from_device(buf: &DeviceBuffer<u64>) -> UpdateCounters {
+    UpdateCounters {
+        summary_cells: buf.load(0),
+        point_pairs: buf.load(1),
+        sin_calls_avoided: buf.load(2),
+    }
+}
 
 /// Options toggling the paper's individual optimizations — the ablation
 /// switches of the `ablation_egg` bench.
@@ -37,6 +54,13 @@ pub struct UpdateOptions {
     /// When off, enumerate all geometric surroundings and test emptiness
     /// inline.
     pub use_pregrid: bool,
+    /// Consume the per-point trig table via the angle-addition identity
+    /// `sin(q−p) = sin q · cos p − cos q · sin p` on the partial-cell
+    /// path, instead of evaluating `sin(q_i − p_i)` per pair per
+    /// dimension. When off, the inner loop calls `sin` directly (the
+    /// pre-optimization behavior, bit-compatible with a brute-force
+    /// update).
+    pub use_trig_tables: bool,
 }
 
 impl Default for UpdateOptions {
@@ -44,13 +68,17 @@ impl Default for UpdateOptions {
         Self {
             use_summaries: true,
             use_pregrid: true,
+            use_trig_tables: true,
         }
     }
 }
 
 /// Launch the EGG-update kernel: move every point of `coords` into `next`
 /// and clear `sync_flag[0]` if any point's neighborhood extends beyond its
-/// own grid cell. `sync_flag[0]` must be pre-set to 1 by the caller.
+/// own grid cell. `sync_flag[0]` must be pre-set to 1 by the caller, and
+/// `counters` must hold [`COUNTER_SLOTS`] zero-initialized slots (the
+/// kernel accumulates into them, so a caller may carry one buffer across
+/// iterations).
 #[allow(clippy::too_many_arguments)]
 pub fn egg_update(
     device: &Device,
@@ -59,6 +87,7 @@ pub fn egg_update(
     coords: &DeviceBuffer<f64>,
     next: &DeviceBuffer<f64>,
     sync_flag: &DeviceBuffer<u64>,
+    counters: &DeviceBuffer<u64>,
     n: usize,
     epsilon: f64,
     options: UpdateOptions,
@@ -78,9 +107,17 @@ pub fn egg_update(
             p[i] = coords.load(p_idx * dim + i);
         }
         let (mut sin_p, mut cos_p) = ([0.0f64; MAX_DIM], [0.0f64; MAX_DIM]);
-        for i in 0..dim {
-            sin_p[i] = p[i].sin();
-            cos_p[i] = p[i].cos();
+        if options.use_trig_tables {
+            // same coordinates the table was built from — identical bits
+            for i in 0..dim {
+                sin_p[i] = grid.trig_sin.load(p_idx * dim + i);
+                cos_p[i] = grid.trig_cos.load(p_idx * dim + i);
+            }
+        } else {
+            for i in 0..dim {
+                sin_p[i] = p[i].sin();
+                cos_p[i] = p[i].cos();
+            }
         }
         let c_oid = geo.outer_id_of_point(&p[..dim]);
         let c_cell = grid.point_cell.load(p_idx) as usize;
@@ -88,6 +125,7 @@ pub fn egg_update(
         let mut sums = [0.0f64; MAX_DIM];
         let mut neighbors = 0u64;
         let mut cell_coords = [0u64; MAX_DIM];
+        let mut local = UpdateCounters::default();
 
         let mut visit_outer = |oid: usize| {
             let cells_lo = seg_start(&grid.o_ends, oid) as usize;
@@ -107,10 +145,14 @@ pub fn egg_update(
                         sums[i] += cos_p[i] * grid.sin_sums.load(c * dim + i)
                             - sin_p[i] * grid.cos_sums.load(c * dim + i);
                     }
-                    neighbors += grid.cell_size(c);
+                    let size = grid.cell_size(c);
+                    neighbors += size;
+                    local.summary_cells += 1;
+                    local.sin_calls_avoided += dim as u64 * size;
                 } else {
                     let pts_lo = grid.cell_start(c) as usize;
                     let pts_hi = grid.i_ends.load(c) as usize;
+                    local.point_pairs += (pts_hi - pts_lo) as u64;
                     for e in pts_lo..pts_hi {
                         let q_idx = grid.i_points.load(e) as usize;
                         let mut q = [0.0f64; MAX_DIM];
@@ -122,8 +164,17 @@ pub fn egg_update(
                         }
                         if dist_sq <= eps_sq {
                             neighbors += 1;
-                            for i in 0..dim {
-                                sums[i] += (q[i] - p[i]).sin();
+                            if options.use_trig_tables {
+                                // sin(q−p) = sin q · cos p − cos q · sin p
+                                for i in 0..dim {
+                                    sums[i] += grid.trig_sin.load(q_idx * dim + i) * cos_p[i]
+                                        - grid.trig_cos.load(q_idx * dim + i) * sin_p[i];
+                                }
+                                local.sin_calls_avoided += dim as u64;
+                            } else {
+                                for i in 0..dim {
+                                    sums[i] += (q[i] - p[i]).sin();
+                                }
                             }
                         }
                     }
@@ -154,21 +205,41 @@ pub fn egg_update(
         if neighbors != grid.cell_size(c_cell) {
             sync_flag.store(0, 0);
         }
+        if local.summary_cells != 0 {
+            counters.atomic_add(0, local.summary_cells);
+        }
+        if local.point_pairs != 0 {
+            counters.atomic_add(1, local.point_pairs);
+        }
+        if local.sin_calls_avoided != 0 {
+            counters.atomic_add(2, local.sin_calls_avoided);
+        }
     });
 }
 
 /// Host-engine counterpart of [`egg_update`]: move every point of `coords`
 /// into `next` on `exec`'s workers, and return whether the *first term* of
-/// Definition 4.2 held (every neighborhood confined to its own cell).
+/// Definition 4.2 held (every neighborhood confined to its own cell),
+/// together with the work counters of the pass.
 ///
 /// Cell classification and the summary consumption are identical to the
-/// device kernel; `options.use_pregrid` is a no-op here because
-/// [`CellGrid::for_each_cell_in_reach`] already skips empty outer cells
-/// via its hash lookup.
+/// device kernel. Points are processed in the grid-sorted order of
+/// [`CellGrid::point_order`] (the host edition of `i_points`, §4.2.6), so
+/// consecutive points share cells and their reach walks hit warm cache
+/// lines; results are scattered back to each point's original row.
+/// `options.use_pregrid` remains structurally unnecessary here: the
+/// preGrid's only job is to skip empty outer cells, and
+/// [`CellGrid::for_each_cell_in_reach`] already does that by binary
+/// searching the sorted index of *non-empty* outer ranges — there is no
+/// per-iteration list to precompute or walk.
 ///
-/// Determinism: points are processed in fixed [`POINT_CHUNK`]-row chunks
-/// and each point walks cells in the grid's sorted order, so `next` is
-/// bit-for-bit identical for any worker count.
+/// `chunk_stats` is reusable per-chunk scratch (`(first-term, counters)`
+/// slots): it is resized to the chunk count and keeps its capacity, so a
+/// caller looping over iterations allocates nothing after the first call.
+///
+/// Determinism: points are processed in fixed [`POINT_CHUNK`]-entry chunks
+/// of the grid-sorted order and each point walks cells in the grid's
+/// sorted order, so `next` is bit-for-bit identical for any worker count.
 pub fn egg_update_host(
     exec: &Executor,
     grid: &CellGrid,
@@ -176,20 +247,35 @@ pub fn egg_update_host(
     next: &mut [f64],
     epsilon: f64,
     options: UpdateOptions,
-) -> bool {
+    chunk_stats: &mut Vec<(bool, UpdateCounters)>,
+) -> (bool, UpdateCounters) {
     let geo = *grid.geometry();
     let dim = geo.dim;
     let eps_sq = epsilon * epsilon;
-    let locals = exec.map_chunks_mut(next, POINT_CHUNK * dim, |offset, chunk| {
+    let n = next.len() / dim.max(1);
+    let order = grid.point_order();
+    debug_assert_eq!(order.len(), n);
+    chunk_stats.clear();
+    chunk_stats.resize(n.div_ceil(POINT_CHUNK), (true, UpdateCounters::default()));
+    let writer = ScatterWriter::new(next);
+    let writer = &writer;
+    exec.map_ranges_into(n, POINT_CHUNK, chunk_stats, |range| {
         let mut all_local = true;
-        for (r, out) in chunk.chunks_exact_mut(dim).enumerate() {
-            let p_idx = offset / dim + r;
+        let mut counters = UpdateCounters::default();
+        for entry in range {
+            let p_idx = order[entry] as usize;
             let p = &coords[p_idx * dim..(p_idx + 1) * dim];
-            let (mut sin_p, mut cos_p) = ([0.0f64; MAX_DIM], [0.0f64; MAX_DIM]);
-            for i in 0..dim {
-                sin_p[i] = p[i].sin();
-                cos_p[i] = p[i].cos();
-            }
+            let (mut sin_buf, mut cos_buf) = ([0.0f64; MAX_DIM], [0.0f64; MAX_DIM]);
+            let (sin_p, cos_p): (&[f64], &[f64]) = if options.use_trig_tables {
+                // `entry` is p's grid-sorted slot, the trig table's index
+                (grid.slot_sin(entry), grid.slot_cos(entry))
+            } else {
+                for i in 0..dim {
+                    sin_buf[i] = p[i].sin();
+                    cos_buf[i] = p[i].cos();
+                }
+                (&sin_buf[..dim], &cos_buf[..dim])
+            };
             let mut sums = [0.0f64; MAX_DIM];
             let mut neighbors = 0u64;
             grid.for_each_cell_in_reach(geo.outer_id_of_point(p), |c| {
@@ -204,10 +290,19 @@ pub fn egg_update_host(
                     for i in 0..dim {
                         sums[i] += cos_p[i] * sin_sums[i] - sin_p[i] * cos_sums[i];
                     }
-                    neighbors += grid.cell_len(c) as u64;
+                    let len = grid.cell_len(c) as u64;
+                    neighbors += len;
+                    counters.summary_cells += 1;
+                    counters.sin_calls_avoided += dim as u64 * len;
                 } else {
-                    for &q_idx in grid.cell_points(c) {
-                        let q = &coords[q_idx as usize * dim..(q_idx as usize + 1) * dim];
+                    let slots = grid.cell_range(c);
+                    counters.point_pairs += slots.len() as u64;
+                    // walk the cell by slot: q's coordinates are looked up
+                    // through the order permutation, but the trig rows are
+                    // the contiguous block `slots` of the table
+                    for slot in slots {
+                        let q_idx = order[slot] as usize;
+                        let q = &coords[q_idx * dim..(q_idx + 1) * dim];
                         let mut dist_sq = 0.0;
                         for i in 0..dim {
                             let d = q[i] - p[i];
@@ -215,14 +310,25 @@ pub fn egg_update_host(
                         }
                         if dist_sq <= eps_sq {
                             neighbors += 1;
-                            for i in 0..dim {
-                                sums[i] += (q[i] - p[i]).sin();
+                            if options.use_trig_tables {
+                                let (sin_q, cos_q) = (grid.slot_sin(slot), grid.slot_cos(slot));
+                                // sin(q−p) = sin q · cos p − cos q · sin p
+                                for i in 0..dim {
+                                    sums[i] += sin_q[i] * cos_p[i] - cos_q[i] * sin_p[i];
+                                }
+                                counters.sin_calls_avoided += dim as u64;
+                            } else {
+                                for i in 0..dim {
+                                    sums[i] += (q[i] - p[i]).sin();
+                                }
                             }
                         }
                     }
                 }
             });
             let inv = 1.0 / neighbors as f64;
+            // disjoint rows: `order` is a permutation of the point indices
+            let out = unsafe { writer.row_mut(p_idx * dim, dim) };
             for i in 0..dim {
                 out[i] = p[i] + sums[i] * inv;
             }
@@ -231,9 +337,15 @@ pub fn egg_update_host(
                 all_local = false;
             }
         }
-        all_local
+        (all_local, counters)
     });
-    locals.into_iter().all(|b| b)
+    let mut first_term = true;
+    let mut totals = UpdateCounters::default();
+    for (all_local, counters) in chunk_stats.iter() {
+        first_term &= *all_local;
+        totals.merge(counters);
+    }
+    (first_term, totals)
 }
 
 #[cfg(test)]
@@ -256,6 +368,17 @@ mod tests {
         variant: GridVariant,
         options: UpdateOptions,
     ) -> (Vec<f64>, bool) {
+        let (next, flag, _) = run_update_counting(coords, dim, eps, variant, options);
+        (next, flag)
+    }
+
+    fn run_update_counting(
+        coords: &[f64],
+        dim: usize,
+        eps: f64,
+        variant: GridVariant,
+        options: UpdateOptions,
+    ) -> (Vec<f64>, bool, UpdateCounters) {
         let n = coords.len() / dim;
         let device = Device::new(DeviceConfig::default());
         let geo = GridGeometry::new(dim, eps, n, variant);
@@ -264,10 +387,17 @@ mod tests {
         let next = device.alloc::<f64>(coords.len());
         let flag = device.alloc::<u64>(1);
         flag.store(0, 1);
+        let counters = device.alloc::<u64>(COUNTER_SLOTS);
         let grid = ws.construct(&buf);
         let pre = ws.build_pregrid(&grid);
-        egg_update(&device, &grid, &pre, &buf, &next, &flag, n, eps, options);
-        (next.to_vec(), flag.load(0) == 1)
+        egg_update(
+            &device, &grid, &pre, &buf, &next, &flag, &counters, n, eps, options,
+        );
+        (
+            next.to_vec(),
+            flag.load(0) == 1,
+            counters_from_device(&counters),
+        )
     }
 
     fn brute_force_update(coords: &[f64], dim: usize, eps: f64) -> Vec<f64> {
@@ -313,6 +443,7 @@ mod tests {
             UpdateOptions {
                 use_summaries: false,
                 use_pregrid: true,
+                use_trig_tables: false,
             },
         );
         assert_close(&got, &expected, 1e-12);
@@ -330,9 +461,65 @@ mod tests {
             UpdateOptions {
                 use_summaries: true,
                 use_pregrid: false,
+                use_trig_tables: true,
             },
         );
         assert_close(&got, &expected, 1e-9);
+    }
+
+    #[test]
+    fn trig_table_path_matches_direct_sin() {
+        let coords = cloud(250, 3);
+        let direct = run_update(
+            &coords,
+            3,
+            0.15,
+            GridVariant::Auto,
+            UpdateOptions {
+                use_summaries: true,
+                use_pregrid: true,
+                use_trig_tables: false,
+            },
+        )
+        .0;
+        let tabled = run_update(
+            &coords,
+            3,
+            0.15,
+            GridVariant::Auto,
+            UpdateOptions::default(),
+        )
+        .0;
+        assert_close(&tabled, &direct, 1e-9);
+    }
+
+    #[test]
+    fn counters_report_summary_and_point_work() {
+        let coords = cloud(300, 2);
+        let (_, _, on) = run_update_counting(
+            &coords,
+            2,
+            0.08,
+            GridVariant::Auto,
+            UpdateOptions::default(),
+        );
+        assert!(on.summary_cells > 0, "dense cloud must hit summaries");
+        assert!(on.point_pairs > 0, "boundary cells must hit the point path");
+        assert!(on.sin_calls_avoided > 0);
+        let (_, _, off) = run_update_counting(
+            &coords,
+            2,
+            0.08,
+            GridVariant::Auto,
+            UpdateOptions {
+                use_summaries: false,
+                use_pregrid: true,
+                use_trig_tables: false,
+            },
+        );
+        assert_eq!(off.summary_cells, 0);
+        assert_eq!(off.sin_calls_avoided, 0);
+        assert!(off.point_pairs > on.point_pairs);
     }
 
     #[test]
@@ -393,7 +580,9 @@ mod tests {
         let geo = GridGeometry::new(dim, eps, n, GridVariant::Auto);
         let grid = CellGrid::build(&exec, geo, coords);
         let mut next = vec![0.0; coords.len()];
-        let first_term = egg_update_host(&exec, &grid, coords, &mut next, eps, options);
+        let mut stats = Vec::new();
+        let (first_term, _) =
+            egg_update_host(&exec, &grid, coords, &mut next, eps, options, &mut stats);
         (next, first_term)
     }
 
@@ -417,9 +606,29 @@ mod tests {
             UpdateOptions {
                 use_summaries: false,
                 use_pregrid: true,
+                use_trig_tables: false,
             },
         );
         assert_close(&got, &expected, 1e-12);
+    }
+
+    #[test]
+    fn host_trig_table_path_matches_direct_sin() {
+        let coords = cloud(400, 2);
+        let direct = run_update_host(
+            &coords,
+            2,
+            0.06,
+            3,
+            UpdateOptions {
+                use_summaries: true,
+                use_pregrid: true,
+                use_trig_tables: false,
+            },
+        )
+        .0;
+        let tabled = run_update_host(&coords, 2, 0.06, 3, UpdateOptions::default()).0;
+        assert_close(&tabled, &direct, 1e-9);
     }
 
     #[test]
@@ -432,6 +641,33 @@ mod tests {
             assert_eq!(bits(&got), bits(&reference), "workers = {workers}");
             assert_eq!(flag, ref_flag);
         }
+    }
+
+    #[test]
+    fn host_counters_match_device_counters() {
+        let coords = cloud(300, 2);
+        let (_, _, device) = run_update_counting(
+            &coords,
+            2,
+            0.08,
+            GridVariant::Auto,
+            UpdateOptions::default(),
+        );
+        let exec = Executor::new(Some(4));
+        let geo = GridGeometry::new(2, 0.08, 150, GridVariant::Auto);
+        let grid = CellGrid::build(&exec, geo, &coords);
+        let mut next = vec![0.0; coords.len()];
+        let mut stats = Vec::new();
+        let (_, host) = egg_update_host(
+            &exec,
+            &grid,
+            &coords,
+            &mut next,
+            0.08,
+            UpdateOptions::default(),
+            &mut stats,
+        );
+        assert_eq!(host, device);
     }
 
     #[test]

@@ -23,9 +23,62 @@
 //! sequential loop with no thread spawn, so `threads: Some(1)` is the
 //! zero-overhead reference execution.
 
+use std::marker::PhantomData;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A shared view over a mutable slice that lets parallel chunk closures
+/// scatter-write to caller-proven **disjoint** index ranges.
+///
+/// [`Executor::map_chunks_mut`] hands each worker a contiguous chunk, which
+/// is the wrong shape for stages that process points in *grid-sorted* order
+/// (§4.2.6) but write results at the points' original rows. The writer
+/// carries the exclusive borrow of the output for its lifetime; every
+/// access goes through [`ScatterWriter::row_mut`], whose safety contract is
+/// that no two concurrently live calls may overlap. The EGG call sites
+/// uphold it structurally: rows are indexed by entries of a permutation, so
+/// each row is written by exactly one chunk.
+pub struct ScatterWriter<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for ScatterWriter<'_, T> {}
+unsafe impl<T: Send> Sync for ScatterWriter<'_, T> {}
+
+impl<'a, T> ScatterWriter<'a, T> {
+    /// Wrap `slice`, taking over its exclusive borrow.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the wrapped slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wrapped slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exclusive access to `start..start + len`.
+    ///
+    /// # Safety
+    /// The range must be in bounds, and no two concurrently live `row_mut`
+    /// ranges (across all threads) may overlap.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn row_mut(&self, start: usize, len: usize) -> &mut [T] {
+        debug_assert!(start + len <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+}
 
 /// Default points per work chunk for per-point stages. Small enough to
 /// balance ragged workloads, large enough to amortize queue traffic.
@@ -98,6 +151,51 @@ impl Executor {
                     .expect("every chunk produces a result")
             })
             .collect()
+    }
+
+    /// Like [`Executor::map_ranges`], but write the per-chunk results into
+    /// the caller-provided `out` slice (one slot per chunk, in chunk order)
+    /// instead of collecting a fresh `Vec`. Returns the number of chunks
+    /// written. With a workspace-owned `out` this makes steady-state
+    /// iteration loops allocation-free.
+    ///
+    /// # Panics
+    /// Panics if `out` holds fewer slots than there are chunks.
+    pub fn map_ranges_into<R, F>(&self, n: usize, chunk_len: usize, out: &mut [R], f: F) -> usize
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let chunk_len = chunk_len.max(1);
+        let n_chunks = n.div_ceil(chunk_len);
+        assert!(
+            out.len() >= n_chunks,
+            "map_ranges_into: {} result slots for {n_chunks} chunks",
+            out.len()
+        );
+        let ranges = |c: usize| c * chunk_len..((c + 1) * chunk_len).min(n);
+        if self.workers == 1 || n_chunks <= 1 {
+            for (c, slot) in out.iter_mut().enumerate().take(n_chunks) {
+                *slot = f(ranges(c));
+            }
+            return n_chunks;
+        }
+        let next = AtomicUsize::new(0);
+        let slots = ScatterWriter::new(&mut out[..n_chunks]);
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n_chunks) {
+                scope.spawn(|| loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let r = f(ranges(c));
+                    // chunk indices are unique, so slots never overlap
+                    unsafe { slots.row_mut(c, 1)[0] = r };
+                });
+            }
+        });
+        n_chunks
     }
 
     /// Map `f` over disjoint `chunk_len`-sized mutable chunks of `data`,
@@ -252,6 +350,50 @@ mod tests {
         assert!(exec.map_ranges(0, 8, |_| 0u32).is_empty());
         let mut empty: Vec<u64> = Vec::new();
         assert!(exec.map_chunks_mut(&mut empty, 8, |_, _| 0u32).is_empty());
+        let mut out = [0u32; 4];
+        assert_eq!(exec.map_ranges_into(0, 8, &mut out, |_| 1u32), 0);
+        assert_eq!(out, [0; 4]);
+    }
+
+    #[test]
+    fn map_ranges_into_matches_map_ranges() {
+        for workers in [1, 3, 8] {
+            let exec = Executor::new(Some(workers));
+            let expected = exec.map_ranges(100, 7, |r| r.sum::<usize>());
+            let mut out = vec![0usize; expected.len() + 2];
+            let n_chunks = exec.map_ranges_into(100, 7, &mut out, |r| r.sum::<usize>());
+            assert_eq!(n_chunks, expected.len(), "workers = {workers}");
+            assert_eq!(&out[..n_chunks], &expected[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "result slots")]
+    fn map_ranges_into_rejects_short_output() {
+        let mut out = [0usize; 1];
+        Executor::sequential().map_ranges_into(100, 7, &mut out, |r| r.len());
+    }
+
+    #[test]
+    fn scatter_writer_permutation_scatter() {
+        // chunks write rows addressed through a permutation — the exact
+        // shape of the grid-sorted update
+        let n = 1000usize;
+        let perm: Vec<usize> = (0..n).map(|i| (i * 7) % n).collect();
+        for workers in [1, 4] {
+            let exec = Executor::new(Some(workers));
+            let mut data = vec![0usize; n];
+            let writer = ScatterWriter::new(&mut data);
+            let writer = &writer;
+            let perm = &perm;
+            exec.map_ranges(n, 64, |range| {
+                for e in range {
+                    let row = perm[e];
+                    unsafe { writer.row_mut(row, 1)[0] = row + 1 };
+                }
+            });
+            assert_eq!(data, (1..=n).collect::<Vec<_>>(), "workers = {workers}");
+        }
     }
 
     #[test]

@@ -58,6 +58,11 @@ pub struct DeviceGrid {
     pub sin_sums: DeviceBuffer<f64>,
     /// Per-cell Σ cos(qᵢ) (`num_inner × dim`).
     pub cos_sums: DeviceBuffer<f64>,
+    /// Per-point sin(pᵢ) (`n × dim`) — the iteration's trig table, shared
+    /// by the summaries and the update kernel's angle-addition fast path.
+    pub trig_sin: DeviceBuffer<f64>,
+    /// Per-point cos(pᵢ) (`n × dim`).
+    pub trig_cos: DeviceBuffer<f64>,
     /// Number of compacted non-empty inner cells.
     pub num_inner: usize,
 }
@@ -115,6 +120,13 @@ pub struct GridWorkspace {
     cell_fill: DeviceBuffer<u64>,
     sin_sums: DeviceBuffer<f64>,
     cos_sums: DeviceBuffer<f64>,
+    trig_sin: DeviceBuffer<f64>,
+    trig_cos: DeviceBuffer<f64>,
+    pre_list: DeviceBuffer<u64>,
+    pre_index: DeviceBuffer<u64>,
+    pre_sizes: DeviceBuffer<u64>,
+    pre_ends: DeviceBuffer<u64>,
+    pre_cells: DeviceBuffer<u64>,
 }
 
 impl GridWorkspace {
@@ -147,14 +159,47 @@ impl GridWorkspace {
             cell_fill: device.alloc(n),
             sin_sums: device.alloc(nd),
             cos_sums: device.alloc(nd),
+            trig_sin: device.alloc(nd),
+            trig_cos: device.alloc(nd),
+            pre_list: device.alloc(m.max(1)),
+            pre_index: device.alloc(m),
+            pre_sizes: device.alloc(m.max(1)),
+            pre_ends: device.alloc(m.max(1)),
+            pre_cells: device.alloc(1),
         }
     }
 
     /// Total bytes of the workspace's device buffers (Fig. 3h accounting).
     pub fn bytes(&self) -> usize {
-        let m = self.geometry.outer_cells;
-        let nd = self.n * self.geometry.dim;
-        (4 * m + 9 * self.n + 2 * nd) * 8 + 2 * nd * 8
+        [
+            self.o_sizes.len(),
+            self.o_ends.len(),
+            self.o_ends2.len(),
+            self.o_fill.len(),
+            self.i_ids.len(),
+            self.i_ids2.len(),
+            self.i_incl.len(),
+            self.i_idxs.len(),
+            self.i_sizes.len(),
+            self.i_ends.len(),
+            self.i_ends2.len(),
+            self.i_points.len(),
+            self.point_slot.len(),
+            self.point_cell.len(),
+            self.cell_fill.len(),
+            self.sin_sums.len(),
+            self.cos_sums.len(),
+            self.trig_sin.len(),
+            self.trig_cos.len(),
+            self.pre_list.len(),
+            self.pre_index.len(),
+            self.pre_sizes.len(),
+            self.pre_ends.len(),
+            self.pre_cells.len(),
+        ]
+        .iter()
+        .sum::<usize>()
+            * 8
     }
 
     /// Run Algorithm 2 over `coords` (`n × dim`, device-resident), then
@@ -325,12 +370,35 @@ impl GridWorkspace {
         std::mem::swap(&mut self.i_ends, &mut self.i_ends2);
         std::mem::swap(&mut self.o_ends, &mut self.o_ends2);
 
-        // -- summaries (§4.3.1) -------------------------------------------
+        // -- trig tables: per-point sin/cos of every coordinate, computed
+        // once per iteration and reused by the summaries below and by the
+        // update kernel's angle-addition fast path
+        {
+            let (trig_sin, trig_cos) = (&self.trig_sin, &self.trig_cos);
+            dev.launch("trig_tables", grid_for(n, BLOCK), BLOCK, |t| {
+                let p = t.global_id();
+                if p >= n {
+                    return;
+                }
+                for i in 0..dim {
+                    let x = coords.load(p * dim + i);
+                    trig_sin.store(p * dim + i, x.sin());
+                    trig_cos.store(p * dim + i, x.cos());
+                }
+            });
+        }
+
+        // -- summaries (§4.3.1), accumulated from the trig tables ---------
         primitives::fill(&dev, &self.sin_sums, 0.0f64);
         primitives::fill(&dev, &self.cos_sums, 0.0f64);
         {
-            let (point_cell, sin_sums, cos_sums) =
-                (&self.point_cell, &self.sin_sums, &self.cos_sums);
+            let (point_cell, sin_sums, cos_sums, trig_sin, trig_cos) = (
+                &self.point_cell,
+                &self.sin_sums,
+                &self.cos_sums,
+                &self.trig_sin,
+                &self.trig_cos,
+            );
             dev.launch("grid_summaries", grid_for(n, BLOCK), BLOCK, |t| {
                 let p = t.global_id();
                 if p >= n {
@@ -338,9 +406,8 @@ impl GridWorkspace {
                 }
                 let c = point_cell.load(p) as usize;
                 for i in 0..dim {
-                    let x = coords.load(p * dim + i);
-                    sin_sums.atomic_add(c * dim + i, x.sin());
-                    cos_sums.atomic_add(c * dim + i, x.cos());
+                    sin_sums.atomic_add(c * dim + i, trig_sin.load(p * dim + i));
+                    cos_sums.atomic_add(c * dim + i, trig_cos.load(p * dim + i));
                 }
             });
         }
@@ -355,18 +422,21 @@ impl GridWorkspace {
             point_cell: self.point_cell.clone(),
             sin_sums: self.sin_sums.clone(),
             cos_sums: self.cos_sums.clone(),
+            trig_sin: self.trig_sin.clone(),
+            trig_cos: self.trig_cos.clone(),
             num_inner,
         }
     }
 
     /// Precompute the non-empty surrounding outer cells of every non-empty
-    /// outer cell (§4.2.5). The surrounding-list buffer is sized from a
-    /// device scan, so this performs the run's only per-iteration
-    /// allocations (two `K`-sized arrays and the concatenated lists).
-    pub fn build_pregrid(&self, grid: &DeviceGrid) -> PreGrid {
+    /// outer cell (§4.2.5). All buffers are owned by the workspace: the
+    /// `m`-sized arrays are pre-allocated, and the concatenated-list buffer
+    /// grows geometrically and is kept, so in steady state (the occupied
+    /// outer cells settling as points converge) this re-allocates nothing.
+    pub fn build_pregrid(&mut self, grid: &DeviceGrid) -> PreGrid {
         let geo = self.geometry;
         let m = geo.outer_cells;
-        let dev = &self.device;
+        let dev = self.device.clone();
 
         // flags → compacted list of non-empty outer cells
         let flags = &self.o_fill;
@@ -379,14 +449,13 @@ impl GridWorkspace {
                 }
             });
         }
-        let list = dev.alloc::<u64>(m.max(1));
-        let count = primitives::compact_indices(dev, flags, &list, m);
+        let list = &self.pre_list;
+        let count = primitives::compact_indices(&dev, flags, list, m);
 
         // dense id → list index
-        let index_of = dev.alloc::<u64>(m);
-        primitives::fill(dev, &index_of, u64::MAX);
+        let index_of = &self.pre_index;
+        primitives::fill(&dev, index_of, u64::MAX);
         {
-            let (list, index_of) = (&list, &index_of);
             dev.launch("pregrid_index", grid_for(count, BLOCK), BLOCK, |t| {
                 let k = t.global_id();
                 if k < count {
@@ -396,9 +465,9 @@ impl GridWorkspace {
         }
 
         // count non-empty surrounding cells per non-empty cell
-        let sizes = dev.alloc::<u64>(count.max(1));
+        let sizes = &self.pre_sizes;
         {
-            let (list, sizes, o_sizes) = (&list, &sizes, &grid.o_sizes);
+            let (list, sizes, o_sizes) = (list, sizes, &grid.o_sizes);
             dev.launch("pregrid_count", grid_for(count, BLOCK), BLOCK, |t| {
                 let k = t.global_id();
                 if k >= count {
@@ -414,18 +483,22 @@ impl GridWorkspace {
                 sizes.store(k, cnt);
             });
         }
-        let ends = dev.alloc::<u64>(count.max(1));
-        primitives::inclusive_scan(dev, &sizes, &ends, count);
+        let ends = &self.pre_ends;
+        primitives::inclusive_scan(&dev, sizes, ends, count);
         let total = if count == 0 {
             0
         } else {
             ends.load(count - 1) as usize
         };
 
-        // populate the concatenated surrounding lists
-        let cells = dev.alloc::<u64>(total.max(1));
+        // populate the concatenated surrounding lists, growing the kept
+        // buffer geometrically when the occupied volume expands
+        if self.pre_cells.len() < total {
+            self.pre_cells = dev.alloc::<u64>(total.next_power_of_two());
+        }
         {
-            let (list, ends, cells, o_sizes) = (&list, &ends, &cells, &grid.o_sizes);
+            let (list, cells, o_sizes) = (&self.pre_list, &self.pre_cells, &grid.o_sizes);
+            let ends = &self.pre_ends;
             dev.launch("pregrid_fill", grid_for(count, BLOCK), BLOCK, |t| {
                 let k = t.global_id();
                 if k >= count {
@@ -443,9 +516,9 @@ impl GridWorkspace {
         }
 
         PreGrid {
-            index_of,
-            ends,
-            cells,
+            index_of: self.pre_index.clone(),
+            ends: self.pre_ends.clone(),
+            cells: self.pre_cells.clone(),
             count,
         }
     }
@@ -590,7 +663,7 @@ mod tests {
     #[test]
     fn pregrid_lists_nonempty_surroundings_exactly() {
         let coords = cloud(250, 2);
-        let (_, grid, ws) = build(&coords, 2, 0.08, GridVariant::Auto);
+        let (_, grid, mut ws) = build(&coords, 2, 0.08, GridVariant::Auto);
         let geo = grid.geometry;
         let pre = ws.build_pregrid(&grid);
         let o_sizes = grid.o_sizes.to_vec();

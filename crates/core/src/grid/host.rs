@@ -16,7 +16,8 @@ use std::collections::HashMap;
 
 use egg_spatial::distance::{row, squared_euclidean};
 
-use crate::exec::{Executor, CELL_CHUNK, POINT_CHUNK};
+use crate::algorithms::gpu_sync::MAX_DIM;
+use crate::exec::{Executor, ScatterWriter, CELL_CHUNK, POINT_CHUNK};
 
 use super::geometry::GridGeometry;
 
@@ -112,14 +113,19 @@ impl<'a> HostGrid<'a> {
     }
 }
 
-/// Flattened host grid with per-cell trigonometric summaries — the host
-/// execution engine's counterpart of the device grid (§4.2 + §4.3.1).
+/// Flattened host grid with per-cell trigonometric summaries and a
+/// per-point trig table — the host execution engine's counterpart of the
+/// device grid (§4.2 + §4.3.1).
 ///
-/// Construction is parallel over an [`Executor`] yet **deterministic for
-/// any worker count**: points are binned into fixed-size chunk-local
-/// buckets that are merged in chunk order (keeping each cell's point list
-/// ascending), cells are then sorted by `(outer id, cell coordinates)`,
-/// and each cell's summary is accumulated sequentially in point order.
+/// The structure is **rebuilt in place** every iteration via
+/// [`CellGrid::rebuild`]: all arrays retain their capacity across
+/// rebuilds, so the steady-state iteration loop performs no heap
+/// allocations. Construction is parallel over an [`Executor`] yet
+/// **deterministic for any worker count**: the per-point cell keys and
+/// trig rows are computed independently, the grid-sorted point order is a
+/// sequential in-place sort under the total order
+/// `(outer id, cell coordinates, point index)`, and each cell's summary is
+/// accumulated sequentially in point order.
 #[derive(Debug)]
 pub struct CellGrid {
     geometry: GridGeometry,
@@ -127,105 +133,186 @@ pub struct CellGrid {
     cell_keys: Vec<u64>,
     /// CSR offsets into `cell_points`, length `num_cells + 1`.
     cell_starts: Vec<u32>,
-    /// Point indices grouped by cell, ascending within each cell.
+    /// Point indices grouped by cell, ascending within each cell — the
+    /// host edition of the device's grid-sorted `i_points` order (§4.2.6).
     cell_points: Vec<u32>,
     /// Compacted cell index of every point.
     point_cell: Vec<u32>,
     /// Per-cell `[Σsin_0.. Σsin_{d-1}, Σcos_0.. Σcos_{d-1}]`.
     trig_sums: Vec<f64>,
-    /// Outer id → contiguous `(lo, hi)` range in sorted cell order.
-    outer_ranges: HashMap<usize, (u32, u32)>,
+    /// `[sin_0.. sin_{d-1}, cos_0.. cos_{d-1}]` of the raw coordinates,
+    /// **in grid-sorted slot order** (row `s` belongs to point
+    /// `cell_points[s]`) — the iteration's trig table, shared by the
+    /// summary construction and the update kernel's angle-addition fast
+    /// path. Slot order makes both consumers stream it sequentially: a
+    /// cell's rows are one contiguous block.
+    point_trig: Vec<f64>,
+    /// `(outer id, lo, hi)` cell ranges in sorted cell order, ascending by
+    /// outer id (binary-searched by [`CellGrid::for_each_cell_in_reach`]).
+    outer_index: Vec<(u64, u32, u32)>,
+    /// Scratch: per-point full-dimensional cell coordinates, `n × dim`.
+    point_keys: Vec<u64>,
+    /// Scratch: per-point dense outer id.
+    point_outer: Vec<u64>,
 }
 
 impl CellGrid {
-    /// Bucket every point of `coords` (row-major, `geometry.dim` columns)
-    /// and compute the per-cell summaries, fanning both passes over
-    /// `exec`'s workers.
-    pub fn build(exec: &Executor, geometry: GridGeometry, coords: &[f64]) -> Self {
-        let dim = geometry.dim;
-        let n = coords.len() / dim;
-
-        // Pass 1 — chunk-local binning (fixed chunks, not per-worker, so
-        // the merge order below is independent of the worker count).
-        let partials = exec.map_ranges(n, POINT_CHUNK, |range| {
-            let mut local: HashMap<Vec<u64>, Vec<u32>> = HashMap::new();
-            let mut key = vec![0u64; dim];
-            for p_idx in range {
-                geometry.cell_coords_of(row(coords, dim, p_idx), &mut key);
-                match local.get_mut(&key) {
-                    Some(points) => points.push(p_idx as u32),
-                    None => {
-                        local.insert(key.clone(), vec![p_idx as u32]);
-                    }
-                }
-            }
-            local
-        });
-
-        // Merge in chunk order: each cell's point list stays ascending.
-        let mut merged: HashMap<Vec<u64>, Vec<u32>> = HashMap::new();
-        for partial in partials {
-            for (key, mut points) in partial {
-                merged.entry(key).or_default().append(&mut points);
-            }
-        }
-
-        // Deterministic cell order: (outer id, full cell coordinates).
-        let mut cells: Vec<(usize, Vec<u64>, Vec<u32>)> = merged
-            .into_iter()
-            .map(|(key, points)| (geometry.outer_id_of_coords(&key), key, points))
-            .collect();
-        cells.sort_unstable_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
-
-        // Flatten into CSR arrays; invert into the per-point cell index.
-        let num_cells = cells.len();
-        let mut cell_keys = Vec::with_capacity(num_cells * dim);
-        let mut cell_starts = Vec::with_capacity(num_cells + 1);
-        let mut cell_points = Vec::with_capacity(n);
-        let mut point_cell = vec![0u32; n];
-        let mut outer_ranges: HashMap<usize, (u32, u32)> = HashMap::new();
-        cell_starts.push(0u32);
-        for (c, (oid, key, points)) in cells.iter().enumerate() {
-            cell_keys.extend_from_slice(key);
-            for &p_idx in points {
-                point_cell[p_idx as usize] = c as u32;
-            }
-            cell_points.extend_from_slice(points);
-            cell_starts.push(cell_points.len() as u32);
-            outer_ranges
-                .entry(*oid)
-                .and_modify(|(_, hi)| *hi = c as u32 + 1)
-                .or_insert((c as u32, c as u32 + 1));
-        }
-
-        // Pass 2 — per-cell Σsin/Σcos, parallel over cells; each cell is
-        // accumulated sequentially in point order, so the sums are
-        // bitwise-reproducible.
-        let mut trig_sums = vec![0.0f64; num_cells * 2 * dim];
-        exec.map_chunks_mut(&mut trig_sums, CELL_CHUNK * 2 * dim, |offset, chunk| {
-            let first = offset / (2 * dim);
-            for (r, sums) in chunk.chunks_exact_mut(2 * dim).enumerate() {
-                let c = first + r;
-                let lo = cell_starts[c] as usize;
-                let hi = cell_starts[c + 1] as usize;
-                for &p_idx in &cell_points[lo..hi] {
-                    for i in 0..dim {
-                        let x = coords[p_idx as usize * dim + i];
-                        sums[i] += x.sin();
-                        sums[dim + i] += x.cos();
-                    }
-                }
-            }
-        });
-
+    /// An empty grid under `geometry`, ready for [`CellGrid::rebuild`].
+    pub fn new(geometry: GridGeometry) -> Self {
         Self {
             geometry,
-            cell_keys,
-            cell_starts,
-            cell_points,
-            point_cell,
-            trig_sums,
-            outer_ranges,
+            cell_keys: Vec::new(),
+            cell_starts: Vec::new(),
+            cell_points: Vec::new(),
+            point_cell: Vec::new(),
+            trig_sums: Vec::new(),
+            point_trig: Vec::new(),
+            outer_index: Vec::new(),
+            point_keys: Vec::new(),
+            point_outer: Vec::new(),
+        }
+    }
+
+    /// Bucket every point of `coords` (row-major, `geometry.dim` columns)
+    /// and compute the per-point trig table and per-cell summaries, fanning
+    /// the per-point passes over `exec`'s workers. Convenience wrapper over
+    /// [`CellGrid::new`] + [`CellGrid::rebuild`].
+    pub fn build(exec: &Executor, geometry: GridGeometry, coords: &[f64]) -> Self {
+        let mut grid = Self::new(geometry);
+        grid.rebuild(exec, coords);
+        grid
+    }
+
+    /// Rebuild the grid from the current `coords`, reusing every buffer.
+    /// After the first call on a given problem size, subsequent rebuilds
+    /// allocate nothing.
+    pub fn rebuild(&mut self, exec: &Executor, coords: &[f64]) {
+        let geometry = self.geometry;
+        let dim = geometry.dim;
+        debug_assert!(dim <= MAX_DIM);
+        let n = coords.len() / dim;
+
+        // Pass 1 — per-point cell key and outer id, all independent,
+        // scattered into pre-sized buffers.
+        self.point_keys.resize(n * dim, 0);
+        self.point_outer.resize(n, 0);
+        {
+            let keys = ScatterWriter::new(&mut self.point_keys);
+            let outer = ScatterWriter::new(&mut self.point_outer);
+            let (keys, outer) = (&keys, &outer);
+            exec.map_ranges(n, POINT_CHUNK, |range| {
+                for p_idx in range {
+                    let p = row(coords, dim, p_idx);
+                    // each point index occurs in exactly one chunk
+                    let key = unsafe { keys.row_mut(p_idx * dim, dim) };
+                    geometry.cell_coords_of(p, key);
+                    unsafe {
+                        outer.row_mut(p_idx, 1)[0] = geometry.outer_id_of_coords(key) as u64;
+                    }
+                }
+            });
+        }
+
+        // Pass 2 — grid-sorted point order: sort point indices in place
+        // under the deterministic total order (outer, key, point index).
+        self.cell_points.clear();
+        self.cell_points.extend(0..n as u32);
+        {
+            let keys = &self.point_keys;
+            let outer = &self.point_outer;
+            self.cell_points.sort_unstable_by(|&a, &b| {
+                let (a, b) = (a as usize, b as usize);
+                outer[a]
+                    .cmp(&outer[b])
+                    .then_with(|| keys[a * dim..(a + 1) * dim].cmp(&keys[b * dim..(b + 1) * dim]))
+                    .then(a.cmp(&b))
+            });
+        }
+
+        // Pass 3 — trig rows in grid-sorted slot order: slot `s` holds
+        // sin/cos of point `cell_points[s]`, so a cell's rows form one
+        // contiguous block that the summary pass and the update's pair
+        // loop stream sequentially.
+        self.point_trig.resize(n * 2 * dim, 0.0);
+        {
+            let order = &self.cell_points;
+            let trig = ScatterWriter::new(&mut self.point_trig);
+            let trig = &trig;
+            exec.map_ranges(n, POINT_CHUNK, |range| {
+                for slot in range {
+                    let p = row(coords, dim, order[slot] as usize);
+                    // each slot occurs in exactly one chunk
+                    let t = unsafe { trig.row_mut(slot * 2 * dim, 2 * dim) };
+                    for i in 0..dim {
+                        t[i] = p[i].sin();
+                        t[dim + i] = p[i].cos();
+                    }
+                }
+            });
+        }
+
+        // Pass 4 — walk the sorted order once to cut cell boundaries and
+        // outer ranges, and invert into the per-point cell index.
+        self.cell_keys.clear();
+        self.cell_starts.clear();
+        self.outer_index.clear();
+        self.cell_keys.reserve(n * dim);
+        self.cell_starts.reserve(n + 1);
+        self.outer_index.reserve(n.min(geometry.outer_cells));
+        self.point_cell.resize(n, 0);
+        self.cell_starts.push(0);
+        for e in 0..n {
+            let p = self.cell_points[e] as usize;
+            let new_cell = e == 0 || {
+                let prev = self.cell_points[e - 1] as usize;
+                self.point_keys[prev * dim..(prev + 1) * dim]
+                    != self.point_keys[p * dim..(p + 1) * dim]
+            };
+            if new_cell {
+                if e > 0 {
+                    self.cell_starts.push(e as u32);
+                }
+                let c = self.cell_starts.len() as u32 - 1;
+                self.cell_keys
+                    .extend_from_slice(&self.point_keys[p * dim..(p + 1) * dim]);
+                let oid = self.point_outer[p];
+                match self.outer_index.last_mut() {
+                    Some((last_oid, _, hi)) if *last_oid == oid => *hi = c + 1,
+                    _ => self.outer_index.push((oid, c, c + 1)),
+                }
+            }
+            self.point_cell[p] = self.cell_starts.len() as u32 - 1;
+        }
+        if n > 0 {
+            self.cell_starts.push(n as u32);
+        }
+        let num_cells = self.cell_starts.len().saturating_sub(1);
+
+        // Pass 5 — per-cell Σsin/Σcos from the trig table, parallel over
+        // cells; each cell's contiguous slot rows are accumulated
+        // sequentially in slot order, so the sums are bitwise-reproducible.
+        self.trig_sums.clear();
+        self.trig_sums.resize(num_cells * 2 * dim, 0.0);
+        {
+            let cell_starts = &self.cell_starts;
+            let point_trig = &self.point_trig;
+            exec.map_chunks_mut(
+                &mut self.trig_sums,
+                CELL_CHUNK * 2 * dim,
+                |offset, chunk| {
+                    let first = offset / (2 * dim);
+                    for (r, sums) in chunk.chunks_exact_mut(2 * dim).enumerate() {
+                        let c = first + r;
+                        let lo = cell_starts[c] as usize;
+                        let hi = cell_starts[c + 1] as usize;
+                        for t in point_trig[lo * 2 * dim..hi * 2 * dim].chunks_exact(2 * dim) {
+                            for i in 0..2 * dim {
+                                sums[i] += t[i];
+                            }
+                        }
+                    }
+                },
+            );
         }
     }
 
@@ -273,13 +360,46 @@ impl CellGrid {
         &self.trig_sums[c * 2 * dim + dim..(c + 1) * 2 * dim]
     }
 
+    /// All point indices in grid-sorted order — the host edition of the
+    /// device's `i_points` (§4.2.6). Processing points in this order makes
+    /// consecutive points share cells, so their reach walks touch the same
+    /// cache lines.
+    pub fn point_order(&self) -> &[u32] {
+        &self.cell_points
+    }
+
+    /// Slot range of compacted cell `c` in the grid-sorted order — the
+    /// indices into [`CellGrid::point_order`] (and the trig-table rows)
+    /// occupied by the cell's points.
+    pub fn cell_range(&self, c: usize) -> std::ops::Range<usize> {
+        self.cell_starts[c] as usize..self.cell_starts[c + 1] as usize
+    }
+
+    /// Per-dimension `sin` of the raw coordinates of the point in
+    /// grid-sorted slot `s` (i.e. of point `point_order()[s]`), from the
+    /// iteration's trig table.
+    pub fn slot_sin(&self, s: usize) -> &[f64] {
+        let dim = self.geometry.dim;
+        &self.point_trig[s * 2 * dim..s * 2 * dim + dim]
+    }
+
+    /// Per-dimension `cos` of the raw coordinates of the point in
+    /// grid-sorted slot `s`, from the iteration's trig table.
+    pub fn slot_cos(&self, s: usize) -> &[f64] {
+        let dim = self.geometry.dim;
+        &self.point_trig[s * 2 * dim + dim..(s + 1) * 2 * dim]
+    }
+
     /// Invoke `f` with the compacted index of every non-empty cell in the
     /// outer cells surrounding (and including) outer cell `oid` — the
     /// host analogue of the preGrid walk (§4.2.5): empty outer buckets
-    /// are skipped by the hash lookup instead of a precomputed list.
+    /// are skipped by a binary search over the sorted non-empty outer
+    /// ranges instead of a precomputed list.
     pub fn for_each_cell_in_reach(&self, oid: usize, mut f: impl FnMut(usize)) {
         self.geometry.for_each_surrounding_outer(oid, |o| {
-            if let Some(&(lo, hi)) = self.outer_ranges.get(&o) {
+            let o = o as u64;
+            if let Ok(e) = self.outer_index.binary_search_by_key(&o, |&(id, _, _)| id) {
+                let (_, lo, hi) = self.outer_index[e];
                 for c in lo..hi {
                     f(c as usize);
                 }
@@ -288,14 +408,17 @@ impl CellGrid {
     }
 
     /// Approximate heap footprint of the structure in bytes (Figure 3h's
-    /// accounting for the host backend).
+    /// accounting for the host backend), scratch buffers included.
     pub fn memory_bytes(&self) -> usize {
         self.cell_keys.len() * 8
             + self.cell_starts.len() * 4
             + self.cell_points.len() * 4
             + self.point_cell.len() * 4
             + self.trig_sums.len() * 8
-            + self.outer_ranges.len() * 24
+            + self.point_trig.len() * 8
+            + self.outer_index.len() * 16
+            + self.point_keys.len() * 8
+            + self.point_outer.len() * 8
     }
 }
 

@@ -74,6 +74,35 @@ impl StageTimings {
     }
 }
 
+/// Work counters of the EGG-update hot loop, accumulated over all
+/// iterations of a run. They quantify what the structural optimizations
+/// buy: how much of the neighborhood volume was consumed through per-cell
+/// summaries versus per-point distance tests, and how many `sin`
+/// evaluations the angle-addition fast paths (per-cell Σsin/Σcos and the
+/// per-point trig tables) eliminated from the innermost loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct UpdateCounters {
+    /// Fully-covered cells consumed via their Σsin/Σcos summary (§4.3.1),
+    /// with no point access at all.
+    pub summary_cells: u64,
+    /// Candidate pairs examined on the point path (partially overlapping
+    /// cells): one distance computation each.
+    pub point_pairs: u64,
+    /// Per-dimension `sin` evaluations avoided by the summary and
+    /// trig-table fast paths, compared to a per-pair `sin(q_i − p_i)`
+    /// implementation.
+    pub sin_calls_avoided: u64,
+}
+
+impl UpdateCounters {
+    /// Accumulate another counter set into this one.
+    pub fn merge(&mut self, other: &UpdateCounters) {
+        self.summary_cells += other.summary_cells;
+        self.point_pairs += other.point_pairs;
+        self.sin_calls_avoided += other.sin_calls_avoided;
+    }
+}
+
 /// One iteration's timing record (Figure 3g's series).
 #[derive(Debug, Clone, Serialize)]
 pub struct IterationRecord {
@@ -106,6 +135,9 @@ pub struct RunTrace {
     /// Worker threads of the host execution engine that produced this run
     /// (engine-backed algorithms only) — the x-axis of thread sweeps.
     pub engine_threads: Option<usize>,
+    /// EGG-update work counters summed over all iterations (EGG paths
+    /// only; zero elsewhere).
+    pub update_counters: UpdateCounters,
 }
 
 impl RunTrace {
@@ -151,6 +183,23 @@ mod tests {
         });
         assert_eq!(v, 42);
         assert!(secs >= 0.004, "measured {secs}");
+    }
+
+    #[test]
+    fn update_counters_merge_sums_fields() {
+        let mut a = UpdateCounters {
+            summary_cells: 3,
+            point_pairs: 10,
+            sin_calls_avoided: 40,
+        };
+        a.merge(&UpdateCounters {
+            summary_cells: 1,
+            point_pairs: 5,
+            sin_calls_avoided: 2,
+        });
+        assert_eq!(a.summary_cells, 4);
+        assert_eq!(a.point_pairs, 15);
+        assert_eq!(a.sin_calls_avoided, 42);
     }
 
     #[test]

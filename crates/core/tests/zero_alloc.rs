@@ -1,0 +1,103 @@
+//! Heap-profiling assertion for the iteration-workspace contract: after a
+//! warm-up pass sizes every reusable buffer, the Host-backend iteration
+//! loop — grid rebuild, EGG-update, exact-termination check, ping-pong
+//! swap — performs **zero heap allocations**.
+//!
+//! The test binary installs a counting `#[global_allocator]`, so it lives
+//! in its own integration-test target to leave every other test unaffected.
+//! It drives the sequential executor: worker threads are spawned per stage
+//! with `std::thread::scope`, which allocates in the standard library, so
+//! the allocation-free guarantee applies to the algorithm's own buffers —
+//! exactly what `Executor::sequential()` isolates.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use egg_sync_core::egg::termination::second_term_holds_host;
+use egg_sync_core::egg::update::{egg_update_host, UpdateOptions};
+use egg_sync_core::exec::Executor;
+use egg_sync_core::grid::{CellGrid, GridGeometry, GridVariant};
+use egg_sync_core::instrument::UpdateCounters;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn cloud(n: usize, dim: usize) -> Vec<f64> {
+    (0..n * dim)
+        .map(|i| ((i as u64).wrapping_mul(2654435761) % 1000) as f64 / 1000.0)
+        .collect()
+}
+
+#[test]
+fn steady_state_iterations_do_not_allocate() {
+    let (n, dim, eps) = (3000, 2, 0.05);
+    let exec = Executor::sequential();
+    let geometry = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+
+    // the once-per-run workspace: ping-pong coordinates, the reusable
+    // grid (CSR arrays, summaries, trig tables) and the update scratch
+    let mut coords_cur = cloud(n, dim);
+    let mut coords_next = vec![0.0f64; n * dim];
+    let mut grid = CellGrid::new(geometry);
+    let mut chunk_stats: Vec<(bool, UpdateCounters)> = Vec::new();
+
+    let mut iterate = |coords_cur: &mut Vec<f64>, coords_next: &mut Vec<f64>| {
+        grid.rebuild(&exec, coords_cur);
+        let (first_term, _) = egg_update_host(
+            &exec,
+            &grid,
+            coords_cur,
+            coords_next,
+            eps,
+            UpdateOptions::default(),
+            &mut chunk_stats,
+        );
+        if first_term {
+            second_term_holds_host(&exec, &grid, coords_cur, eps);
+        }
+        std::mem::swap(coords_cur, coords_next);
+    };
+
+    // warm-up: the first pass sizes every buffer (and the second verifies
+    // the sizes hold while points are still in motion)
+    for _ in 0..2 {
+        iterate(&mut coords_cur, &mut coords_next);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..5 {
+        iterate(&mut coords_cur, &mut coords_next);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state iterations must not touch the heap"
+    );
+}

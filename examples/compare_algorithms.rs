@@ -61,6 +61,12 @@ fn main() {
         );
     }
 
+    let counters = &reference.trace.update_counters;
+    println!(
+        "\nEGG-SynC update work: {} cells consumed via Σsin/Σcos summaries, \
+         {} point-path pairs, {} per-pair sin calls avoided by the identity fast paths",
+        counters.summary_cells, counters.point_pairs, counters.sin_calls_avoided
+    );
     println!(
         "\nNote: on this host the GPU is simulated; 'sim GPU' is the cost-model estimate \
          on the paper's RTX 3090, 'wall' is single-core host time."

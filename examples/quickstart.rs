@@ -36,6 +36,11 @@ fn main() {
     if let Some(sim) = clustering.trace.total_sim_seconds {
         println!("  simulated GPU time: {:.6} s", sim);
     }
+    let counters = &clustering.trace.update_counters;
+    println!(
+        "  update work: {} summary cells, {} point-path pairs, {} sin calls avoided",
+        counters.summary_cells, counters.point_pairs, counters.sin_calls_avoided
+    );
 
     // 4. Compare against the ground truth used by the generator.
     println!(

@@ -222,6 +222,96 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn trig_table_update_matches_direct_sin_across_dims_and_variants(
+        raw in prop::collection::vec(0.0f64..=1.0, 16..=320),
+        dim in 2usize..=8,
+        eps_scale in 0.5f64..1.5,
+    ) {
+        // the angle-addition fast path must agree with the per-pair
+        // sin(q−p) evaluation within 1e-9 for every dimensionality and
+        // every grid access variant
+        use egg_sync::core::egg::update::{egg_update_host, UpdateOptions};
+        use egg_sync::core::exec::Executor;
+        use egg_sync::core::grid::{CellGrid, MAX_OUTER_CELLS};
+        let coords: Vec<f64> = raw[..raw.len() / dim * dim].to_vec();
+        let n = coords.len() / dim;
+        prop_assume!(n > 0);
+        // scale ε with √d so neighborhoods keep a few members in high dims
+        let eps = eps_scale * 0.1 * (dim as f64).sqrt();
+        let probe = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+        let dense_feasible = (probe.width as u64)
+            .checked_pow(dim as u32)
+            .is_some_and(|m| m <= MAX_OUTER_CELLS as u64);
+        let mut variants = vec![
+            GridVariant::Auto,
+            GridVariant::Sequential,
+            GridVariant::Mixed(1),
+        ];
+        if dense_feasible {
+            variants.push(GridVariant::RandomAccess);
+        }
+        for variant in variants {
+            let geo = GridGeometry::new(dim, eps, n, variant);
+            let exec = Executor::new(Some(2));
+            let grid = CellGrid::build(&exec, geo, &coords);
+            let mut stats = Vec::new();
+            let mut direct = vec![0.0; coords.len()];
+            let (first_direct, _) = egg_update_host(
+                &exec, &grid, &coords, &mut direct, eps,
+                UpdateOptions { use_trig_tables: false, ..UpdateOptions::default() },
+                &mut stats,
+            );
+            let mut tabled = vec![0.0; coords.len()];
+            let (first_tabled, _) = egg_update_host(
+                &exec, &grid, &coords, &mut tabled, eps,
+                UpdateOptions::default(), &mut stats,
+            );
+            prop_assert_eq!(first_tabled, first_direct, "{:?}", variant);
+            for (i, (t, d)) in tabled.iter().zip(&direct).enumerate() {
+                prop_assert!(
+                    (t - d).abs() <= 1e-9,
+                    "{:?} dim {} coordinate {}: {} vs {}", variant, dim, i, t, d
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trig_table_update_is_worker_count_invariant(
+        raw in prop::collection::vec(0.0f64..=1.0, 16..=320),
+        dim in 2usize..=8,
+    ) {
+        // the fast path inherits the engine's bitwise determinism contract
+        use egg_sync::core::egg::update::{egg_update_host, UpdateOptions};
+        use egg_sync::core::exec::Executor;
+        use egg_sync::core::grid::CellGrid;
+        let coords: Vec<f64> = raw[..raw.len() / dim * dim].to_vec();
+        let n = coords.len() / dim;
+        prop_assume!(n > 0);
+        let eps = 0.1 * (dim as f64).sqrt();
+        let geo = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+        let run = |workers: usize| {
+            let exec = Executor::new(Some(workers));
+            let grid = CellGrid::build(&exec, geo, &coords);
+            let mut next = vec![0.0; coords.len()];
+            let mut stats = Vec::new();
+            egg_update_host(
+                &exec, &grid, &coords, &mut next, eps,
+                UpdateOptions::default(), &mut stats,
+            );
+            next.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        };
+        let reference = run(1);
+        for workers in [2, 4, 8] {
+            prop_assert_eq!(run(workers), reference.clone(), "workers {}", workers);
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
 
     #[test]
