@@ -16,7 +16,7 @@
 //! the transcendental cost is purely wall-clock.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use egg_bench::{default_synthetic, scaled};
+use egg_bench::{append_bench_ledger, bench_ledger_row, default_synthetic, measure, scaled};
 use egg_sync_core::egg::update::UpdateOptions;
 use egg_sync_core::{ClusterAlgorithm, EggSync};
 
@@ -38,12 +38,173 @@ fn bench_toggles(c: &mut Criterion) {
                     use_summaries,
                     use_pregrid,
                     use_trig_tables,
+                    ..UpdateOptions::default()
                 };
                 algo.cluster(&data)
             })
         });
     }
     group.finish();
+}
+
+/// Incremental grid maintenance vs full per-iteration rebuild on the
+/// paper-scale n=100k, d=4 workload, host engine.
+///
+/// Besides the criterion timings, this harness drives the iteration loop
+/// by hand to isolate the *grid-maintenance* cost after warm-up (every
+/// iteration past the first, which is a full build either way), asserts
+/// the two modes produce bitwise-identical clusterings at every tested
+/// worker count, and appends a ledger row per mode to `BENCH_egg.json`.
+fn bench_incremental_grid_100k_d4(c: &mut Criterion) {
+    use egg_sync_core::egg::termination::second_term_holds_host;
+    use egg_sync_core::egg::update::{egg_update_host, IncrementalState};
+    use egg_sync_core::exec::Executor;
+    use egg_sync_core::grid::{CellGrid, GridGeometry, GridVariant};
+
+    let n = scaled(100_000);
+    let dim = 4;
+    let data = egg_data::generator::GaussianSpec {
+        n,
+        dim,
+        ..egg_data::generator::GaussianSpec::default()
+    }
+    .generate_normalized()
+    .0;
+    // small enough that synchronization takes many iterations — the
+    // regime incremental maintenance targets: late passes where the
+    // collapsed clusters are stationary and only stragglers still move
+    // (ε=0.2 collapses this workload in ~4 passes and never reaches
+    // that regime)
+    let eps = 0.02;
+
+    // post-warm-up grid-maintenance seconds of one full clustering run,
+    // plus the final coordinate bits and labels for the identity check
+    let maintenance_run = |threads: usize, incremental: bool| {
+        let exec = Executor::new(Some(threads));
+        let geometry = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+        let mut coords_cur = data.coords().to_vec();
+        let mut coords_next = vec![0.0f64; n * dim];
+        let mut grid = CellGrid::new(geometry);
+        let mut chunk_stats = Vec::new();
+        let mut state = IncrementalState::new();
+        let mut maintenance_secs = 0.0f64;
+        let mut iterations = 0usize;
+        loop {
+            let t0 = std::time::Instant::now();
+            grid.refresh(
+                &exec,
+                &coords_cur,
+                if incremental {
+                    state.moved_flags()
+                } else {
+                    None
+                },
+            );
+            if iterations > 0 {
+                maintenance_secs += t0.elapsed().as_secs_f64();
+            }
+            let (first_term, _) = egg_update_host(
+                &exec,
+                &grid,
+                &coords_cur,
+                &mut coords_next,
+                eps,
+                UpdateOptions::default(),
+                &mut chunk_stats,
+                if incremental { Some(&mut state) } else { None },
+            );
+            let done = first_term
+                && second_term_holds_host(
+                    &exec,
+                    &grid,
+                    &coords_cur,
+                    eps,
+                    if incremental {
+                        state.confined_flags()
+                    } else {
+                        None
+                    },
+                );
+            if incremental {
+                state.finish_pass(&geometry, &coords_cur, &coords_next);
+            }
+            std::mem::swap(&mut coords_cur, &mut coords_next);
+            iterations += 1;
+            if done || iterations >= 10_000 {
+                break;
+            }
+        }
+        let bits: Vec<u64> = coords_cur.iter().map(|x| x.to_bits()).collect();
+        (
+            maintenance_secs,
+            bits,
+            grid.point_cell().to_vec(),
+            iterations,
+        )
+    };
+
+    println!("=== egg_incremental_100k_d4 (n={n}, d={dim}) ===");
+    for threads in [1, 2, 4] {
+        let (full_secs, full_bits, full_labels, iters) = maintenance_run(threads, false);
+        let (inc_secs, inc_bits, inc_labels, inc_iters) = maintenance_run(threads, true);
+        assert_eq!(
+            full_bits, inc_bits,
+            "threads {threads}: incremental final coordinates diverged"
+        );
+        assert_eq!(
+            full_labels, inc_labels,
+            "threads {threads}: incremental clustering diverged"
+        );
+        assert_eq!(iters, inc_iters, "threads {threads}: iteration counts");
+        let ratio = if inc_secs > 0.0 {
+            full_secs / inc_secs
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "  t{threads}: grid maintenance post-warm-up  full {full_secs:.4}s  \
+             incremental {inc_secs:.4}s  ({ratio:.1}x reduction, {iters} iterations)"
+        );
+    }
+
+    // criterion group + ledger rows over whole clustering runs
+    let mut group = c.benchmark_group("egg_incremental_100k_d4");
+    group.sample_size(10);
+    let mut ledger_rows = Vec::new();
+    for (label, use_incremental) in [("full_rebuild", false), ("incremental", true)] {
+        let mut algo = EggSync::host(eps, Some(1));
+        algo.options = UpdateOptions {
+            use_incremental,
+            ..UpdateOptions::default()
+        };
+        let m = measure(&algo, &data, n as f64);
+        ledger_rows.push(bench_ledger_row(
+            "ablation_incremental",
+            &format!("EGG-host/{label}"),
+            n,
+            dim,
+            m.engine_threads.unwrap_or(1),
+            m.iterations,
+            m.wall_seconds,
+            &m.stages,
+            &m.counters,
+        ));
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut algo = EggSync::host(eps, Some(1));
+                algo.options = UpdateOptions {
+                    use_incremental,
+                    ..UpdateOptions::default()
+                };
+                algo.cluster(&data)
+            })
+        });
+    }
+    group.finish();
+    match append_bench_ledger(&ledger_rows) {
+        Ok(ledger) => println!("(ledger appended to {})", ledger.display()),
+        Err(e) => eprintln!("warning: could not append BENCH_egg.json: {e}"),
+    }
 }
 
 fn bench_trig_tables_100k_d4(c: &mut Criterion) {
@@ -73,5 +234,10 @@ fn bench_trig_tables_100k_d4(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_toggles, bench_trig_tables_100k_d4);
+criterion_group!(
+    benches,
+    bench_toggles,
+    bench_trig_tables_100k_d4,
+    bench_incremental_grid_100k_d4
+);
 criterion_main!(benches);

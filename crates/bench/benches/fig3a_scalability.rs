@@ -42,6 +42,7 @@ fn main() {
                 m.iterations,
                 m.wall_seconds,
                 &m.stages,
+                &m.counters,
             )
         })
         .collect();

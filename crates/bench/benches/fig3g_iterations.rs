@@ -37,6 +37,7 @@ fn main() {
                 structure_bytes: clustering.trace.peak_structure_bytes,
                 stages: clustering.trace.stages,
                 engine_threads: clustering.trace.engine_threads,
+                counters: clustering.trace.update_counters,
             });
         }
         let times: Vec<f64> = clustering

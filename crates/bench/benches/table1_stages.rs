@@ -79,6 +79,7 @@ fn main() {
                 result.iterations,
                 result.trace.total_seconds,
                 stages,
+                &result.trace.update_counters,
             ));
             json_rows.push(serde_json::json!({
                 "n": n,

@@ -19,7 +19,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use egg_data::Dataset;
-use egg_sync_core::instrument::{Stage, StageTimings};
+use egg_sync_core::instrument::{Stage, StageTimings, UpdateCounters};
 use egg_sync_core::{ClusterAlgorithm, Clustering};
 use serde::Serialize;
 
@@ -44,6 +44,8 @@ pub struct Measurement {
     pub stages: StageTimings,
     /// Host execution-engine worker threads, when the engine ran.
     pub engine_threads: Option<usize>,
+    /// EGG-update work counters (zero for non-EGG algorithms).
+    pub counters: UpdateCounters,
 }
 
 /// Run one algorithm on one dataset and record a [`Measurement`].
@@ -66,6 +68,7 @@ pub fn measurement_from(name: &str, x: f64, wall: f64, result: &Clustering) -> M
         structure_bytes: result.trace.peak_structure_bytes,
         stages: result.trace.stages,
         engine_threads: result.trace.engine_threads,
+        counters: result.trace.update_counters,
     }
 }
 
@@ -75,8 +78,9 @@ fn secs_to_ns(seconds: f64) -> u64 {
 
 /// One row of the cross-PR benchmark ledger `BENCH_egg.json`: which
 /// experiment and method produced the run, its workload shape (n, d,
-/// threads), and the per-stage nanoseconds that trend dashboards diff
-/// across commits.
+/// threads), the per-stage nanoseconds that trend dashboards diff across
+/// commits, and the EGG-update work counters (all-zero for non-EGG
+/// methods).
 #[allow(clippy::too_many_arguments)]
 pub fn bench_ledger_row(
     experiment: &str,
@@ -87,6 +91,7 @@ pub fn bench_ledger_row(
     iterations: usize,
     wall_seconds: f64,
     stages: &StageTimings,
+    counters: &UpdateCounters,
 ) -> serde_json::Value {
     let stages_ns = serde_json::json!({
         "allocating": secs_to_ns(stages.get(Stage::Allocating)),
@@ -95,6 +100,14 @@ pub fn bench_ledger_row(
         "extra_check": secs_to_ns(stages.get(Stage::ExtraCheck)),
         "clustering": secs_to_ns(stages.get(Stage::Clustering)),
         "free_memory": secs_to_ns(stages.get(Stage::FreeMemory)),
+    });
+    let counters_json = serde_json::json!({
+        "summary_cells": counters.summary_cells,
+        "point_pairs": counters.point_pairs,
+        "sin_calls_avoided": counters.sin_calls_avoided,
+        "moved_points": counters.moved_points,
+        "dirty_cells": counters.dirty_cells,
+        "cells_skipped": counters.cells_skipped,
     });
     serde_json::json!({
         "experiment": experiment,
@@ -105,6 +118,7 @@ pub fn bench_ledger_row(
         "iterations": iterations,
         "wall_ns": secs_to_ns(wall_seconds),
         "stages_ns": stages_ns,
+        "counters": counters_json,
     })
 }
 
@@ -302,7 +316,8 @@ mod tests {
         let path = std::env::temp_dir().join(format!("egg_ledger_{}.json", std::process::id()));
         let _ = std::fs::remove_file(&path);
         let stages = StageTimings::default();
-        let row = |m: &str| bench_ledger_row("unit", m, 100, 2, 1, 3, 0.5, &stages);
+        let counters = UpdateCounters::default();
+        let row = |m: &str| bench_ledger_row("unit", m, 100, 2, 1, 3, 0.5, &stages, &counters);
         append_bench_ledger_at(&path, &[row("a"), row("b")]).unwrap();
         append_bench_ledger_at(&path, &[row("c")]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
@@ -321,10 +336,19 @@ mod tests {
     fn ledger_row_reports_stage_nanos() {
         let mut stages = StageTimings::default();
         stages.add(Stage::Update, 0.25);
-        let row = bench_ledger_row("unit", "EGG-SynC", 1000, 4, 2, 7, 1.0, &stages);
+        let counters = UpdateCounters {
+            moved_points: 9,
+            dirty_cells: 4,
+            cells_skipped: 2,
+            ..UpdateCounters::default()
+        };
+        let row = bench_ledger_row("unit", "EGG-SynC", 1000, 4, 2, 7, 1.0, &stages, &counters);
         let text = serde_json::to_string(&row).unwrap();
         assert!(text.contains("\"update\":250000000"));
         assert!(text.contains("\"threads\":2"));
         assert!(text.contains("\"d\":4"));
+        assert!(text.contains("\"moved_points\":9"));
+        assert!(text.contains("\"dirty_cells\":4"));
+        assert!(text.contains("\"cells_skipped\":2"));
     }
 }

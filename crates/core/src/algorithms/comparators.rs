@@ -61,12 +61,14 @@ impl ClusterAlgorithm for Dbscan {
             let mut visited = vec![false; n];
             let mut next_cluster = 0u32;
             let mut queue = Vec::new();
+            // one reusable neighbor buffer for every range query
+            let mut nb = Vec::new();
             for start in 0..n {
                 if visited[start] {
                     continue;
                 }
                 visited[start] = true;
-                let nb = grid.ball_indices(row(coords, dim, start), self.epsilon);
+                grid.ball_indices_into(row(coords, dim, start), self.epsilon, &mut nb);
                 if nb.len() < self.min_pts {
                     continue; // noise (may be claimed by a cluster later)
                 }
@@ -74,7 +76,7 @@ impl ClusterAlgorithm for Dbscan {
                 next_cluster += 1;
                 labels[start] = cluster;
                 queue.clear();
-                queue.extend(nb);
+                queue.extend_from_slice(&nb);
                 while let Some(q) = queue.pop() {
                     let q = q as usize;
                     if labels[q] == NOISE {
@@ -84,10 +86,10 @@ impl ClusterAlgorithm for Dbscan {
                         continue;
                     }
                     visited[q] = true;
-                    let nb_q = grid.ball_indices(row(coords, dim, q), self.epsilon);
-                    if nb_q.len() >= self.min_pts {
+                    grid.ball_indices_into(row(coords, dim, q), self.epsilon, &mut nb);
+                    if nb.len() >= self.min_pts {
                         labels[q] = cluster;
-                        queue.extend(nb_q);
+                        queue.extend_from_slice(&nb);
                     }
                 }
             }

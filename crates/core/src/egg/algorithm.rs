@@ -23,7 +23,8 @@ use crate::result::{ClusterAlgorithm, Clustering};
 use super::gather::gather_labels;
 use super::termination::{second_term_holds, second_term_holds_host};
 use super::update::{
-    counters_from_device, egg_update, egg_update_host, UpdateOptions, COUNTER_SLOTS,
+    counters_from_device, egg_update, egg_update_host, DeviceIncrementalState, IncrementalState,
+    UpdateOptions, COUNTER_SLOTS,
 };
 
 /// Execution backend for [`EggSync`].
@@ -114,14 +115,16 @@ impl EggSync {
         // buffers, the reusable grid (CSR arrays, summaries, trig tables)
         // and the per-chunk update scratch. The loop below only ever
         // *reuses* these, so steady-state iterations are allocation-free.
+        let use_inc = self.options.use_incremental;
         let geometry = GridGeometry::new(dim, self.epsilon, n, self.variant);
-        let ((mut coords_cur, mut coords_next, mut grid, mut chunk_stats), alloc_secs) =
+        let ((mut coords_cur, mut coords_next, mut grid, mut chunk_stats, mut state), alloc_secs) =
             timed(|| {
                 (
                     data.coords().to_vec(),
                     vec![0.0f64; n * dim],
                     CellGrid::new(geometry),
                     Vec::new(),
+                    IncrementalState::new(),
                 )
             });
         trace.stages.add(Stage::Allocating, alloc_secs);
@@ -131,10 +134,17 @@ impl EggSync {
         while iterations < self.max_iterations {
             let iter_start = std::time::Instant::now();
 
-            // (re)construct grid + summaries + trig tables from state t,
-            // in place
-            let (_, build_secs) = timed(|| grid.rebuild(&exec, &coords_cur));
+            // bring grid + summaries + trig tables up to date with state t,
+            // in place; the incremental path touches only what moved
+            let (stats, build_secs) = timed(|| {
+                grid.refresh(
+                    &exec,
+                    &coords_cur,
+                    if use_inc { state.moved_flags() } else { None },
+                )
+            });
             trace.stages.add(Stage::BuildStructure, build_secs);
+            trace.update_counters.dirty_cells += stats.dirty_cells;
             trace.observe_structure_bytes(grid.memory_bytes());
 
             // update t → t+1, certifying the first term on state t
@@ -147,20 +157,36 @@ impl EggSync {
                     self.epsilon,
                     self.options,
                     &mut chunk_stats,
+                    if use_inc { Some(&mut state) } else { None },
                 )
             });
             trace.stages.add(Stage::Update, update_secs);
             trace.update_counters.merge(&counters);
 
-            // second term, only when the first survived (state t!)
+            // second term, only when the first survived (state t!) — the
+            // previous pass's confinement flags narrow the partner scans
             let mut done = false;
             if first_term {
-                let (second, check_secs) =
-                    timed(|| second_term_holds_host(&exec, &grid, &coords_cur, self.epsilon));
+                let (second, check_secs) = timed(|| {
+                    second_term_holds_host(
+                        &exec,
+                        &grid,
+                        &coords_cur,
+                        self.epsilon,
+                        if use_inc {
+                            state.confined_flags()
+                        } else {
+                            None
+                        },
+                    )
+                });
                 trace.stages.add(Stage::ExtraCheck, check_secs);
                 done = second;
             }
 
+            if use_inc {
+                state.finish_pass(&geometry, &coords_cur, &coords_next);
+            }
             std::mem::swap(&mut coords_cur, &mut coords_next);
             iterations += 1;
             trace.iterations.push(IterationRecord {
@@ -219,16 +245,20 @@ impl EggSync {
         };
 
         // --- allocate everything once (Algorithm 4 reuses all arrays) ----
+        let use_inc = self.options.use_incremental;
         let geometry = GridGeometry::new(dim, self.epsilon, n, self.variant);
-        let ((mut coords_cur, mut coords_next, sync_flag, counters, mut workspace), alloc_secs) =
-            timed(|| {
-                let coords = device.alloc_from_slice::<f64>(data.coords());
-                let next = device.alloc::<f64>(n * dim);
-                let flag = device.alloc::<u64>(1);
-                let counters = device.alloc::<u64>(COUNTER_SLOTS);
-                let workspace = GridWorkspace::new(&device, geometry, n);
-                (coords, next, flag, counters, workspace)
-            });
+        let (
+            (mut coords_cur, mut coords_next, sync_flag, counters, mut workspace, mut inc_state),
+            alloc_secs,
+        ) = timed(|| {
+            let coords = device.alloc_from_slice::<f64>(data.coords());
+            let next = device.alloc::<f64>(n * dim);
+            let flag = device.alloc::<u64>(1);
+            let counters = device.alloc::<u64>(COUNTER_SLOTS);
+            let workspace = GridWorkspace::new(&device, geometry, n);
+            let inc_state = DeviceIncrementalState::new(&device, &geometry, n);
+            (coords, next, flag, counters, workspace, inc_state)
+        });
         trace.stages.add(Stage::Allocating, alloc_secs);
         take_sim(&device, &mut sim_stages, Stage::Allocating);
         trace.observe_structure_bytes(device.memory_used() as usize);
@@ -240,19 +270,29 @@ impl EggSync {
             let iter_start = std::time::Instant::now();
             let sim_iter_start = device.sim_kernel_nanos();
 
-            // construct grid + summaries + preGrid from state t
-            let ((grid, pre), build_secs) = timed(|| {
-                let grid = workspace.construct(&coords_cur);
-                let pre = workspace.build_pregrid(&grid);
-                (grid, pre)
+            // bring grid + summaries + preGrid up to date with state t; the
+            // incremental path touches only what moved
+            let ((grid, pre, stats), build_secs) = timed(|| {
+                workspace.refresh(
+                    &coords_cur,
+                    if use_inc {
+                        inc_state.moved_flags()
+                    } else {
+                        None
+                    },
+                )
             });
             trace.stages.add(Stage::BuildStructure, build_secs);
             take_sim(&device, &mut sim_stages, Stage::BuildStructure);
             trace.observe_structure_bytes(device.memory_used() as usize);
+            counters.atomic_add(4, stats.dirty_cells);
 
             // update t → t+1, certifying the first term on state t
             let (first_term, update_secs) = timed(|| {
                 sync_flag.store(0, 1);
+                if use_inc {
+                    inc_state.mark_skips(&device, &grid);
+                }
                 egg_update(
                     &device,
                     &grid,
@@ -264,6 +304,7 @@ impl EggSync {
                     n,
                     self.epsilon,
                     self.options,
+                    use_inc.then_some(&inc_state),
                 );
                 sync_flag.load(0) == 1
             });
@@ -271,7 +312,8 @@ impl EggSync {
             take_sim(&device, &mut sim_stages, Stage::Update);
 
             // second term, only when the first survived (state t!) — the
-            // first-term verdict is already read, so the flag is reusable
+            // first-term verdict is already read, so the flag is reusable;
+            // the pass's confinement flags narrow the partner scans
             let mut done = false;
             if first_term {
                 let (second, check_secs) = timed(|| {
@@ -283,6 +325,7 @@ impl EggSync {
                         &sync_flag,
                         n,
                         self.epsilon,
+                        use_inc.then_some(&inc_state.confined),
                     )
                 });
                 trace.stages.add(Stage::ExtraCheck, check_secs);
@@ -290,6 +333,9 @@ impl EggSync {
                 done = second;
             }
 
+            if use_inc {
+                inc_state.finish_pass(&device, &geometry, &coords_cur, &coords_next, n);
+            }
             std::mem::swap(&mut coords_cur, &mut coords_next);
             iterations += 1;
             trace.iterations.push(IterationRecord {
@@ -403,11 +449,12 @@ mod tests {
     fn ablation_toggles_do_not_change_results() {
         let (data, _) = blobs(150, 3, 19);
         let reference = EggSync::new(0.05).cluster(&data);
-        for bits in 0u8..7 {
+        for bits in 0u8..16 {
             let options = UpdateOptions {
                 use_summaries: bits & 1 != 0,
                 use_pregrid: bits & 2 != 0,
                 use_trig_tables: bits & 4 != 0,
+                use_incremental: bits & 8 != 0,
             };
             let mut algo = EggSync::new(0.05);
             algo.options = options;

@@ -23,6 +23,12 @@ use crate::model::delta;
 ///
 /// `flag` is a caller-owned single-slot scratch buffer (its prior contents
 /// are overwritten), so a run loop can allocate it once.
+///
+/// `confined` optionally carries the first-term confinement verdicts the
+/// update pass just computed on the same state: when `confined[q₁] = 1`,
+/// `N_ε(q₁) = cell(q₁)` (cell ⊆ ε-ball by the ≤ ε/2 diagonal, equality by
+/// cardinality), hence `N_{ε/2}(q₁) ⊆ cell(q₁)` and the partner scan for
+/// that shell point narrows from `q₁`'s whole reach to its own cell.
 #[allow(clippy::too_many_arguments)]
 pub fn second_term_holds(
     device: &Device,
@@ -32,6 +38,7 @@ pub fn second_term_holds(
     flag: &DeviceBuffer<u64>,
     n: usize,
     epsilon: f64,
+    confined: Option<&DeviceBuffer<u64>>,
 ) -> bool {
     let geo = grid.geometry;
     let dim = geo.dim;
@@ -83,17 +90,35 @@ pub fn second_term_holds(
                         }
                         // q1 hovers in the shell: can one of its
                         // ε/2-neighbors drag it towards p?
-                        if shell_pair_reaches(
-                            grid,
-                            pre,
-                            coords,
-                            &geo,
-                            &p[..dim],
-                            &q1[..dim],
-                            eps_sq,
-                            half_sq,
-                            dim,
-                        ) {
+                        let dragged = match confined {
+                            // confined shell point: every ε/2-neighbor is a
+                            // cell mate, so scan only q1's own cell
+                            Some(conf) if conf.load(q1_idx) == 1 => {
+                                let c1 = grid.point_cell.load(q1_idx) as usize;
+                                let lo1 = grid.cell_start(c1) as usize;
+                                let hi1 = grid.i_ends.load(c1) as usize;
+                                (lo1..hi1).any(|e2| {
+                                    let q2_idx = grid.i_points.load(e2) as usize;
+                                    let mut q2 = [0.0f64; MAX_DIM];
+                                    for i in 0..dim {
+                                        q2[i] = coords.load(q2_idx * dim + i);
+                                    }
+                                    pair_drags(&p[..dim], &q1[..dim], &q2[..dim], eps_sq, half_sq)
+                                })
+                            }
+                            _ => shell_pair_reaches(
+                                grid,
+                                pre,
+                                coords,
+                                &geo,
+                                &p[..dim],
+                                &q1[..dim],
+                                eps_sq,
+                                half_sq,
+                                dim,
+                            ),
+                        };
+                        if dragged {
                             flag.store(0, 0);
                             return;
                         }
@@ -103,6 +128,34 @@ pub fn second_term_holds(
         });
     }
     flag.load(0) == 1
+}
+
+/// The per-partner predicate of Lemma 4.6: is `q₂` an ε/2-neighbor of `q₁`
+/// whose pair-MBR with `q₁` intersects the ε-ball of `p`?
+fn pair_drags(p: &[f64], q1: &[f64], q2: &[f64], eps_sq: f64, half_sq: f64) -> bool {
+    let mut d_sq = 0.0;
+    for i in 0..p.len() {
+        let d = q2[i] - q1[i];
+        d_sq += d * d;
+    }
+    if d_sq > half_sq {
+        return false;
+    }
+    // MBR of {q1, q2} against the ε-ball of p
+    let mut mbr_sq = 0.0;
+    for i in 0..p.len() {
+        let lo_i = q1[i].min(q2[i]);
+        let hi_i = q1[i].max(q2[i]);
+        let d = if p[i] < lo_i {
+            lo_i - p[i]
+        } else if p[i] > hi_i {
+            p[i] - hi_i
+        } else {
+            0.0
+        };
+        mbr_sq += d * d;
+    }
+    mbr_sq <= eps_sq
 }
 
 /// Scan `q₁`'s surrounding cells for a partner `q₂ ∈ N_{ε/2}(q₁)` whose
@@ -139,31 +192,11 @@ fn shell_pair_reaches(
             let pts_hi = grid.i_ends.load(c) as usize;
             for e in pts_lo..pts_hi {
                 let q2_idx = grid.i_points.load(e) as usize;
-                let mut d_sq = 0.0;
                 let mut q2 = [0.0f64; MAX_DIM];
                 for i in 0..dim {
                     q2[i] = coords.load(q2_idx * dim + i);
-                    let d = q2[i] - q1[i];
-                    d_sq += d * d;
                 }
-                if d_sq > half_sq {
-                    continue;
-                }
-                // MBR of {q1, q2} against the ε-ball of p
-                let mut mbr_sq = 0.0;
-                for i in 0..dim {
-                    let lo_i = q1[i].min(q2[i]);
-                    let hi_i = q1[i].max(q2[i]);
-                    let d = if p[i] < lo_i {
-                        lo_i - p[i]
-                    } else if p[i] > hi_i {
-                        p[i] - hi_i
-                    } else {
-                        0.0
-                    };
-                    mbr_sq += d * d;
-                }
-                if mbr_sq <= eps_sq {
+                if pair_drags(p, q1, &q2[..dim], eps_sq, half_sq) {
                     return true;
                 }
             }
@@ -179,11 +212,17 @@ fn shell_pair_reaches(
 /// predicate, so the verdict equals the sequential evaluation —
 /// [`Executor::all`] only short-circuits *how much* work runs once a
 /// draggable pair is found, never the outcome.
+///
+/// `confined` optionally carries the first-term confinement verdicts of
+/// the update pass on the same state: a confined shell point's
+/// ε/2-neighbors are all cell mates, so its partner scan narrows from the
+/// whole reach walk to its own cell (see [`second_term_holds`]).
 pub fn second_term_holds_host(
     exec: &Executor,
     grid: &CellGrid,
     coords: &[f64],
     epsilon: f64,
+    confined: Option<&[bool]>,
 ) -> bool {
     let geo = *grid.geometry();
     let dim = geo.dim;
@@ -213,7 +252,19 @@ pub fn second_term_holds_host(
                 }
                 // q1 hovers in the shell: can one of its ε/2-neighbors
                 // drag it towards p?
-                if shell_pair_reaches_host(grid, coords, &geo, p, q1, eps_sq, half_sq, dim) {
+                let reaches = match confined {
+                    // confined shell point: every ε/2-neighbor is a cell
+                    // mate, so scan only q1's own cell
+                    Some(conf) if conf[q1_idx as usize] => grid
+                        .cell_points(grid.point_cell()[q1_idx as usize] as usize)
+                        .iter()
+                        .any(|&q2_idx| {
+                            let q2 = &coords[q2_idx as usize * dim..(q2_idx as usize + 1) * dim];
+                            pair_drags(p, q1, q2, eps_sq, half_sq)
+                        }),
+                    _ => shell_pair_reaches_host(grid, coords, &geo, p, q1, eps_sq, half_sq, dim),
+                };
+                if reaches {
                     dragged = true;
                     return;
                 }
@@ -244,29 +295,7 @@ fn shell_pair_reaches_host(
         }
         for &q2_idx in grid.cell_points(c) {
             let q2 = &coords[q2_idx as usize * dim..(q2_idx as usize + 1) * dim];
-            let mut d_sq = 0.0;
-            for i in 0..dim {
-                let d = q2[i] - q1[i];
-                d_sq += d * d;
-            }
-            if d_sq > half_sq {
-                continue;
-            }
-            // MBR of {q1, q2} against the ε-ball of p
-            let mut mbr_sq = 0.0;
-            for i in 0..dim {
-                let lo_i = q1[i].min(q2[i]);
-                let hi_i = q1[i].max(q2[i]);
-                let d = if p[i] < lo_i {
-                    lo_i - p[i]
-                } else if p[i] > hi_i {
-                    p[i] - hi_i
-                } else {
-                    0.0
-                };
-                mbr_sq += d * d;
-            }
-            if mbr_sq <= eps_sq {
+            if pair_drags(p, q1, q2, eps_sq, half_sq) {
                 reaches = true;
                 return;
             }
@@ -291,7 +320,7 @@ mod tests {
         let grid = ws.construct(&buf);
         let pre = ws.build_pregrid(&grid);
         let flag = device.alloc::<u64>(1);
-        second_term_holds(&device, &grid, &pre, &buf, &flag, n, eps)
+        second_term_holds(&device, &grid, &pre, &buf, &flag, n, eps, None)
     }
 
     #[test]
@@ -335,7 +364,7 @@ mod tests {
         let exec = Executor::new(Some(workers));
         let geo = GridGeometry::new(dim, eps, n, GridVariant::Auto);
         let grid = CellGrid::build(&exec, geo, coords);
-        second_term_holds_host(&exec, &grid, coords, eps)
+        second_term_holds_host(&exec, &grid, coords, eps, None)
     }
 
     #[test]

@@ -20,18 +20,19 @@
 //! `|N_ε(p)| = |cell(p)|`; any point that observes a difference clears the
 //! shared synchronization flag (Algorithm 3, lines 14–15).
 
-use egg_gpu_sim::{grid_for, Device, DeviceBuffer};
+use egg_gpu_sim::{grid_for, primitives, Device, DeviceBuffer};
 
 use crate::algorithms::gpu_sync::{BLOCK, MAX_DIM};
-use crate::exec::{Executor, ScatterWriter, POINT_CHUNK};
-use crate::grid::{CellGrid, DeviceGrid, PreGrid};
+use crate::exec::{Executor, ScatterWriter, CELL_CHUNK, POINT_CHUNK};
+use crate::grid::{CellGrid, DeviceGrid, GridGeometry, PreGrid};
 use crate::instrument::UpdateCounters;
 
 use super::super::grid::device::seg_start;
 
 /// Number of `u64` slots in the device-side update-counter buffer consumed
-/// by [`egg_update`]: `[summary_cells, point_pairs, sin_calls_avoided]`.
-pub const COUNTER_SLOTS: usize = 3;
+/// by [`egg_update`] and the grid refresh: `[summary_cells, point_pairs,
+/// sin_calls_avoided, moved_points, dirty_cells, cells_skipped]`.
+pub const COUNTER_SLOTS: usize = 6;
 
 /// Read an [`UpdateCounters`] back from a device counter buffer of
 /// [`COUNTER_SLOTS`] slots.
@@ -40,6 +41,9 @@ pub fn counters_from_device(buf: &DeviceBuffer<u64>) -> UpdateCounters {
         summary_cells: buf.load(0),
         point_pairs: buf.load(1),
         sin_calls_avoided: buf.load(2),
+        moved_points: buf.load(3),
+        dirty_cells: buf.load(4),
+        cells_skipped: buf.load(5),
     }
 }
 
@@ -61,6 +65,14 @@ pub struct UpdateOptions {
     /// pre-optimization behavior, bit-compatible with a brute-force
     /// update).
     pub use_trig_tables: bool,
+    /// Maintain the grid incrementally across iterations (re-bin only
+    /// cell-changing movers, refresh summaries/trig rows only for dirty
+    /// cells, patch the preGrid only on emptiness flips) and skip the
+    /// update of cells whose whole ε-reach saw zero movers, reusing their
+    /// cached positions and first-term confinement flags. Results are
+    /// bitwise identical to the full-rebuild path; toggling this only
+    /// changes how much work each iteration performs.
+    pub use_incremental: bool,
 }
 
 impl Default for UpdateOptions {
@@ -69,7 +81,170 @@ impl Default for UpdateOptions {
             use_summaries: true,
             use_pregrid: true,
             use_trig_tables: true,
+            use_incremental: true,
         }
+    }
+}
+
+/// Cross-iteration state of the incremental host path: which points moved
+/// in the last pass, which were confined to their own cell (the first term
+/// of Definition 4.2, cached for reuse), which outer cells contain a
+/// mover's old or new position, and the per-cell skip verdicts derived
+/// from them.
+///
+/// The state is owned by the driver loop, starts inactive (the first pass
+/// processes everything and seeds the flags), and is advanced by
+/// [`IncrementalState::finish_pass`] after every update. All buffers keep
+/// their capacity, so steady-state iterations allocate nothing.
+#[derive(Debug, Default)]
+pub struct IncrementalState {
+    /// Per point: did the last pass change its position bitwise?
+    moved: Vec<bool>,
+    /// Per point: was its ε-neighborhood confined to its own cell when the
+    /// point was last processed? Still valid for skipped points — a
+    /// skippable cell's neighborhoods are unchanged by construction.
+    confined: Vec<bool>,
+    /// Per cell of the current grid: can the coming pass skip it?
+    cell_skip: Vec<bool>,
+    /// Per outer cell: does it contain a mover's old or new position?
+    outer_dirty: Vec<bool>,
+    /// Whether a pass has completed (i.e. the flags describe real history).
+    active: bool,
+}
+
+impl IncrementalState {
+    /// Fresh, inactive state — the first pass will process every point.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `moved` flags of the last completed pass — the mover work-list for
+    /// [`CellGrid::refresh`]. `None` until a pass has completed.
+    pub fn moved_flags(&self) -> Option<&[bool]> {
+        self.active.then_some(self.moved.as_slice())
+    }
+
+    /// First-term confinement flags, valid for the positions of the pass
+    /// that last wrote them. `None` until a pass has run.
+    pub fn confined_flags(&self) -> Option<&[bool]> {
+        (!self.confined.is_empty()).then_some(self.confined.as_slice())
+    }
+
+    /// Record the pass that moved `cur` into `next`: mark the outer cells
+    /// of every mover's **old and new** position dirty (a mover can leave
+    /// its old reach entirely, so both ends must invalidate skips) and
+    /// arm the skip logic for the next pass.
+    pub fn finish_pass(&mut self, geo: &GridGeometry, cur: &[f64], next: &[f64]) {
+        let dim = geo.dim;
+        self.outer_dirty.clear();
+        self.outer_dirty.resize(geo.outer_cells, false);
+        for (p, &m) in self.moved.iter().enumerate() {
+            if m {
+                self.outer_dirty[geo.outer_id_of_point(&cur[p * dim..(p + 1) * dim])] = true;
+                self.outer_dirty[geo.outer_id_of_point(&next[p * dim..(p + 1) * dim])] = true;
+            }
+        }
+        self.active = true;
+    }
+}
+
+/// Device-side counterpart of [`IncrementalState`]: the same four flag
+/// arrays as device buffers (`1`/`0` words), allocated once per run.
+pub struct DeviceIncrementalState {
+    /// Per point: did the last pass change its position bitwise?
+    pub moved: DeviceBuffer<u64>,
+    /// Per point: cached first-term confinement verdict.
+    pub confined: DeviceBuffer<u64>,
+    /// Per compacted inner cell: can the coming pass skip it?
+    pub cell_skip: DeviceBuffer<u64>,
+    /// Per outer cell: does it contain a mover's old or new position?
+    pub outer_dirty: DeviceBuffer<u64>,
+    /// Whether a pass has completed.
+    pub active: bool,
+}
+
+impl DeviceIncrementalState {
+    /// Allocate the flag buffers for `n` points under `geometry`.
+    pub fn new(device: &Device, geometry: &GridGeometry, n: usize) -> Self {
+        Self {
+            moved: device.alloc(n.max(1)),
+            confined: device.alloc(n.max(1)),
+            cell_skip: device.alloc(n.max(1)),
+            outer_dirty: device.alloc(geometry.outer_cells.max(1)),
+            active: false,
+        }
+    }
+
+    /// `moved` flags of the last completed pass — the mover work-list for
+    /// `GridWorkspace::refresh`. `None` until a pass has completed.
+    pub fn moved_flags(&self) -> Option<&DeviceBuffer<u64>> {
+        self.active.then_some(&self.moved)
+    }
+
+    /// Compute the per-cell skip verdicts for the coming pass: a cell may
+    /// be skipped iff no outer cell in the surround of its own outer cell
+    /// is dirty — then no mover's old or new position lies within the
+    /// ε-reach of any of its points.
+    pub fn mark_skips(&self, device: &Device, grid: &DeviceGrid) {
+        if !self.active {
+            primitives::fill(device, &self.cell_skip, 0u64);
+            return;
+        }
+        let geo = grid.geometry;
+        let dim = geo.dim;
+        let num_inner = grid.num_inner;
+        let (cell_skip, outer_dirty, i_ids) = (&self.cell_skip, &self.outer_dirty, &grid.i_ids);
+        device.launch("egg_mark_skips", grid_for(num_inner, BLOCK), BLOCK, |t| {
+            let c = t.global_id();
+            if c >= num_inner {
+                return;
+            }
+            let mut key = [0u64; MAX_DIM];
+            for i in 0..dim {
+                key[i] = i_ids.load(c * dim + i);
+            }
+            let oid = geo.outer_id_of_coords(&key[..dim]);
+            let mut dirty = false;
+            geo.for_each_surrounding_outer(oid, |o| {
+                if outer_dirty.load(o) == 1 {
+                    dirty = true;
+                }
+            });
+            cell_skip.store(c, u64::from(!dirty));
+        });
+    }
+
+    /// Record the pass that moved `cur` into `next`: mark the outer cells
+    /// of every mover's old and new position dirty, and arm the skip logic.
+    pub fn finish_pass(
+        &mut self,
+        device: &Device,
+        geo: &GridGeometry,
+        cur: &DeviceBuffer<f64>,
+        next: &DeviceBuffer<f64>,
+        n: usize,
+    ) {
+        primitives::fill(device, &self.outer_dirty, 0u64);
+        let dim = geo.dim;
+        let geo = *geo;
+        let (moved, outer_dirty) = (&self.moved, &self.outer_dirty);
+        device.launch("egg_mark_moved_outers", grid_for(n, BLOCK), BLOCK, |t| {
+            let p = t.global_id();
+            if p >= n || moved.load(p) == 0 {
+                return;
+            }
+            // racing 1-stores are benign: every writer stores the same flag
+            let mut buf = [0.0f64; MAX_DIM];
+            for i in 0..dim {
+                buf[i] = cur.load(p * dim + i);
+            }
+            outer_dirty.store(geo.outer_id_of_point(&buf[..dim]), 1);
+            for i in 0..dim {
+                buf[i] = next.load(p * dim + i);
+            }
+            outer_dirty.store(geo.outer_id_of_point(&buf[..dim]), 1);
+        });
+        self.active = true;
     }
 }
 
@@ -79,6 +254,13 @@ impl Default for UpdateOptions {
 /// `counters` must hold [`COUNTER_SLOTS`] zero-initialized slots (the
 /// kernel accumulates into them, so a caller may carry one buffer across
 /// iterations).
+///
+/// With `inc` present the kernel records per-point `moved`/`confined`
+/// flags, and — once the state is active and `mark_skips` ran against this
+/// grid — skips whole cells whose ε-reach saw zero movers: their points'
+/// positions are copied forward and their cached confinement flags feed
+/// the first-term verdict, bitwise identical to recomputation because
+/// nothing in those neighborhoods changed.
 #[allow(clippy::too_many_arguments)]
 pub fn egg_update(
     device: &Device,
@@ -91,6 +273,7 @@ pub fn egg_update(
     n: usize,
     epsilon: f64,
     options: UpdateOptions,
+    inc: Option<&DeviceIncrementalState>,
 ) {
     let geo = grid.geometry;
     let dim = geo.dim;
@@ -102,9 +285,27 @@ pub fn egg_update(
         }
         // grid-sorted execution order: warps handle co-located points
         let p_idx = grid.i_points.load(entry) as usize;
+        let c_cell = grid.point_cell.load(p_idx) as usize;
         let mut p = [0.0f64; MAX_DIM];
         for i in 0..dim {
             p[i] = coords.load(p_idx * dim + i);
+        }
+        if let Some(s) = inc {
+            if s.active && s.cell_skip.load(c_cell) == 1 {
+                // zero movers in this cell's whole ε-reach: the pass would
+                // recompute exactly the cached position and verdict
+                for i in 0..dim {
+                    next.store(p_idx * dim + i, p[i]);
+                }
+                s.moved.store(p_idx, 0);
+                if s.confined.load(p_idx) == 0 {
+                    sync_flag.store(0, 0);
+                }
+                if entry as u64 == grid.cell_start(c_cell) {
+                    counters.atomic_add(5, 1);
+                }
+                return;
+            }
         }
         let (mut sin_p, mut cos_p) = ([0.0f64; MAX_DIM], [0.0f64; MAX_DIM]);
         if options.use_trig_tables {
@@ -120,7 +321,6 @@ pub fn egg_update(
             }
         }
         let c_oid = geo.outer_id_of_point(&p[..dim]);
-        let c_cell = grid.point_cell.load(p_idx) as usize;
 
         let mut sums = [0.0f64; MAX_DIM];
         let mut neighbors = 0u64;
@@ -198,12 +398,23 @@ pub fn egg_update(
         }
 
         let inv = 1.0 / neighbors as f64;
+        let mut any_moved = false;
         for i in 0..dim {
-            next.store(p_idx * dim + i, p[i] + sums[i] * inv);
+            let v = p[i] + sums[i] * inv;
+            next.store(p_idx * dim + i, v);
+            any_moved |= v.to_bits() != p[i].to_bits();
         }
         // first term of Definition 4.2 (Algorithm 3, lines 14–15)
-        if neighbors != grid.cell_size(c_cell) {
+        let confined = neighbors == grid.cell_size(c_cell);
+        if !confined {
             sync_flag.store(0, 0);
+        }
+        if let Some(s) = inc {
+            s.moved.store(p_idx, u64::from(any_moved));
+            s.confined.store(p_idx, u64::from(confined));
+            if any_moved {
+                counters.atomic_add(3, 1);
+            }
         }
         if local.summary_cells != 0 {
             counters.atomic_add(0, local.summary_cells);
@@ -237,9 +448,18 @@ pub fn egg_update(
 /// slots): it is resized to the chunk count and keeps its capacity, so a
 /// caller looping over iterations allocates nothing after the first call.
 ///
+/// With `state` present the pass records per-point `moved`/`confined`
+/// flags into it and — once the state is active — skips whole cells whose
+/// ε-reach saw zero movers since their flags were written: their points'
+/// positions are copied forward and their cached confinement flags feed
+/// the first-term verdict, bitwise identical to recomputation.
+///
 /// Determinism: points are processed in fixed [`POINT_CHUNK`]-entry chunks
 /// of the grid-sorted order and each point walks cells in the grid's
 /// sorted order, so `next` is bit-for-bit identical for any worker count.
+/// The skip verdicts are a pure function of the mover history, never of
+/// the worker count, so this extends to the incremental path.
+#[allow(clippy::too_many_arguments)]
 pub fn egg_update_host(
     exec: &Executor,
     grid: &CellGrid,
@@ -248,6 +468,7 @@ pub fn egg_update_host(
     epsilon: f64,
     options: UpdateOptions,
     chunk_stats: &mut Vec<(bool, UpdateCounters)>,
+    state: Option<&mut IncrementalState>,
 ) -> (bool, UpdateCounters) {
     let geo = *grid.geometry();
     let dim = geo.dim;
@@ -257,6 +478,54 @@ pub fn egg_update_host(
     debug_assert_eq!(order.len(), n);
     chunk_stats.clear();
     chunk_stats.resize(n.div_ceil(POINT_CHUNK), (true, UpdateCounters::default()));
+    // `(active, cell_skip, moved writer, confined writer)` when incremental
+    let inc = match state {
+        Some(s) => {
+            s.moved.resize(n, false);
+            s.confined.resize(n, false);
+            let num_cells = grid.num_cells();
+            s.cell_skip.clear();
+            s.cell_skip.resize(num_cells, false);
+            if s.active {
+                // a cell may be skipped iff no outer cell in the surround
+                // of its own outer cell is dirty — then no mover's old or
+                // new position lies within the ε-reach of any of its points
+                let outer_dirty = &s.outer_dirty;
+                let skips = ScatterWriter::new(&mut s.cell_skip);
+                let skips = &skips;
+                exec.map_ranges(num_cells, CELL_CHUNK, |range| {
+                    for c in range {
+                        let oid = geo.outer_id_of_coords(grid.cell_key(c));
+                        let mut dirty = false;
+                        geo.for_each_surrounding_outer(oid, |o| {
+                            if outer_dirty[o] {
+                                dirty = true;
+                            }
+                        });
+                        // each cell occurs in exactly one chunk
+                        unsafe {
+                            skips.row_mut(c, 1)[0] = !dirty;
+                        }
+                    }
+                });
+            }
+            let IncrementalState {
+                moved,
+                confined,
+                cell_skip,
+                active,
+                ..
+            } = s;
+            Some((
+                *active,
+                &cell_skip[..],
+                ScatterWriter::new(moved),
+                ScatterWriter::new(confined),
+            ))
+        }
+        None => None,
+    };
+    let inc = &inc;
     let writer = ScatterWriter::new(next);
     let writer = &writer;
     exec.map_ranges_into(n, POINT_CHUNK, chunk_stats, |range| {
@@ -264,7 +533,25 @@ pub fn egg_update_host(
         let mut counters = UpdateCounters::default();
         for entry in range {
             let p_idx = order[entry] as usize;
+            let c_cell = grid.point_cell()[p_idx] as usize;
             let p = &coords[p_idx * dim..(p_idx + 1) * dim];
+            if let Some((active, cell_skip, moved_w, confined_w)) = inc {
+                if *active && cell_skip[c_cell] {
+                    // zero movers in this cell's whole ε-reach: the pass
+                    // would recompute exactly the cached position/verdict
+                    let out = unsafe { writer.row_mut(p_idx * dim, dim) };
+                    out.copy_from_slice(p);
+                    // each point index occurs in exactly one chunk
+                    unsafe {
+                        moved_w.row_mut(p_idx, 1)[0] = false;
+                        all_local &= confined_w.row_mut(p_idx, 1)[0];
+                    }
+                    if entry == grid.cell_range(c_cell).start {
+                        counters.cells_skipped += 1;
+                    }
+                    continue;
+                }
+            }
             let (mut sin_buf, mut cos_buf) = ([0.0f64; MAX_DIM], [0.0f64; MAX_DIM]);
             let (sin_p, cos_p): (&[f64], &[f64]) = if options.use_trig_tables {
                 // `entry` is p's grid-sorted slot, the trig table's index
@@ -329,12 +616,23 @@ pub fn egg_update_host(
             let inv = 1.0 / neighbors as f64;
             // disjoint rows: `order` is a permutation of the point indices
             let out = unsafe { writer.row_mut(p_idx * dim, dim) };
+            let mut any_moved = false;
             for i in 0..dim {
                 out[i] = p[i] + sums[i] * inv;
+                any_moved |= out[i].to_bits() != p[i].to_bits();
             }
             // first term of Definition 4.2, host edition
-            if neighbors != grid.cell_len(grid.point_cell()[p_idx] as usize) as u64 {
-                all_local = false;
+            let confined = neighbors == grid.cell_len(c_cell) as u64;
+            all_local &= confined;
+            if let Some((_, _, moved_w, confined_w)) = inc {
+                // each point index occurs in exactly one chunk
+                unsafe {
+                    moved_w.row_mut(p_idx, 1)[0] = any_moved;
+                    confined_w.row_mut(p_idx, 1)[0] = confined;
+                }
+                if any_moved {
+                    counters.moved_points += 1;
+                }
             }
         }
         (all_local, counters)
@@ -391,7 +689,7 @@ mod tests {
         let grid = ws.construct(&buf);
         let pre = ws.build_pregrid(&grid);
         egg_update(
-            &device, &grid, &pre, &buf, &next, &flag, &counters, n, eps, options,
+            &device, &grid, &pre, &buf, &next, &flag, &counters, n, eps, options, None,
         );
         (
             next.to_vec(),
@@ -444,6 +742,7 @@ mod tests {
                 use_summaries: false,
                 use_pregrid: true,
                 use_trig_tables: false,
+                ..UpdateOptions::default()
             },
         );
         assert_close(&got, &expected, 1e-12);
@@ -462,6 +761,7 @@ mod tests {
                 use_summaries: true,
                 use_pregrid: false,
                 use_trig_tables: true,
+                ..UpdateOptions::default()
             },
         );
         assert_close(&got, &expected, 1e-9);
@@ -479,6 +779,7 @@ mod tests {
                 use_summaries: true,
                 use_pregrid: true,
                 use_trig_tables: false,
+                ..UpdateOptions::default()
             },
         )
         .0;
@@ -515,6 +816,7 @@ mod tests {
                 use_summaries: false,
                 use_pregrid: true,
                 use_trig_tables: false,
+                ..UpdateOptions::default()
             },
         );
         assert_eq!(off.summary_cells, 0);
@@ -581,8 +883,9 @@ mod tests {
         let grid = CellGrid::build(&exec, geo, coords);
         let mut next = vec![0.0; coords.len()];
         let mut stats = Vec::new();
-        let (first_term, _) =
-            egg_update_host(&exec, &grid, coords, &mut next, eps, options, &mut stats);
+        let (first_term, _) = egg_update_host(
+            &exec, &grid, coords, &mut next, eps, options, &mut stats, None,
+        );
         (next, first_term)
     }
 
@@ -607,6 +910,7 @@ mod tests {
                 use_summaries: false,
                 use_pregrid: true,
                 use_trig_tables: false,
+                ..UpdateOptions::default()
             },
         );
         assert_close(&got, &expected, 1e-12);
@@ -624,6 +928,7 @@ mod tests {
                 use_summaries: true,
                 use_pregrid: true,
                 use_trig_tables: false,
+                ..UpdateOptions::default()
             },
         )
         .0;
@@ -666,6 +971,7 @@ mod tests {
             0.08,
             UpdateOptions::default(),
             &mut stats,
+            None,
         );
         assert_eq!(host, device);
     }
@@ -681,5 +987,97 @@ mod tests {
             let (_, host_flag) = run_update_host(&coords, 2, eps, 2, UpdateOptions::default());
             assert_eq!(host_flag, device_flag, "eps = {eps}");
         }
+    }
+
+    /// Multi-pass incremental pipeline on both backends, over a scenario
+    /// engineered to stay on the no-rebin fast path: a synchronizing pair
+    /// confined to the interior of a single cell (each Kuramoto step keeps
+    /// both points inside the pair's bounding box), plus stationary clumps
+    /// of coincident duplicates far away whose cells must be skipped from
+    /// pass 2 on. All six work counters — including `moved_points`,
+    /// `dirty_cells` and `cells_skipped` — must match exactly between the
+    /// host engine and the single-threaded simulated device.
+    #[test]
+    fn incremental_counters_match_host_vs_device() {
+        let (dim, eps, passes) = (2usize, 0.1f64, 3usize);
+        let probe = GridGeometry::new(dim, eps, 16, GridVariant::Auto);
+        let w = probe.cell_width;
+        // pair inside one cell, at 30% and 70% of the cell's span per dim
+        let k = (0.5 / w).floor();
+        let (a, b) = (k * w + 0.3 * w, k * w + 0.7 * w);
+        let mut coords = vec![a, a, b, b];
+        for clump in [[0.1, 0.1], [0.9, 0.1], [0.1, 0.9]] {
+            for _ in 0..4 {
+                coords.extend_from_slice(&clump);
+            }
+        }
+        let n = coords.len() / dim;
+        let geo = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+
+        // --- host: refresh → update → finish_pass, k passes -------------
+        let exec = Executor::new(Some(3));
+        let mut grid = CellGrid::new(geo);
+        let mut state = IncrementalState::new();
+        let mut chunk_stats = Vec::new();
+        let mut host_cur = coords.clone();
+        let mut host_next = vec![0.0; coords.len()];
+        let mut host_total = UpdateCounters::default();
+        for _ in 0..passes {
+            let stats = grid.refresh(&exec, &host_cur, state.moved_flags());
+            host_total.dirty_cells += stats.dirty_cells;
+            let (_, counters) = egg_update_host(
+                &exec,
+                &grid,
+                &host_cur,
+                &mut host_next,
+                eps,
+                UpdateOptions::default(),
+                &mut chunk_stats,
+                Some(&mut state),
+            );
+            host_total.merge(&counters);
+            state.finish_pass(&geo, &host_cur, &host_next);
+            std::mem::swap(&mut host_cur, &mut host_next);
+        }
+
+        // --- device: same pipeline on the single-threaded simulator -----
+        let device = Device::new(DeviceConfig {
+            host_threads: Some(1),
+            ..DeviceConfig::default()
+        });
+        let mut ws = GridWorkspace::new(&device, geo, n);
+        let mut inc = DeviceIncrementalState::new(&device, &geo, n);
+        let dev_cur = device.alloc_from_slice(&coords);
+        let dev_next = device.alloc::<f64>(coords.len());
+        let flag = device.alloc::<u64>(1);
+        let counters = device.alloc::<u64>(COUNTER_SLOTS);
+        for _ in 0..passes {
+            let (dgrid, pre, stats) = ws.refresh(&dev_cur, inc.moved_flags());
+            counters.atomic_add(4, stats.dirty_cells);
+            flag.store(0, 1);
+            inc.mark_skips(&device, &dgrid);
+            egg_update(
+                &device,
+                &dgrid,
+                &pre,
+                &dev_cur,
+                &dev_next,
+                &flag,
+                &counters,
+                n,
+                eps,
+                UpdateOptions::default(),
+                Some(&inc),
+            );
+            inc.finish_pass(&device, &geo, &dev_cur, &dev_next, n);
+            primitives::copy(&device, &dev_next, &dev_cur, coords.len());
+        }
+        let device_total = counters_from_device(&counters);
+
+        // the scenario must actually exercise the machinery
+        assert!(host_total.moved_points > 0, "pair should keep moving");
+        assert!(host_total.cells_skipped > 0, "clumps should be skipped");
+        assert!(host_total.dirty_cells > 0);
+        assert_eq!(host_total, device_total);
     }
 }

@@ -127,6 +127,35 @@ pub struct GridWorkspace {
     pre_sizes: DeviceBuffer<u64>,
     pre_ends: DeviceBuffer<u64>,
     pre_cells: DeviceBuffer<u64>,
+    /// Snapshot of every point's cell coordinates as of the last
+    /// construct/refresh — the incremental path's change detector.
+    point_keys: DeviceBuffer<u64>,
+    /// Snapshot of the outer-cell emptiness pattern the current preGrid
+    /// was built from (the preGrid depends on nothing else).
+    pre_empty: DeviceBuffer<u64>,
+    /// Single-slot change/count scratch for the refresh kernels.
+    chg_flag: DeviceBuffer<u64>,
+    /// Whether the snapshots describe a previously constructed grid.
+    state_valid: bool,
+    /// Compacted cell count of the last construct (the fast path reuses
+    /// the CSR arrays without re-deriving it).
+    last_num_inner: usize,
+    /// Non-empty outer count of the last preGrid build.
+    last_pre_count: usize,
+}
+
+/// What one [`GridWorkspace::refresh`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceRefreshStats {
+    /// Cells whose Σsin/Σcos summaries were recomputed (every cell when
+    /// the CSR layout was rebuilt).
+    pub dirty_cells: u64,
+    /// Whether the CSR arrays were rebuilt from scratch (a mover crossed a
+    /// cell boundary, or no prior state existed).
+    pub layout_rebuilt: bool,
+    /// Whether the preGrid was rebuilt (the outer emptiness pattern
+    /// flipped somewhere).
+    pub pregrid_rebuilt: bool,
 }
 
 impl GridWorkspace {
@@ -166,6 +195,12 @@ impl GridWorkspace {
             pre_sizes: device.alloc(m.max(1)),
             pre_ends: device.alloc(m.max(1)),
             pre_cells: device.alloc(1),
+            point_keys: device.alloc(nd),
+            pre_empty: device.alloc(m),
+            chg_flag: device.alloc(1),
+            state_valid: false,
+            last_num_inner: 0,
+            last_pre_count: 0,
         }
     }
 
@@ -196,6 +231,9 @@ impl GridWorkspace {
             self.pre_sizes.len(),
             self.pre_ends.len(),
             self.pre_cells.len(),
+            self.point_keys.len(),
+            self.pre_empty.len(),
+            self.chg_flag.len(),
         ]
         .iter()
         .sum::<usize>()
@@ -522,6 +560,267 @@ impl GridWorkspace {
             count,
         }
     }
+
+    /// Record every point's current cell coordinates into `point_keys` —
+    /// the change detector consulted by the next `refresh`.
+    fn snapshot_keys(&self, coords: &DeviceBuffer<f64>) {
+        let geo = self.geometry;
+        let dim = geo.dim;
+        let n = self.n;
+        let point_keys = &self.point_keys;
+        self.device
+            .launch("grid_snapshot_keys", grid_for(n, BLOCK), BLOCK, |t| {
+                let p = t.global_id();
+                if p >= n {
+                    return;
+                }
+                for i in 0..dim {
+                    point_keys.store(p * dim + i, geo.cell_coord(coords.load(p * dim + i)));
+                }
+            });
+    }
+
+    /// Record the outer-cell emptiness pattern the current preGrid was
+    /// built from.
+    fn snapshot_emptiness(&self) {
+        let m = self.geometry.outer_cells;
+        let (o_sizes, pre_empty) = (&self.o_sizes, &self.pre_empty);
+        self.device
+            .launch("grid_snapshot_empty", grid_for(m, BLOCK), BLOCK, |t| {
+                let oid = t.global_id();
+                if oid < m {
+                    pre_empty.store(oid, u64::from(o_sizes.load(oid) > 0));
+                }
+            });
+    }
+
+    /// Hand out views of the buffers as last constructed, without running
+    /// any kernel — the fast path of `refresh`.
+    fn current_grid(&self) -> DeviceGrid {
+        DeviceGrid {
+            geometry: self.geometry,
+            o_sizes: self.o_sizes.clone(),
+            o_ends: self.o_ends.clone(),
+            i_ids: self.i_ids.clone(),
+            i_ends: self.i_ends.clone(),
+            i_points: self.i_points.clone(),
+            point_cell: self.point_cell.clone(),
+            sin_sums: self.sin_sums.clone(),
+            cos_sums: self.cos_sums.clone(),
+            trig_sin: self.trig_sin.clone(),
+            trig_cos: self.trig_cos.clone(),
+            num_inner: self.last_num_inner,
+        }
+    }
+
+    /// The preGrid as last built, re-wrapped without running any kernel.
+    fn current_pregrid(&self) -> PreGrid {
+        PreGrid {
+            index_of: self.pre_index.clone(),
+            ends: self.pre_ends.clone(),
+            cells: self.pre_cells.clone(),
+            count: self.last_pre_count,
+        }
+    }
+
+    /// Construct from scratch and snapshot the incremental state.
+    fn full_refresh(&mut self, coords: &DeviceBuffer<f64>) -> (DeviceGrid, PreGrid) {
+        let grid = self.construct(coords);
+        self.snapshot_keys(coords);
+        let pre = self.build_pregrid(&grid);
+        self.snapshot_emptiness();
+        self.last_num_inner = grid.num_inner;
+        self.last_pre_count = pre.count;
+        self.state_valid = true;
+        (grid, pre)
+    }
+
+    /// Bring the grid up to date with `coords`, doing as little work as the
+    /// movement pattern allows (§4.2 structures, maintained incrementally).
+    ///
+    /// `moved` is a per-point flag buffer (1 = position changed since the
+    /// last refresh). With `None` — or on the first call — this degrades to
+    /// a full [`construct`](Self::construct) + preGrid build.
+    ///
+    /// When no mover crossed a cell boundary, the CSR layout, grid-sorted
+    /// order and preGrid are reused as-is; only the movers' trig-table rows
+    /// and the Σsin/Σcos summaries of cells containing movers are
+    /// recomputed — each dirty summary from its full membership in point
+    /// order, so results are bitwise identical to a fresh construct under a
+    /// single-threaded simulator. When a mover does cross a boundary the
+    /// layout is rebuilt by `construct`, but the preGrid is still reused
+    /// unless some outer cell's emptiness flipped (it depends on nothing
+    /// else).
+    pub fn refresh(
+        &mut self,
+        coords: &DeviceBuffer<f64>,
+        moved: Option<&DeviceBuffer<u64>>,
+    ) -> (DeviceGrid, PreGrid, DeviceRefreshStats) {
+        let geo = self.geometry;
+        let dim = geo.dim;
+        let n = self.n;
+        let m = geo.outer_cells;
+        let dev = self.device.clone();
+
+        let moved = match moved {
+            Some(f) if self.state_valid => f,
+            _ => {
+                let (grid, pre) = self.full_refresh(coords);
+                let stats = DeviceRefreshStats {
+                    dirty_cells: grid.num_inner as u64,
+                    layout_rebuilt: true,
+                    pregrid_rebuilt: true,
+                };
+                return (grid, pre, stats);
+            }
+        };
+
+        // -- did any mover cross a cell boundary? ------------------------
+        self.chg_flag.store(0, 0);
+        {
+            let (point_keys, chg_flag) = (&self.point_keys, &self.chg_flag);
+            dev.launch("grid_detect_changers", grid_for(n, BLOCK), BLOCK, |t| {
+                let p = t.global_id();
+                if p >= n || moved.load(p) == 0 {
+                    return;
+                }
+                for i in 0..dim {
+                    if geo.cell_coord(coords.load(p * dim + i)) != point_keys.load(p * dim + i) {
+                        chg_flag.store(0, 1);
+                        return;
+                    }
+                }
+            });
+        }
+
+        if self.chg_flag.load(0) != 0 {
+            // -- layout rebuild; the preGrid survives unless the outer
+            // emptiness pattern flipped somewhere -------------------------
+            let grid = self.construct(coords);
+            self.snapshot_keys(coords);
+            self.last_num_inner = grid.num_inner;
+            self.chg_flag.store(0, 0);
+            {
+                let (o_sizes, pre_empty, chg_flag) =
+                    (&self.o_sizes, &self.pre_empty, &self.chg_flag);
+                dev.launch("grid_detect_empty_flip", grid_for(m, BLOCK), BLOCK, |t| {
+                    let oid = t.global_id();
+                    if oid < m && u64::from(o_sizes.load(oid) > 0) != pre_empty.load(oid) {
+                        chg_flag.store(0, 1);
+                    }
+                });
+            }
+            let pregrid_rebuilt = self.chg_flag.load(0) != 0;
+            let pre = if pregrid_rebuilt {
+                let pre = self.build_pregrid(&grid);
+                self.snapshot_emptiness();
+                self.last_pre_count = pre.count;
+                pre
+            } else {
+                self.current_pregrid()
+            };
+            let stats = DeviceRefreshStats {
+                dirty_cells: grid.num_inner as u64,
+                layout_rebuilt: true,
+                pregrid_rebuilt,
+            };
+            return (grid, pre, stats);
+        }
+
+        // -- fast path: layout and preGrid reused as-is ------------------
+        // 1: refresh the movers' trig-table rows
+        {
+            let (trig_sin, trig_cos) = (&self.trig_sin, &self.trig_cos);
+            dev.launch("grid_refresh_trig", grid_for(n, BLOCK), BLOCK, |t| {
+                let p = t.global_id();
+                if p >= n || moved.load(p) == 0 {
+                    return;
+                }
+                for i in 0..dim {
+                    let x = coords.load(p * dim + i);
+                    trig_sin.store(p * dim + i, x.sin());
+                    trig_cos.store(p * dim + i, x.cos());
+                }
+            });
+        }
+
+        // 2: mark cells containing a mover as dirty
+        primitives::fill(&dev, &self.cell_fill, 0u64);
+        {
+            let (point_cell, cell_fill) = (&self.point_cell, &self.cell_fill);
+            dev.launch("grid_mark_dirty", grid_for(n, BLOCK), BLOCK, |t| {
+                let p = t.global_id();
+                if p < n && moved.load(p) == 1 {
+                    cell_fill.store(point_cell.load(p) as usize, 1);
+                }
+            });
+        }
+
+        // 3: zero the dirty cells' summary rows, counting them
+        let num_inner = self.last_num_inner;
+        self.chg_flag.store(0, 0);
+        {
+            let (cell_fill, sin_sums, cos_sums, chg_flag) = (
+                &self.cell_fill,
+                &self.sin_sums,
+                &self.cos_sums,
+                &self.chg_flag,
+            );
+            dev.launch(
+                "grid_zero_dirty_sums",
+                grid_for(num_inner, BLOCK),
+                BLOCK,
+                |t| {
+                    let c = t.global_id();
+                    if c >= num_inner || cell_fill.load(c) == 0 {
+                        return;
+                    }
+                    chg_flag.atomic_add(0, 1);
+                    for i in 0..dim {
+                        sin_sums.store(c * dim + i, 0.0);
+                        cos_sums.store(c * dim + i, 0.0);
+                    }
+                },
+            );
+        }
+
+        // 4: re-accumulate dirty summaries from their *full* membership, in
+        // the same point order as `construct`'s grid_summaries kernel —
+        // recompute, never subtract/add, so the result is bitwise identical
+        // to a fresh build
+        {
+            let (point_cell, cell_fill, sin_sums, cos_sums, trig_sin, trig_cos) = (
+                &self.point_cell,
+                &self.cell_fill,
+                &self.sin_sums,
+                &self.cos_sums,
+                &self.trig_sin,
+                &self.trig_cos,
+            );
+            dev.launch("grid_refresh_sums", grid_for(n, BLOCK), BLOCK, |t| {
+                let p = t.global_id();
+                if p >= n {
+                    return;
+                }
+                let c = point_cell.load(p) as usize;
+                if cell_fill.load(c) == 0 {
+                    return;
+                }
+                for i in 0..dim {
+                    sin_sums.atomic_add(c * dim + i, trig_sin.load(p * dim + i));
+                    cos_sums.atomic_add(c * dim + i, trig_cos.load(p * dim + i));
+                }
+            });
+        }
+
+        // no mover crossed a boundary, so `point_keys` is already current
+        let stats = DeviceRefreshStats {
+            dirty_cells: self.chg_flag.load(0),
+            layout_rebuilt: false,
+            pregrid_rebuilt: false,
+        };
+        (self.current_grid(), self.current_pregrid(), stats)
+    }
 }
 
 #[cfg(test)]
@@ -705,5 +1004,195 @@ mod tests {
         let buf = device.alloc::<f64>(0);
         let grid = ws.construct(&buf);
         assert_eq!(grid.num_inner, 0);
+    }
+
+    /// Single-threaded simulator: f64 atomic accumulation is sequential,
+    /// so refresh-vs-construct equality can be asserted bitwise.
+    fn single_threaded() -> DeviceConfig {
+        DeviceConfig {
+            host_threads: Some(1),
+            ..DeviceConfig::default()
+        }
+    }
+
+    /// Assert a refreshed grid + preGrid is bitwise identical to a fresh
+    /// construct + preGrid build on the same coordinates.
+    fn assert_refresh_equals_fresh(
+        tag: &str,
+        geo: GridGeometry,
+        coords: &[f64],
+        grid: &DeviceGrid,
+        pre: &PreGrid,
+    ) {
+        let dim = geo.dim;
+        let n = coords.len() / dim;
+        let device = Device::new(single_threaded());
+        let mut ws = GridWorkspace::new(&device, geo, n);
+        let buf = device.alloc_from_slice(coords);
+        let fresh = ws.construct(&buf);
+        let fresh_pre = ws.build_pregrid(&fresh);
+
+        let ni = fresh.num_inner;
+        assert_eq!(grid.num_inner, ni, "{tag}: cell count");
+        assert_eq!(
+            grid.i_ids.to_vec()[..ni * dim],
+            fresh.i_ids.to_vec()[..ni * dim],
+            "{tag}: cell ids"
+        );
+        assert_eq!(
+            grid.i_ends.to_vec()[..ni],
+            fresh.i_ends.to_vec()[..ni],
+            "{tag}: cell ends"
+        );
+        assert_eq!(
+            grid.i_points.to_vec(),
+            fresh.i_points.to_vec(),
+            "{tag}: point order"
+        );
+        assert_eq!(
+            grid.point_cell.to_vec(),
+            fresh.point_cell.to_vec(),
+            "{tag}: point cells"
+        );
+        assert_eq!(
+            grid.o_sizes.to_vec(),
+            fresh.o_sizes.to_vec(),
+            "{tag}: outer sizes"
+        );
+        assert_eq!(
+            grid.o_ends.to_vec(),
+            fresh.o_ends.to_vec(),
+            "{tag}: outer ends"
+        );
+        let bits = |v: Vec<f64>| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(grid.sin_sums.to_vec())[..ni * dim],
+            bits(fresh.sin_sums.to_vec())[..ni * dim],
+            "{tag}: sin summaries"
+        );
+        assert_eq!(
+            bits(grid.cos_sums.to_vec())[..ni * dim],
+            bits(fresh.cos_sums.to_vec())[..ni * dim],
+            "{tag}: cos summaries"
+        );
+        assert_eq!(
+            bits(grid.trig_sin.to_vec()),
+            bits(fresh.trig_sin.to_vec()),
+            "{tag}: trig sin table"
+        );
+        assert_eq!(
+            bits(grid.trig_cos.to_vec()),
+            bits(fresh.trig_cos.to_vec()),
+            "{tag}: trig cos table"
+        );
+
+        assert_eq!(pre.count, fresh_pre.count, "{tag}: preGrid count");
+        assert_eq!(
+            pre.index_of.to_vec(),
+            fresh_pre.index_of.to_vec(),
+            "{tag}: preGrid index"
+        );
+        let ends = pre.ends.to_vec();
+        let fresh_ends = fresh_pre.ends.to_vec();
+        assert_eq!(
+            ends[..pre.count],
+            fresh_ends[..pre.count],
+            "{tag}: preGrid ends"
+        );
+        let total = if pre.count == 0 {
+            0
+        } else {
+            ends[pre.count - 1] as usize
+        };
+        assert_eq!(
+            pre.cells.to_vec()[..total],
+            fresh_pre.cells.to_vec()[..total],
+            "{tag}: preGrid lists"
+        );
+    }
+
+    #[test]
+    fn refresh_fast_path_is_bitwise_identical_to_construct() {
+        let (n, dim, eps) = (300, 2, 0.07);
+        let mut coords = cloud(n, dim);
+        let device = Device::new(single_threaded());
+        let geo = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+        let mut ws = GridWorkspace::new(&device, geo, n);
+        let buf = device.alloc_from_slice(&coords);
+        let moved_buf = device.alloc::<u64>(n);
+        let (_, _, stats) = ws.refresh(&buf, None);
+        assert!(stats.layout_rebuilt && stats.pregrid_rebuilt);
+
+        for round in 0..4u64 {
+            // nudge a quarter of the points, reverting any nudge that
+            // would cross a cell boundary so the fast path must engage
+            let mut moved = vec![0u64; n];
+            for p in 0..n {
+                let h =
+                    (p as u64 ^ round.wrapping_mul(0x9e3779b97f4a7c15)).wrapping_mul(2654435761);
+                if !h.is_multiple_of(4) {
+                    continue;
+                }
+                let old: Vec<f64> = coords[p * dim..(p + 1) * dim].to_vec();
+                let mut crossed = false;
+                for i in 0..dim {
+                    let x = &mut coords[p * dim + i];
+                    let next = (*x + 2e-4).fract();
+                    if geo.cell_coord(next) != geo.cell_coord(*x) {
+                        crossed = true;
+                    }
+                    *x = next;
+                }
+                if crossed {
+                    coords[p * dim..(p + 1) * dim].copy_from_slice(&old);
+                } else {
+                    moved[p] = 1;
+                }
+            }
+            buf.copy_from_slice(&coords);
+            moved_buf.copy_from_slice(&moved);
+            let (grid, pre, stats) = ws.refresh(&buf, Some(&moved_buf));
+            assert!(!stats.layout_rebuilt, "round {round}: fast path expected");
+            assert!(!stats.pregrid_rebuilt, "round {round}");
+            if moved.contains(&1) {
+                assert!(stats.dirty_cells > 0, "round {round}");
+            }
+            assert!(stats.dirty_cells <= grid.num_inner as u64, "round {round}");
+            assert_refresh_equals_fresh(&format!("fast round {round}"), geo, &coords, &grid, &pre);
+        }
+    }
+
+    #[test]
+    fn refresh_after_rebinning_is_bitwise_identical_to_construct() {
+        let (n, dim, eps) = (250, 2, 0.08);
+        let mut coords = cloud(n, dim);
+        let device = Device::new(single_threaded());
+        let geo = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+        let mut ws = GridWorkspace::new(&device, geo, n);
+        let buf = device.alloc_from_slice(&coords);
+        let moved_buf = device.alloc::<u64>(n);
+        ws.refresh(&buf, None);
+
+        for round in 0..4u64 {
+            // large jumps: movers cross cell (and outer-cell) boundaries
+            let mut moved = vec![0u64; n];
+            for p in 0..n {
+                let h =
+                    (p as u64 ^ round.wrapping_mul(0x9e3779b97f4a7c15)).wrapping_mul(2654435761);
+                if h.is_multiple_of(3) {
+                    for i in 0..dim {
+                        let x = &mut coords[p * dim + i];
+                        *x = (*x + 0.13).fract();
+                    }
+                    moved[p] = 1;
+                }
+            }
+            buf.copy_from_slice(&coords);
+            moved_buf.copy_from_slice(&moved);
+            let (grid, pre, stats) = ws.refresh(&buf, Some(&moved_buf));
+            assert!(stats.layout_rebuilt, "round {round}: rebuild expected");
+            assert_eq!(stats.dirty_cells, grid.num_inner as u64);
+            assert_refresh_equals_fresh(&format!("rebin round {round}"), geo, &coords, &grid, &pre);
+        }
     }
 }

@@ -68,26 +68,43 @@ impl<'a> HostGrid<'a> {
 
     /// Indices of all points within the closed `radius`-ball around `p`,
     /// found by scanning the cells within the geometry's reach whose boxes
-    /// intersect the ball.
+    /// intersect the ball. Allocates a fresh result `Vec` per call; hot
+    /// loops should prefer [`HostGrid::ball_indices_into`].
     pub fn ball_indices(&self, p: &[f64], radius: f64) -> Vec<u32> {
-        let dim = self.geometry.dim;
-        let radius_sq = radius * radius;
         let mut out = Vec::new();
+        self.ball_indices_into(p, radius, &mut out);
+        out
+    }
+
+    /// Allocation-free edition of [`HostGrid::ball_indices`]: clear `out`
+    /// and fill it with the indices of all points within the closed
+    /// `radius`-ball around `p`. The per-dimension range cursors live on
+    /// the stack and the cell lookup borrows the key slice, so a caller
+    /// reusing `out` performs no heap allocation per query once `out`'s
+    /// capacity has settled.
+    pub fn ball_indices_into(&self, p: &[f64], radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        let dim = self.geometry.dim;
+        debug_assert!(dim <= MAX_DIM);
+        let radius_sq = radius * radius;
         // enumerate candidate cell coordinate ranges per dimension
-        let lo: Vec<i64> = (0..dim)
-            .map(|i| ((p[i] - radius) / self.geometry.cell_width).floor() as i64)
-            .collect();
-        let hi: Vec<i64> = (0..dim)
-            .map(|i| ((p[i] + radius) / self.geometry.cell_width).floor() as i64)
-            .collect();
-        let mut cursor: Vec<i64> = lo.clone();
+        let (mut lo, mut hi) = ([0i64; MAX_DIM], [0i64; MAX_DIM]);
+        for i in 0..dim {
+            lo[i] = ((p[i] - radius) / self.geometry.cell_width).floor() as i64;
+            hi[i] = ((p[i] + radius) / self.geometry.cell_width).floor() as i64;
+        }
+        let mut cursor = lo;
+        let mut key = [0u64; MAX_DIM];
         loop {
-            if cursor
+            if cursor[..dim]
                 .iter()
                 .all(|&c| c >= 0 && c < self.geometry.width as i64)
             {
-                let key: Vec<u64> = cursor.iter().map(|&c| c as u64).collect();
-                if let Some(points) = self.cells.get(&key) {
+                for i in 0..dim {
+                    key[i] = cursor[i] as u64;
+                }
+                // `Vec<u64>: Borrow<[u64]>` — the lookup borrows the key
+                if let Some(points) = self.cells.get(&key[..dim]) {
                     for &q_idx in points {
                         if squared_euclidean(p, row(self.coords, dim, q_idx as usize)) <= radius_sq
                         {
@@ -100,7 +117,7 @@ impl<'a> HostGrid<'a> {
             let mut d = 0;
             loop {
                 if d == dim {
-                    return out;
+                    return;
                 }
                 cursor[d] += 1;
                 if cursor[d] <= hi[d] {
@@ -154,6 +171,44 @@ pub struct CellGrid {
     point_keys: Vec<u64>,
     /// Scratch: per-point dense outer id.
     point_outer: Vec<u64>,
+    /// Grid-sorted slot of every point (the inverse of `cell_points`) —
+    /// lets the incremental refresh relocate a stayer's trig row without
+    /// recomputing its transcendentals.
+    point_slot: Vec<u32>,
+    /// Whether the arrays describe a previously built grid, making
+    /// [`CellGrid::refresh`] eligible for the incremental path.
+    has_state: bool,
+    // --- incremental-refresh scratch, sized once and reused -------------
+    /// Movers whose cell key changed, sorted by the grid total order.
+    changers: Vec<u32>,
+    /// Per point: did its cell key change this refresh?
+    is_changer: Vec<bool>,
+    /// Per (new) cell: must its summary be recomputed?
+    cell_dirty: Vec<bool>,
+    /// Per (new) clean cell: the old compacted cell id to copy sums from.
+    clean_src: Vec<u32>,
+    /// Double buffers swapped against the live arrays by the refresh.
+    merge_scratch: Vec<u32>,
+    starts_scratch: Vec<u32>,
+    point_cell_scratch: Vec<u32>,
+    point_slot_scratch: Vec<u32>,
+    trig_scratch: Vec<f64>,
+    sums_scratch: Vec<f64>,
+}
+
+/// What one [`CellGrid::refresh`] did — the grid-maintenance half of the
+/// iteration's work counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GridRefreshStats {
+    /// Points whose position changed since the grid was last built.
+    pub moved_points: u64,
+    /// Movers whose cell key changed, i.e. points actually re-binned.
+    pub rebinned_points: u64,
+    /// Cells whose summaries/trig rows were recomputed (every cell on a
+    /// full rebuild).
+    pub dirty_cells: u64,
+    /// Whether the refresh fell back to a full rebuild.
+    pub full_rebuild: bool,
 }
 
 impl CellGrid {
@@ -170,6 +225,18 @@ impl CellGrid {
             outer_index: Vec::new(),
             point_keys: Vec::new(),
             point_outer: Vec::new(),
+            point_slot: Vec::new(),
+            has_state: false,
+            changers: Vec::new(),
+            is_changer: Vec::new(),
+            cell_dirty: Vec::new(),
+            clean_src: Vec::new(),
+            merge_scratch: Vec::new(),
+            starts_scratch: Vec::new(),
+            point_cell_scratch: Vec::new(),
+            point_slot_scratch: Vec::new(),
+            trig_scratch: Vec::new(),
+            sums_scratch: Vec::new(),
         }
     }
 
@@ -260,6 +327,7 @@ impl CellGrid {
         self.cell_starts.reserve(n + 1);
         self.outer_index.reserve(n.min(geometry.outer_cells));
         self.point_cell.resize(n, 0);
+        self.point_slot.resize(n, 0);
         self.cell_starts.push(0);
         for e in 0..n {
             let p = self.cell_points[e] as usize;
@@ -282,6 +350,7 @@ impl CellGrid {
                 }
             }
             self.point_cell[p] = self.cell_starts.len() as u32 - 1;
+            self.point_slot[p] = e as u32;
         }
         if n > 0 {
             self.cell_starts.push(n as u32);
@@ -314,6 +383,402 @@ impl CellGrid {
                 },
             );
         }
+        self.has_state = true;
+    }
+
+    /// Bring the grid up to date with `coords`, rebuilding **only what
+    /// moved**. `moved[p]` must be `true` iff point `p`'s coordinates
+    /// changed (bitwise) since the grid was last built; passing `None`
+    /// (or calling on a grid with no prior state) falls back to
+    /// [`CellGrid::rebuild`].
+    ///
+    /// The incremental path re-derives cell keys only for movers,
+    /// partitions them into *stayers* (same cell key) and *changers*,
+    /// splices the sorted changers back into the grid-sorted order with a
+    /// sequential merge, and recomputes trig rows and Σsin/Σcos summaries
+    /// only for dirty cells — cells that gained or lost a member or
+    /// contain a mover. Summaries of dirty cells are recomputed from the
+    /// cell's full membership (never subtract/add-adjusted) in slot order,
+    /// so **every array is bitwise identical to a fresh
+    /// [`CellGrid::rebuild`]** on the same coordinates: the merge
+    /// reproduces the total order `(outer, key, point index)` exactly, and
+    /// clean cells copy rows whose inputs did not change. The layout is a
+    /// pure function of the membership — never of worker count or of which
+    /// iteration the points moved in.
+    ///
+    /// All scratch buffers are owned by the grid and sized once, so
+    /// steady-state refreshes allocate nothing.
+    pub fn refresh(
+        &mut self,
+        exec: &Executor,
+        coords: &[f64],
+        moved: Option<&[bool]>,
+    ) -> GridRefreshStats {
+        let geometry = self.geometry;
+        let dim = geometry.dim;
+        let n = coords.len() / dim.max(1);
+        let valid = self.has_state && self.point_outer.len() == n && self.point_slot.len() == n;
+        let Some(moved) = moved.filter(|m| valid && m.len() == n) else {
+            self.rebuild(exec, coords);
+            return GridRefreshStats {
+                moved_points: n as u64,
+                rebinned_points: n as u64,
+                dirty_cells: self.num_cells() as u64,
+                full_rebuild: true,
+            };
+        };
+
+        // Pass 1 — re-derive keys for movers only and flag cell changers,
+        // in parallel; stayers' rows are untouched.
+        self.is_changer.clear();
+        self.is_changer.resize(n, false);
+        {
+            let keys = ScatterWriter::new(&mut self.point_keys);
+            let outer = ScatterWriter::new(&mut self.point_outer);
+            let chg = ScatterWriter::new(&mut self.is_changer);
+            let (keys, outer, chg) = (&keys, &outer, &chg);
+            exec.map_ranges(n, POINT_CHUNK, |range| {
+                let mut new_key = [0u64; MAX_DIM];
+                for p_idx in range {
+                    if !moved[p_idx] {
+                        continue;
+                    }
+                    geometry.cell_coords_of(row(coords, dim, p_idx), &mut new_key[..dim]);
+                    // each point index occurs in exactly one chunk
+                    let old = unsafe { keys.row_mut(p_idx * dim, dim) };
+                    if old != &new_key[..dim] {
+                        old.copy_from_slice(&new_key[..dim]);
+                        unsafe {
+                            outer.row_mut(p_idx, 1)[0] =
+                                geometry.outer_id_of_coords(&new_key[..dim]) as u64;
+                            chg.row_mut(p_idx, 1)[0] = true;
+                        }
+                    }
+                }
+            });
+        }
+
+        // Pass 2 — partition: collect the changer work-list (ascending
+        // point index) and count movers.
+        self.changers.clear();
+        self.changers.reserve(n);
+        let mut moved_points = 0u64;
+        for p in 0..n {
+            if moved[p] {
+                moved_points += 1;
+                if self.is_changer[p] {
+                    self.changers.push(p as u32);
+                }
+            }
+        }
+
+        if self.changers.is_empty() {
+            let dirty_cells = self.refresh_in_place(exec, coords, moved);
+            return GridRefreshStats {
+                moved_points,
+                rebinned_points: 0,
+                dirty_cells,
+                full_rebuild: false,
+            };
+        }
+        let dirty_cells = self.refresh_rebin(exec, coords, moved);
+        GridRefreshStats {
+            moved_points,
+            rebinned_points: self.changers.len() as u64,
+            dirty_cells,
+            full_rebuild: false,
+        }
+    }
+
+    /// Incremental refresh when **no cell key changed**: the CSR layout is
+    /// already correct, so only the trig rows of movers and the summaries
+    /// of cells containing movers are recomputed, in place.
+    fn refresh_in_place(&mut self, exec: &Executor, coords: &[f64], moved: &[bool]) -> u64 {
+        let dim = self.geometry.dim;
+        let n = moved.len();
+        let num_cells = self.num_cells();
+
+        // trig rows of movers, at their (unchanged) grid-sorted slots
+        {
+            let order = &self.cell_points;
+            let trig = ScatterWriter::new(&mut self.point_trig);
+            let trig = &trig;
+            exec.map_ranges(n, POINT_CHUNK, |range| {
+                for slot in range {
+                    let p_idx = order[slot] as usize;
+                    if !moved[p_idx] {
+                        continue;
+                    }
+                    let p = row(coords, dim, p_idx);
+                    // each slot occurs in exactly one chunk
+                    let t = unsafe { trig.row_mut(slot * 2 * dim, 2 * dim) };
+                    for i in 0..dim {
+                        t[i] = p[i].sin();
+                        t[dim + i] = p[i].cos();
+                    }
+                }
+            });
+        }
+
+        // dirty set: cells containing at least one mover
+        self.cell_dirty.clear();
+        self.cell_dirty.resize(num_cells, false);
+        let mut dirty_cells = 0u64;
+        for p in 0..n {
+            if moved[p] {
+                let c = self.point_cell[p] as usize;
+                if !self.cell_dirty[c] {
+                    self.cell_dirty[c] = true;
+                    dirty_cells += 1;
+                }
+            }
+        }
+
+        // recompute dirty summaries from full membership, in slot order —
+        // bitwise identical to the fresh-build accumulation
+        {
+            let cell_starts = &self.cell_starts;
+            let point_trig = &self.point_trig;
+            let cell_dirty = &self.cell_dirty;
+            exec.map_chunks_mut(
+                &mut self.trig_sums,
+                CELL_CHUNK * 2 * dim,
+                |offset, chunk| {
+                    let first = offset / (2 * dim);
+                    for (r, sums) in chunk.chunks_exact_mut(2 * dim).enumerate() {
+                        let c = first + r;
+                        if !cell_dirty[c] {
+                            continue;
+                        }
+                        sums.fill(0.0);
+                        let lo = cell_starts[c] as usize;
+                        let hi = cell_starts[c + 1] as usize;
+                        for t in point_trig[lo * 2 * dim..hi * 2 * dim].chunks_exact(2 * dim) {
+                            for i in 0..2 * dim {
+                                sums[i] += t[i];
+                            }
+                        }
+                    }
+                },
+            );
+        }
+        dirty_cells
+    }
+
+    /// Incremental refresh with changers: splice the re-binned points back
+    /// into the grid-sorted order and recompute only dirty cells.
+    fn refresh_rebin(&mut self, exec: &Executor, coords: &[f64], moved: &[bool]) -> u64 {
+        let dim = self.geometry.dim;
+        let n = moved.len();
+
+        // sort the changers under the grid total order (their new keys)
+        {
+            let keys = &self.point_keys;
+            let outer = &self.point_outer;
+            self.changers.sort_unstable_by(|&a, &b| {
+                let (a, b) = (a as usize, b as usize);
+                outer[a]
+                    .cmp(&outer[b])
+                    .then_with(|| keys[a * dim..(a + 1) * dim].cmp(&keys[b * dim..(b + 1) * dim]))
+                    .then(a.cmp(&b))
+            });
+        }
+
+        // merge stayers (already sorted: their keys are unchanged) with the
+        // sorted changers — reproduces the fresh sort's permutation exactly,
+        // because the order (outer, key, index) is total and strict
+        self.merge_scratch.clear();
+        self.merge_scratch.reserve(n);
+        {
+            let keys = &self.point_keys;
+            let outer = &self.point_outer;
+            let less = |a: u32, b: u32| {
+                let (a, b) = (a as usize, b as usize);
+                outer[a]
+                    .cmp(&outer[b])
+                    .then_with(|| keys[a * dim..(a + 1) * dim].cmp(&keys[b * dim..(b + 1) * dim]))
+                    .then(a.cmp(&b))
+                    .is_lt()
+            };
+            let mut ci = 0usize;
+            for &pt in &self.cell_points {
+                if self.is_changer[pt as usize] {
+                    continue; // re-emitted from the changer list instead
+                }
+                while ci < self.changers.len() && less(self.changers[ci], pt) {
+                    self.merge_scratch.push(self.changers[ci]);
+                    ci += 1;
+                }
+                self.merge_scratch.push(pt);
+            }
+            self.merge_scratch.extend_from_slice(&self.changers[ci..]);
+            debug_assert_eq!(self.merge_scratch.len(), n);
+        }
+
+        // cut pass over the merged order: new cell boundaries, outer index,
+        // per-point cell/slot (into scratch — the old inversion is still
+        // needed below), and the dirty/clean classification per new cell.
+        // A cell is clean iff it contains no changer and no mover and its
+        // membership is unchanged (same old cell, same size) — then both
+        // its trig rows and its summary row are bitwise reusable.
+        self.cell_keys.clear();
+        self.outer_index.clear();
+        self.starts_scratch.clear();
+        self.starts_scratch.reserve(n + 1);
+        self.cell_dirty.clear();
+        self.cell_dirty.reserve(n);
+        self.clean_src.clear();
+        self.clean_src.reserve(n);
+        self.point_cell_scratch.resize(n, 0);
+        self.point_slot_scratch.resize(n, 0);
+        let mut dirty_cells = 0u64;
+        {
+            let order = &self.merge_scratch;
+            self.starts_scratch.push(0);
+            let mut cell_first = 0usize;
+            let mut cur_dirty = false;
+            let close_cell = |this: &mut Vec<bool>,
+                              clean_src: &mut Vec<u32>,
+                              lo: usize,
+                              hi: usize,
+                              cur_dirty: bool| {
+                let mut dirty = cur_dirty;
+                let mut src = 0u32;
+                if !dirty {
+                    // no changers in the cell ⇒ its first member is a
+                    // stayer; equal size ⇒ identical membership
+                    let c_old = self.point_cell[order[lo] as usize] as usize;
+                    let old_len = (self.cell_starts[c_old + 1] - self.cell_starts[c_old]) as usize;
+                    if old_len == hi - lo {
+                        src = c_old as u32;
+                    } else {
+                        dirty = true;
+                    }
+                }
+                this.push(dirty);
+                clean_src.push(src);
+                dirty as u64
+            };
+            for e in 0..n {
+                let p = order[e] as usize;
+                let new_cell = e == 0 || {
+                    let prev = order[e - 1] as usize;
+                    self.point_keys[prev * dim..(prev + 1) * dim]
+                        != self.point_keys[p * dim..(p + 1) * dim]
+                };
+                if new_cell {
+                    if e > 0 {
+                        dirty_cells += close_cell(
+                            &mut self.cell_dirty,
+                            &mut self.clean_src,
+                            cell_first,
+                            e,
+                            cur_dirty,
+                        );
+                        self.starts_scratch.push(e as u32);
+                    }
+                    cell_first = e;
+                    cur_dirty = false;
+                    let c = self.starts_scratch.len() as u32 - 1;
+                    self.cell_keys
+                        .extend_from_slice(&self.point_keys[p * dim..(p + 1) * dim]);
+                    let oid = self.point_outer[p];
+                    match self.outer_index.last_mut() {
+                        Some((last_oid, _, hi)) if *last_oid == oid => *hi = c + 1,
+                        _ => self.outer_index.push((oid, c, c + 1)),
+                    }
+                }
+                if moved[p] {
+                    cur_dirty = true;
+                }
+                self.point_cell_scratch[p] = self.starts_scratch.len() as u32 - 1;
+                self.point_slot_scratch[p] = e as u32;
+            }
+            if n > 0 {
+                dirty_cells += close_cell(
+                    &mut self.cell_dirty,
+                    &mut self.clean_src,
+                    cell_first,
+                    n,
+                    cur_dirty,
+                );
+                self.starts_scratch.push(n as u32);
+            }
+        }
+        let num_cells = self.starts_scratch.len().saturating_sub(1);
+
+        // trig pass into the double buffer: movers are recomputed, stayers'
+        // rows are relocated from their old slots — bitwise the same values
+        // a fresh build would compute from the same coordinates
+        self.trig_scratch.resize(n * 2 * dim, 0.0);
+        {
+            let order = &self.merge_scratch;
+            let old_slot = &self.point_slot;
+            let old_trig = &self.point_trig;
+            let trig = ScatterWriter::new(&mut self.trig_scratch);
+            let trig = &trig;
+            exec.map_ranges(n, POINT_CHUNK, |range| {
+                for slot in range {
+                    let p_idx = order[slot] as usize;
+                    // each slot occurs in exactly one chunk
+                    let t = unsafe { trig.row_mut(slot * 2 * dim, 2 * dim) };
+                    if moved[p_idx] {
+                        let p = row(coords, dim, p_idx);
+                        for i in 0..dim {
+                            t[i] = p[i].sin();
+                            t[dim + i] = p[i].cos();
+                        }
+                    } else {
+                        let s = old_slot[p_idx] as usize;
+                        t.copy_from_slice(&old_trig[s * 2 * dim..(s + 1) * 2 * dim]);
+                    }
+                }
+            });
+        }
+
+        // summary pass into the double buffer: dirty cells re-accumulate
+        // their full membership in slot order, clean cells copy their old
+        // row (identical membership, identical rows ⇒ identical bits)
+        self.sums_scratch.clear();
+        self.sums_scratch.resize(num_cells * 2 * dim, 0.0);
+        {
+            let cell_starts = &self.starts_scratch;
+            let point_trig = &self.trig_scratch;
+            let cell_dirty = &self.cell_dirty;
+            let clean_src = &self.clean_src;
+            let old_sums = &self.trig_sums;
+            exec.map_chunks_mut(
+                &mut self.sums_scratch,
+                CELL_CHUNK * 2 * dim,
+                |offset, chunk| {
+                    let first = offset / (2 * dim);
+                    for (r, sums) in chunk.chunks_exact_mut(2 * dim).enumerate() {
+                        let c = first + r;
+                        if cell_dirty[c] {
+                            let lo = cell_starts[c] as usize;
+                            let hi = cell_starts[c + 1] as usize;
+                            for t in point_trig[lo * 2 * dim..hi * 2 * dim].chunks_exact(2 * dim) {
+                                for i in 0..2 * dim {
+                                    sums[i] += t[i];
+                                }
+                            }
+                        } else {
+                            let src = clean_src[c] as usize;
+                            sums.copy_from_slice(&old_sums[src * 2 * dim..(src + 1) * 2 * dim]);
+                        }
+                    }
+                },
+            );
+        }
+
+        // promote the double buffers
+        std::mem::swap(&mut self.cell_points, &mut self.merge_scratch);
+        std::mem::swap(&mut self.cell_starts, &mut self.starts_scratch);
+        std::mem::swap(&mut self.point_cell, &mut self.point_cell_scratch);
+        std::mem::swap(&mut self.point_slot, &mut self.point_slot_scratch);
+        std::mem::swap(&mut self.point_trig, &mut self.trig_scratch);
+        std::mem::swap(&mut self.trig_sums, &mut self.sums_scratch);
+        dirty_cells
     }
 
     /// The geometry the grid was built under.
@@ -419,6 +884,17 @@ impl CellGrid {
             + self.outer_index.len() * 16
             + self.point_keys.len() * 8
             + self.point_outer.len() * 8
+            + self.point_slot.len() * 4
+            + self.changers.len() * 4
+            + self.is_changer.len()
+            + self.cell_dirty.len()
+            + self.clean_src.len() * 4
+            + self.merge_scratch.len() * 4
+            + self.starts_scratch.len() * 4
+            + self.point_cell_scratch.len() * 4
+            + self.point_slot_scratch.len() * 4
+            + self.trig_scratch.len() * 8
+            + self.sums_scratch.len() * 8
     }
 }
 
@@ -596,5 +1072,91 @@ mod tests {
         let mut visited = 0;
         grid.for_each_cell_in_reach(0, |_| visited += 1);
         assert_eq!(visited, 0);
+    }
+
+    /// Move roughly a quarter of the points — some by a hair (staying in
+    /// their cell), some across cell boundaries — returning the flags.
+    fn perturb(coords: &mut [f64], dim: usize, round: u64) -> Vec<bool> {
+        let n = coords.len() / dim;
+        let mut moved = vec![false; n];
+        for (p, flag) in moved.iter_mut().enumerate() {
+            let h = (p as u64 ^ round.wrapping_mul(0x9e3779b97f4a7c15)).wrapping_mul(2654435761);
+            if h.is_multiple_of(4) {
+                let delta = if h.is_multiple_of(8) { 0.0005 } else { 0.06 };
+                for i in 0..dim {
+                    let x = &mut coords[p * dim + i];
+                    *x = (*x + delta).fract();
+                }
+                *flag = true;
+            }
+        }
+        moved
+    }
+
+    #[test]
+    fn incremental_refresh_is_bitwise_identical_to_rebuild() {
+        let (n, dim) = (800, 3);
+        let g = GridGeometry::new(dim, 0.12, n, GridVariant::Auto);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for workers in [1usize, 2, 3, 8] {
+            let exec = Executor::new(Some(workers));
+            let mut coords = pseudo_cloud(n, dim);
+            let mut grid = CellGrid::new(g);
+            let stats = grid.refresh(&exec, &coords, None);
+            assert!(stats.full_rebuild, "first refresh has no prior state");
+            for round in 0..6u64 {
+                let moved = perturb(&mut coords, dim, round);
+                let stats = grid.refresh(&exec, &coords, Some(&moved));
+                assert!(!stats.full_rebuild, "workers {workers} round {round}");
+                assert_eq!(
+                    stats.moved_points,
+                    moved.iter().filter(|&&m| m).count() as u64
+                );
+                let fresh = CellGrid::build(&Executor::sequential(), g, &coords);
+                let tag = format!("workers {workers} round {round}");
+                assert_eq!(grid.cell_keys, fresh.cell_keys, "{tag}");
+                assert_eq!(grid.cell_starts, fresh.cell_starts, "{tag}");
+                assert_eq!(grid.cell_points, fresh.cell_points, "{tag}");
+                assert_eq!(grid.point_cell, fresh.point_cell, "{tag}");
+                assert_eq!(grid.point_slot, fresh.point_slot, "{tag}");
+                assert_eq!(grid.outer_index, fresh.outer_index, "{tag}");
+                // summaries and trig tables bitwise, not merely close
+                assert_eq!(bits(&grid.trig_sums), bits(&fresh.trig_sums), "{tag}");
+                assert_eq!(bits(&grid.point_trig), bits(&fresh.point_trig), "{tag}");
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_without_movers_recomputes_nothing() {
+        let exec = Executor::new(Some(4));
+        let coords = pseudo_cloud(300, 2);
+        let g = GridGeometry::new(2, 0.05, 300, GridVariant::Auto);
+        let mut grid = CellGrid::new(g);
+        grid.refresh(&exec, &coords, None);
+        let stats = grid.refresh(&exec, &coords, Some(&vec![false; 300]));
+        assert_eq!(
+            stats,
+            GridRefreshStats {
+                moved_points: 0,
+                rebinned_points: 0,
+                dirty_cells: 0,
+                full_rebuild: false,
+            }
+        );
+    }
+
+    #[test]
+    fn refresh_with_stale_flags_falls_back_to_rebuild() {
+        let exec = Executor::new(Some(2));
+        let coords = pseudo_cloud(200, 2);
+        let g = GridGeometry::new(2, 0.05, 200, GridVariant::Auto);
+        let mut grid = CellGrid::new(g);
+        // no prior state → rebuild even with flags supplied
+        let stats = grid.refresh(&exec, &coords, Some(&[false; 200]));
+        assert!(stats.full_rebuild);
+        // wrong flag length → rebuild
+        let stats = grid.refresh(&exec, &coords, Some(&[false; 199]));
+        assert!(stats.full_rebuild);
     }
 }

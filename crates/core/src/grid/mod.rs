@@ -25,6 +25,6 @@ pub mod device;
 mod geometry;
 mod host;
 
-pub use device::{DeviceGrid, GridWorkspace, PreGrid};
+pub use device::{DeviceGrid, DeviceRefreshStats, GridWorkspace, PreGrid};
 pub use geometry::{GridGeometry, GridVariant, MAX_OUTER_CELLS};
-pub use host::{CellGrid, HostGrid};
+pub use host::{CellGrid, GridRefreshStats, HostGrid};

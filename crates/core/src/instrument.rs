@@ -92,6 +92,15 @@ pub struct UpdateCounters {
     /// trig-table fast paths, compared to a per-pair `sin(q_i − p_i)`
     /// implementation.
     pub sin_calls_avoided: u64,
+    /// Points whose position changed bitwise during the update passes —
+    /// the work-list of the incremental grid maintenance.
+    pub moved_points: u64,
+    /// Cells whose Σsin/Σcos summaries (and trig rows) were recomputed by
+    /// the incremental grid refresh; a full rebuild counts every cell.
+    pub dirty_cells: u64,
+    /// Cells whose whole ε-reach saw zero movers, so the update pass
+    /// reused their cached positions and confinement flags outright.
+    pub cells_skipped: u64,
 }
 
 impl UpdateCounters {
@@ -100,6 +109,9 @@ impl UpdateCounters {
         self.summary_cells += other.summary_cells;
         self.point_pairs += other.point_pairs;
         self.sin_calls_avoided += other.sin_calls_avoided;
+        self.moved_points += other.moved_points;
+        self.dirty_cells += other.dirty_cells;
+        self.cells_skipped += other.cells_skipped;
     }
 }
 
@@ -191,15 +203,24 @@ mod tests {
             summary_cells: 3,
             point_pairs: 10,
             sin_calls_avoided: 40,
+            moved_points: 7,
+            dirty_cells: 2,
+            cells_skipped: 1,
         };
         a.merge(&UpdateCounters {
             summary_cells: 1,
             point_pairs: 5,
             sin_calls_avoided: 2,
+            moved_points: 3,
+            dirty_cells: 4,
+            cells_skipped: 5,
         });
         assert_eq!(a.summary_cells, 4);
         assert_eq!(a.point_pairs, 15);
         assert_eq!(a.sin_calls_avoided, 42);
+        assert_eq!(a.moved_points, 10);
+        assert_eq!(a.dirty_cells, 6);
+        assert_eq!(a.cells_skipped, 6);
     }
 
     #[test]

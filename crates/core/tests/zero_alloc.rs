@@ -14,7 +14,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use egg_sync_core::egg::termination::second_term_holds_host;
-use egg_sync_core::egg::update::{egg_update_host, UpdateOptions};
+use egg_sync_core::egg::update::{egg_update_host, IncrementalState, UpdateOptions};
 use egg_sync_core::exec::Executor;
 use egg_sync_core::grid::{CellGrid, GridGeometry, GridVariant};
 use egg_sync_core::instrument::UpdateCounters;
@@ -76,9 +76,10 @@ fn steady_state_iterations_do_not_allocate() {
             eps,
             UpdateOptions::default(),
             &mut chunk_stats,
+            None,
         );
         if first_term {
-            second_term_holds_host(&exec, &grid, coords_cur, eps);
+            second_term_holds_host(&exec, &grid, coords_cur, eps, None);
         }
         std::mem::swap(coords_cur, coords_next);
     };
@@ -99,5 +100,57 @@ fn steady_state_iterations_do_not_allocate() {
         after - before,
         0,
         "steady-state iterations must not touch the heap"
+    );
+}
+
+#[test]
+fn incremental_steady_state_does_not_allocate() {
+    // same contract for the incremental pipeline: grid refresh driven by
+    // the mover flags, skip-aware update, confinement-narrowed second term
+    let (n, dim, eps) = (3000, 2, 0.05);
+    let exec = Executor::sequential();
+    let geometry = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+
+    let mut coords_cur = cloud(n, dim);
+    let mut coords_next = vec![0.0f64; n * dim];
+    let mut grid = CellGrid::new(geometry);
+    let mut chunk_stats: Vec<(bool, UpdateCounters)> = Vec::new();
+    let mut state = IncrementalState::new();
+
+    let mut iterate = |coords_cur: &mut Vec<f64>, coords_next: &mut Vec<f64>| {
+        grid.refresh(&exec, coords_cur, state.moved_flags());
+        let (first_term, _) = egg_update_host(
+            &exec,
+            &grid,
+            coords_cur,
+            coords_next,
+            eps,
+            UpdateOptions::default(),
+            &mut chunk_stats,
+            Some(&mut state),
+        );
+        if first_term {
+            second_term_holds_host(&exec, &grid, coords_cur, eps, state.confined_flags());
+        }
+        state.finish_pass(&geometry, coords_cur, coords_next);
+        std::mem::swap(coords_cur, coords_next);
+    };
+
+    // warm-up: size every reusable buffer, including the incremental
+    // scratch (changer lists, merge buffers, flag vectors)
+    for _ in 0..3 {
+        iterate(&mut coords_cur, &mut coords_next);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..5 {
+        iterate(&mut coords_cur, &mut coords_next);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "incremental steady-state iterations must not touch the heap"
     );
 }

@@ -68,6 +68,11 @@ fn main() {
         counters.summary_cells, counters.point_pairs, counters.sin_calls_avoided
     );
     println!(
+        "EGG-SynC incremental maintenance: {} moved points, {} dirty cells refreshed, \
+         {} converged cells skipped outright",
+        counters.moved_points, counters.dirty_cells, counters.cells_skipped
+    );
+    println!(
         "\nNote: on this host the GPU is simulated; 'sim GPU' is the cost-model estimate \
          on the paper's RTX 3090, 'wall' is single-core host time."
     );

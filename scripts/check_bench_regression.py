@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Perf-trajectory check over the cross-PR benchmark ledger BENCH_egg.json.
+
+The ledger is a JSON array of rows appended by the bench harnesses; each
+row carries the workload shape (experiment, method, n, d, threads) and a
+per-stage nanosecond breakdown. This script groups rows by workload
+shape, compares the latest row of every group against the previous one,
+and emits a GitHub Actions `::warning::` annotation whenever a tracked
+stage regressed by more than the threshold (default 15%).
+
+Stage timings below MIN_STAGE_NS are skipped: on CI-scale quick runs a
+sub-millisecond stage is dominated by scheduler noise and any ratio on
+it is meaningless.
+
+Exit codes: 0 on success (warnings do not fail the job); 1 when the
+ledger is missing, malformed, or — with --require-rows — empty, so the
+"perf ledger silently stopped recording" failure mode of PR 2 is loud.
+
+Usage: check_bench_regression.py [--threshold 0.15] [--require-rows] [PATH]
+"""
+
+import json
+import sys
+
+TRACKED_STAGES = (
+    "allocating",
+    "build_structure",
+    "update",
+    "extra_check",
+    "clustering",
+    "free_memory",
+)
+MIN_STAGE_NS = 1_000_000  # ignore sub-millisecond stages: pure noise on CI
+
+
+def group_key(row):
+    return (
+        row.get("experiment"),
+        row.get("method"),
+        row.get("n"),
+        row.get("d"),
+        row.get("threads"),
+    )
+
+
+def check(rows, threshold):
+    """Return a list of warning strings for >threshold stage regressions."""
+    groups = {}
+    for row in rows:
+        groups.setdefault(group_key(row), []).append(row)
+    warnings = []
+    for key, series in groups.items():
+        if len(series) < 2:
+            continue
+        prev, last = series[-2], series[-1]
+        prev_stages = prev.get("stages_ns", {})
+        last_stages = last.get("stages_ns", {})
+        for stage in TRACKED_STAGES:
+            before = prev_stages.get(stage, 0)
+            after = last_stages.get(stage, 0)
+            if before < MIN_STAGE_NS or after < MIN_STAGE_NS:
+                continue
+            if after > before * (1.0 + threshold):
+                experiment, method, n, d, threads = key
+                warnings.append(
+                    f"{experiment}/{method} (n={n}, d={d}, t={threads}): "
+                    f"stage '{stage}' regressed {after / before:.2f}x "
+                    f"({before} ns -> {after} ns)"
+                )
+    return warnings
+
+
+def main(argv):
+    threshold = 0.15
+    require_rows = False
+    path = "target/paper_results/BENCH_egg.json"
+    args = list(argv[1:])
+    while args:
+        arg = args.pop(0)
+        if arg == "--threshold":
+            threshold = float(args.pop(0))
+        elif arg == "--require-rows":
+            require_rows = True
+        else:
+            path = arg
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            rows = json.load(f)
+    except FileNotFoundError:
+        print(f"::error::benchmark ledger {path} not found")
+        return 1
+    except json.JSONDecodeError as e:
+        print(f"::error::benchmark ledger {path} is not valid JSON: {e}")
+        return 1
+    if not isinstance(rows, list):
+        print(f"::error::benchmark ledger {path} is not a JSON array")
+        return 1
+    if require_rows and not rows:
+        print(f"::error::benchmark ledger {path} has zero rows — the bench "
+              "harness ran but appended nothing (see append_bench_ledger)")
+        return 1
+
+    print(f"{len(rows)} ledger row(s) in {path}")
+    warnings = check(rows, threshold)
+    for w in warnings:
+        print(f"::warning::{w}")
+    if not warnings:
+        print(f"no stage regressed by more than {threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

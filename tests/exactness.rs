@@ -94,18 +94,22 @@ fn every_optimization_toggle_is_exact() {
     for use_summaries in [false, true] {
         for use_pregrid in [false, true] {
             for use_trig_tables in [false, true] {
-                let mut algo = EggSync::new(0.05);
-                algo.options = UpdateOptions {
-                    use_summaries,
-                    use_pregrid,
-                    use_trig_tables,
-                };
-                let egg = algo.cluster(&data);
-                assert!(
-                    metrics::same_partition(&oracle.labels, &egg.labels),
-                    "summaries={use_summaries} pregrid={use_pregrid} \
-                     trig_tables={use_trig_tables} not exact"
-                );
+                for use_incremental in [false, true] {
+                    let mut algo = EggSync::new(0.05);
+                    algo.options = UpdateOptions {
+                        use_summaries,
+                        use_pregrid,
+                        use_trig_tables,
+                        use_incremental,
+                    };
+                    let egg = algo.cluster(&data);
+                    assert!(
+                        metrics::same_partition(&oracle.labels, &egg.labels),
+                        "summaries={use_summaries} pregrid={use_pregrid} \
+                         trig_tables={use_trig_tables} \
+                         incremental={use_incremental} not exact"
+                    );
+                }
             }
         }
     }

@@ -262,12 +262,12 @@ proptest! {
             let (first_direct, _) = egg_update_host(
                 &exec, &grid, &coords, &mut direct, eps,
                 UpdateOptions { use_trig_tables: false, ..UpdateOptions::default() },
-                &mut stats,
+                &mut stats, None,
             );
             let mut tabled = vec![0.0; coords.len()];
             let (first_tabled, _) = egg_update_host(
                 &exec, &grid, &coords, &mut tabled, eps,
-                UpdateOptions::default(), &mut stats,
+                UpdateOptions::default(), &mut stats, None,
             );
             prop_assert_eq!(first_tabled, first_direct, "{:?}", variant);
             for (i, (t, d)) in tabled.iter().zip(&direct).enumerate() {
@@ -300,7 +300,7 @@ proptest! {
             let mut stats = Vec::new();
             egg_update_host(
                 &exec, &grid, &coords, &mut next, eps,
-                UpdateOptions::default(), &mut stats,
+                UpdateOptions::default(), &mut stats, None,
             );
             next.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
         };
@@ -332,8 +332,127 @@ proptest! {
             let exec = Executor::new(Some(workers));
             let grid = CellGrid::build(&exec, geo, &coords);
             prop_assert_eq!(
-                second_term_holds_host(&exec, &grid, &coords, eps),
+                second_term_holds_host(&exec, &grid, &coords, eps, None),
                 expected,
+                "workers {}", workers
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn incremental_grid_equals_fresh_rebuild_after_random_steps(
+        raw in prop::collection::vec(0.0f64..=1.0, 32..=240),
+        dim in 2usize..=8,
+        steps in 1usize..=4,
+    ) {
+        // after k real EGG-update steps the incrementally maintained grid
+        // — CSR layout, Σsin/Σcos summaries, trig tables — must be bitwise
+        // identical to a from-scratch rebuild on the same coordinates, for
+        // every grid variant and worker count
+        use egg_sync::core::egg::update::{egg_update_host, IncrementalState, UpdateOptions};
+        use egg_sync::core::exec::Executor;
+        use egg_sync::core::grid::{CellGrid, MAX_OUTER_CELLS};
+        let coords: Vec<f64> = raw[..raw.len() / dim * dim].to_vec();
+        let n = coords.len() / dim;
+        prop_assume!(n > 0);
+        let eps = 0.1 * (dim as f64).sqrt();
+        let probe = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+        let dense_feasible = (probe.width as u64)
+            .checked_pow(dim as u32)
+            .is_some_and(|m| m <= MAX_OUTER_CELLS as u64);
+        let mut variants = vec![
+            GridVariant::Auto,
+            GridVariant::Sequential,
+            GridVariant::Mixed(1),
+        ];
+        if dense_feasible {
+            variants.push(GridVariant::RandomAccess);
+        }
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for variant in variants {
+            let geo = GridGeometry::new(dim, eps, n, variant);
+            for workers in [1usize, 4, 8] {
+                let exec = Executor::new(Some(workers));
+                let mut grid = CellGrid::new(geo);
+                let mut state = IncrementalState::new();
+                let mut cur = coords.clone();
+                let mut next = vec![0.0; coords.len()];
+                let mut chunk_stats = Vec::new();
+                for _ in 0..steps {
+                    grid.refresh(&exec, &cur, state.moved_flags());
+                    egg_update_host(
+                        &exec, &grid, &cur, &mut next, eps,
+                        UpdateOptions::default(), &mut chunk_stats,
+                        Some(&mut state),
+                    );
+                    state.finish_pass(&geo, &cur, &next);
+                    std::mem::swap(&mut cur, &mut next);
+                }
+                // bring the grid up to the final positions incrementally,
+                // then diff against a from-scratch build
+                grid.refresh(&exec, &cur, state.moved_flags());
+                let fresh = CellGrid::build(&Executor::sequential(), geo, &cur);
+                let tag = format!("{variant:?} workers {workers}");
+                prop_assert_eq!(grid.num_cells(), fresh.num_cells(), "{}", tag);
+                prop_assert_eq!(grid.point_cell(), fresh.point_cell(), "{}", tag);
+                prop_assert_eq!(grid.point_order(), fresh.point_order(), "{}", tag);
+                for c in 0..grid.num_cells() {
+                    prop_assert_eq!(grid.cell_key(c), fresh.cell_key(c), "{} cell {}", tag, c);
+                    prop_assert_eq!(grid.cell_points(c), fresh.cell_points(c), "{} cell {}", tag, c);
+                    prop_assert_eq!(
+                        bits(grid.sin_sums(c)), bits(fresh.sin_sums(c)),
+                        "{} cell {} sin", tag, c
+                    );
+                    prop_assert_eq!(
+                        bits(grid.cos_sums(c)), bits(fresh.cos_sums(c)),
+                        "{} cell {} cos", tag, c
+                    );
+                }
+                for s in 0..n {
+                    prop_assert_eq!(
+                        bits(grid.slot_sin(s)), bits(fresh.slot_sin(s)),
+                        "{} slot {}", tag, s
+                    );
+                    prop_assert_eq!(
+                        bits(grid.slot_cos(s)), bits(fresh.slot_cos(s)),
+                        "{} slot {}", tag, s
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clustering_is_identical_with_incremental_on_and_off(
+        raw in prop::collection::vec(0.0f64..=1.0, 32..=160),
+        dim in 2usize..=4,
+    ) {
+        // the work-skipping machinery must be invisible in the output:
+        // same labels, same iteration count, bitwise-identical final
+        // coordinates, at every worker count
+        use egg_sync::core::egg::update::UpdateOptions;
+        let coords: Vec<f64> = raw[..raw.len() / dim * dim].to_vec();
+        let n = coords.len() / dim;
+        prop_assume!(n > 0);
+        let data = Dataset::from_coords(coords, dim);
+        let eps = 0.1 * (dim as f64).sqrt();
+        for workers in [1usize, 4, 8] {
+            let mut on = EggSync::host(eps, Some(workers));
+            on.options = UpdateOptions { use_incremental: true, ..UpdateOptions::default() };
+            let mut off = EggSync::host(eps, Some(workers));
+            off.options = UpdateOptions { use_incremental: false, ..UpdateOptions::default() };
+            let run_on = on.cluster(&data);
+            let run_off = off.cluster(&data);
+            prop_assert_eq!(run_on.labels, run_off.labels, "workers {}", workers);
+            prop_assert_eq!(run_on.iterations, run_off.iterations, "workers {}", workers);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(
+                bits(run_on.final_coords.coords()),
+                bits(run_off.final_coords.coords()),
                 "workers {}", workers
             );
         }
