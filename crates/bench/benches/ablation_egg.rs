@@ -1,19 +1,23 @@
 //! Ablation — EGG-SynC's individual optimizations.
 //!
-//! Toggles the three structural optimizations DESIGN.md calls out:
+//! Toggles the structural optimizations DESIGN.md calls out:
 //!
 //! * the per-cell sin/cos **summaries** (§4.3.1) that let fully covered
 //!   cells be consumed without touching their points,
 //! * the **precomputed surrounding non-empty cells** (§4.2.5) that stop
-//!   threads from probing empty space, and
+//!   threads from probing empty space,
 //! * the per-point **trig tables** that replace every per-pair
-//!   `sin(q − p)` in the partial-cell path with an angle-addition FMA.
+//!   `sin(q − p)` in the partial-cell path with an angle-addition FMA,
+//! * the **incremental grid maintenance** that re-bins only movers and
+//!   skips cells whose whole ε-reach is stationary, and
+//! * the **SIMD lane kernels** that stripe four trig-table rows per step
+//!   through the partial-cell pair term.
 //!
 //! All combinations produce identical clusterings (enforced by the test
-//! suite); this bench quantifies what each trick buys. The second group
-//! isolates the trig-table toggle on the paper-scale n=100k, d=4 workload
-//! (shrunk by `EGG_BENCH_SCALE` in quick mode) on the host engine, where
-//! the transcendental cost is purely wall-clock.
+//! suite); this bench quantifies what each trick buys. The later groups
+//! isolate single toggles on the paper-scale n=100k, d=4 workload (shrunk
+//! by `EGG_BENCH_SCALE` in quick mode) on the host engine, where every
+//! cost is purely wall-clock.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use egg_bench::{append_bench_ledger, bench_ledger_row, default_synthetic, measure, scaled};
@@ -124,6 +128,7 @@ fn bench_incremental_grid_100k_d4(c: &mut Criterion) {
                     } else {
                         None
                     },
+                    UpdateOptions::default().use_simd,
                 );
             if incremental {
                 state.finish_pass(&geometry, &coords_cur, &coords_next);
@@ -207,6 +212,157 @@ fn bench_incremental_grid_100k_d4(c: &mut Criterion) {
     }
 }
 
+/// SIMD lane kernels vs the scalar oracle on the paper-scale n=100k, d=4
+/// workload, host engine.
+///
+/// Besides the criterion timings, this harness drives the iteration loop
+/// by hand to isolate the *pair-term stage* the lane kernels target: the
+/// update runs with summaries off, so every overlapping cell goes through
+/// the partial-cell pair term (with summaries on the fully-covered fast
+/// path consumes most cells and the pair term is a sliver of the update).
+/// The loop is capped at [`SIMD_STAGE_ITERS`] iterations — per-iteration
+/// cost is stationary, and the cap keeps the full-scale (n=100k,
+/// summaries-off) configuration bounded. The harness asserts the SIMD
+/// output is bitwise identical across 1/4/8 workers and within 1e-9 of
+/// the scalar oracle, prints the simd-off/simd-on ratio, and appends a
+/// ledger row per mode to `BENCH_egg.json`.
+fn bench_simd_update_100k_d4(c: &mut Criterion) {
+    use egg_sync_core::egg::termination::second_term_holds_host;
+    use egg_sync_core::egg::update::egg_update_host;
+    use egg_sync_core::exec::Executor;
+    use egg_sync_core::grid::{CellGrid, GridGeometry, GridVariant};
+
+    /// Iteration cap of the hand-driven pair-term stage measurement.
+    const SIMD_STAGE_ITERS: usize = 12;
+
+    let n = scaled(100_000);
+    let dim = 4;
+    let data = egg_data::generator::GaussianSpec {
+        n,
+        dim,
+        ..egg_data::generator::GaussianSpec::default()
+    }
+    .generate_normalized()
+    .0;
+    let eps = 0.2;
+
+    // update-stage seconds of one full clustering run, plus the final
+    // coordinate bits for the identity/tolerance checks
+    let update_run = |threads: usize, use_simd: bool| {
+        let exec = Executor::new(Some(threads));
+        let geometry = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+        let mut coords_cur = data.coords().to_vec();
+        let mut coords_next = vec![0.0f64; n * dim];
+        let mut grid = CellGrid::new(geometry);
+        let mut chunk_stats = Vec::new();
+        let options = UpdateOptions {
+            use_simd,
+            use_incremental: false,
+            use_summaries: false,
+            ..UpdateOptions::default()
+        };
+        let mut update_secs = 0.0f64;
+        let mut iterations = 0usize;
+        loop {
+            grid.refresh(&exec, &coords_cur, None);
+            let t0 = std::time::Instant::now();
+            let (first_term, _) = egg_update_host(
+                &exec,
+                &grid,
+                &coords_cur,
+                &mut coords_next,
+                eps,
+                options,
+                &mut chunk_stats,
+                None,
+            );
+            update_secs += t0.elapsed().as_secs_f64();
+            let done = first_term
+                && second_term_holds_host(&exec, &grid, &coords_cur, eps, None, use_simd);
+            std::mem::swap(&mut coords_cur, &mut coords_next);
+            iterations += 1;
+            if done || iterations >= SIMD_STAGE_ITERS {
+                break;
+            }
+        }
+        let bits: Vec<u64> = coords_cur.iter().map(|x| x.to_bits()).collect();
+        (update_secs, bits, iterations)
+    };
+
+    println!("=== egg_simd_100k_d4 (n={n}, d={dim}) ===");
+    let (scalar_secs, scalar_bits, scalar_iters) = update_run(1, false);
+    let mut simd_bits_t1: Option<Vec<u64>> = None;
+    for threads in [1, 4, 8] {
+        let (simd_secs, bits, iters) = update_run(threads, true);
+        assert_eq!(scalar_iters, iters, "threads {threads}: iteration counts");
+        match &simd_bits_t1 {
+            None => {
+                let ratio = if simd_secs > 0.0 {
+                    scalar_secs / simd_secs
+                } else {
+                    f64::INFINITY
+                };
+                println!(
+                    "  t1: pair-term stage (summaries off)  scalar {scalar_secs:.4}s  \
+                     simd {simd_secs:.4}s  ({ratio:.2}x, {iters} iterations)"
+                );
+                // scalar stays the oracle: lane reassociation only
+                for (a, b) in scalar_bits.iter().zip(&bits) {
+                    let (a, b) = (f64::from_bits(*a), f64::from_bits(*b));
+                    assert!(
+                        (a - b).abs() <= 1e-9,
+                        "simd diverged from scalar: {a} vs {b}"
+                    );
+                }
+                simd_bits_t1 = Some(bits);
+            }
+            Some(reference) => assert_eq!(
+                reference, &bits,
+                "threads {threads}: SIMD output is not worker-count invariant"
+            ),
+        }
+    }
+
+    // criterion group + ledger rows over whole clustering runs
+    let mut group = c.benchmark_group("egg_simd_100k_d4");
+    group.sample_size(10);
+    let mut ledger_rows = Vec::new();
+    for (label, use_simd) in [("simd", true), ("scalar", false)] {
+        let mut algo = EggSync::host(eps, Some(1));
+        algo.options = UpdateOptions {
+            use_simd,
+            ..UpdateOptions::default()
+        };
+        let m = measure(&algo, &data, n as f64);
+        ledger_rows.push(bench_ledger_row(
+            "ablation_simd",
+            &format!("EGG-host/{label}"),
+            n,
+            dim,
+            m.engine_threads.unwrap_or(1),
+            m.iterations,
+            m.wall_seconds,
+            &m.stages,
+            &m.counters,
+        ));
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut algo = EggSync::host(eps, Some(1));
+                algo.options = UpdateOptions {
+                    use_simd,
+                    ..UpdateOptions::default()
+                };
+                algo.cluster(&data)
+            })
+        });
+    }
+    group.finish();
+    match append_bench_ledger(&ledger_rows) {
+        Ok(ledger) => println!("(ledger appended to {})", ledger.display()),
+        Err(e) => eprintln!("warning: could not append BENCH_egg.json: {e}"),
+    }
+}
+
 fn bench_trig_tables_100k_d4(c: &mut Criterion) {
     let n = scaled(100_000);
     let data = egg_data::generator::GaussianSpec {
@@ -238,6 +394,7 @@ criterion_group!(
     benches,
     bench_toggles,
     bench_trig_tables_100k_d4,
+    bench_simd_update_100k_d4,
     bench_incremental_grid_100k_d4
 );
 criterion_main!(benches);

@@ -1,11 +1,15 @@
 //! Micro — the simulated device's parallel primitives (§4.2.1's
 //! size → scan → populate idiom): inclusive scan, reduction, stream
 //! compaction, and the raw atomic-increment list-claim pattern — plus the
-//! raw cost gap the trig-table fast path exploits: per-pair `sin(q − p)`
-//! vs. the angle-addition FMA over precomputed sin/cos tables.
+//! raw cost gaps the two fast paths exploit: per-pair `sin(q − p)` vs.
+//! the angle-addition FMA over precomputed sin/cos tables, and the scalar
+//! pair-term/distance loops vs. their 4-lane kernel editions.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use egg_gpu_sim::{grid_for, primitives, Device, DeviceConfig};
+use egg_sync_core::kernels::{
+    avx2_available, distance_sq_lanes, pair_term_block, pair_term_cell, F64x4, Mask4, LANES,
+};
 
 fn bench_primitives(c: &mut Criterion) {
     let device = Device::new(DeviceConfig::default());
@@ -90,5 +94,126 @@ fn bench_pair_sin(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_primitives, bench_pair_sin);
+/// The lane kernels against their scalar equivalents on a synthetic
+/// d=4 workload shaped like the partial-cell hot loop: 4096 neighbor rows
+/// in lane-blocked layout, every block masked fully in-range (the common
+/// case away from cell boundaries).
+fn bench_lane_kernels(c: &mut Criterion) {
+    const DIM: usize = 4;
+    const ROWS: usize = 4096;
+    let blocks = ROWS / LANES;
+    // dimension-major lane blocks, deterministic pseudo-random contents
+    let val = |k: usize| (k as u64).wrapping_mul(2654435761) as f64 / u32::MAX as f64;
+    let coords: Vec<f64> = (0..blocks * DIM * LANES).map(val).collect();
+    let sins: Vec<f64> = coords.iter().map(|x| x.sin()).collect();
+    let coss: Vec<f64> = coords.iter().map(|x| x.cos()).collect();
+    let p = [0.41f64, 0.43, 0.47, 0.53];
+    let (sin_p, cos_p) = (p.map(f64::sin), p.map(f64::cos));
+    let eps_sq = 0.04f64;
+
+    let mut group = c.benchmark_group("lane_kernels_4k_rows_d4");
+    group.sample_size(20);
+    group.bench_function("pair_term_scalar", |b| {
+        b.iter(|| {
+            let mut sums = [0.0f64; DIM];
+            let mut hits = 0u32;
+            for r in 0..ROWS {
+                let (blk, j) = (r / LANES, r % LANES);
+                let at = blk * DIM * LANES;
+                let mut d_sq = 0.0;
+                for i in 0..DIM {
+                    let d = coords[at + i * LANES + j] - p[i];
+                    d_sq += d * d;
+                }
+                if d_sq <= eps_sq {
+                    hits += 1;
+                    for (i, s) in sums.iter_mut().enumerate() {
+                        let k = at + i * LANES + j;
+                        *s += sins[k] * cos_p[i] - coss[k] * sin_p[i];
+                    }
+                }
+            }
+            (sums, hits)
+        })
+    });
+    for (label, use_avx2) in [("pair_term_lanes", false), ("pair_term_lanes_avx2", true)] {
+        if use_avx2 && !avx2_available() {
+            continue;
+        }
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut acc = [F64x4::ZERO; DIM];
+                let mut hits = 0u32;
+                for blk in 0..blocks {
+                    let at = blk * DIM * LANES;
+                    hits += pair_term_block(
+                        &coords[at..at + DIM * LANES],
+                        &sins[at..at + DIM * LANES],
+                        &coss[at..at + DIM * LANES],
+                        &p,
+                        &sin_p,
+                        &cos_p,
+                        eps_sq,
+                        Mask4([true; LANES]),
+                        &mut acc,
+                        use_avx2,
+                    );
+                }
+                (acc, hits)
+            })
+        });
+    }
+    // one dispatch per "cell" (all rows at once) — the hot loop's form;
+    // contrast with the per-block cases above, where the `#[target_feature]`
+    // call boundary costs a real function call every 4 rows
+    for (label, use_avx2) in [("pair_term_cell", false), ("pair_term_cell_avx2", true)] {
+        if use_avx2 && !avx2_available() {
+            continue;
+        }
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut acc = [F64x4::ZERO; DIM];
+                let hits = pair_term_cell(
+                    &coords, &sins, &coss, DIM, 0, ROWS, &p, &sin_p, &cos_p, eps_sq, &mut acc,
+                    use_avx2,
+                );
+                (acc, hits)
+            })
+        });
+    }
+    group.bench_function("distance_sq_scalar", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for r in 0..ROWS {
+                let (blk, j) = (r / LANES, r % LANES);
+                let at = blk * DIM * LANES;
+                let mut d_sq = 0.0;
+                for i in 0..DIM {
+                    let d = coords[at + i * LANES + j] - p[i];
+                    d_sq += d * d;
+                }
+                acc += d_sq;
+            }
+            acc
+        })
+    });
+    group.bench_function("distance_sq_lanes", |b| {
+        b.iter(|| {
+            let mut acc = F64x4::ZERO;
+            for blk in 0..blocks {
+                let at = blk * DIM * LANES;
+                acc += distance_sq_lanes(&coords[at..at + DIM * LANES], &p);
+            }
+            acc.reduce_sum()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_primitives,
+    bench_pair_sin,
+    bench_lane_kernels
+);
 criterion_main!(benches);

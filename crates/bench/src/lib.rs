@@ -108,6 +108,8 @@ pub fn bench_ledger_row(
         "moved_points": counters.moved_points,
         "dirty_cells": counters.dirty_cells,
         "cells_skipped": counters.cells_skipped,
+        "simd_lanes": counters.simd_lanes,
+        "simd_remainder_lanes": counters.simd_remainder_lanes,
     });
     serde_json::json!({
         "experiment": experiment,

@@ -144,14 +144,21 @@ mod tests {
         let dim = result.final_coords.dim();
         for i in 0..data.len() {
             for j in (i + 1)..data.len() {
-                let d = egg_spatial::distance::euclidean(
+                // radius-only comparisons: within() skips the square root
+                let (a, b) = (
                     egg_spatial::distance::row(coords, dim, i),
                     egg_spatial::distance::row(coords, dim, j),
                 );
                 if result.labels[i] == result.labels[j] {
-                    assert!(d <= 0.05 / 2.0, "same cluster but {d} apart");
+                    assert!(
+                        egg_spatial::distance::within(a, b, 0.05 / 2.0),
+                        "same cluster but points {i} and {j} are apart"
+                    );
                 } else {
-                    assert!(d > 0.05, "different clusters but only {d} apart");
+                    assert!(
+                        !egg_spatial::distance::within(a, b, 0.05),
+                        "different clusters but points {i} and {j} are close"
+                    );
                 }
             }
         }

@@ -14,6 +14,7 @@ use crate::algorithms::gpu_sync::{BLOCK, MAX_DIM};
 use crate::exec::{Executor, POINT_CHUNK};
 use crate::grid::device::seg_start;
 use crate::grid::{CellGrid, DeviceGrid, GridGeometry, PreGrid};
+use crate::kernels::{distance_sq_lanes, LANES};
 use crate::model::delta;
 
 /// Launch the second-term kernel over the state `coords` (the positions the
@@ -217,12 +218,20 @@ fn shell_pair_reaches(
 /// the update pass on the same state: a confined shell point's
 /// ε/2-neighbors are all cell mates, so its partner scan narrows from the
 /// whole reach walk to its own cell (see [`second_term_holds`]).
+///
+/// With `use_simd` the shell scan computes four `q₁` distances per step
+/// through [`distance_sq_lanes`] over the grid's lane-blocked coordinate
+/// table. The lane distances reproduce the scalar accumulation chain bit
+/// for bit, so every shell-membership verdict — and hence the returned
+/// predicate — is identical to the scalar scan; the partner scans stay
+/// scalar (they short-circuit on the first hit and are rarely reached).
 pub fn second_term_holds_host(
     exec: &Executor,
     grid: &CellGrid,
     coords: &[f64],
     epsilon: f64,
     confined: Option<&[bool]>,
+    use_simd: bool,
 ) -> bool {
     let geo = *grid.geometry();
     let dim = geo.dim;
@@ -232,6 +241,24 @@ pub fn second_term_holds_host(
     let shell_sq = shell * shell;
     let half_sq = (epsilon / 2.0) * (epsilon / 2.0);
     let order = grid.point_order();
+    let lane_coords = grid.lane_coords();
+    // q1 hovers in the shell: can one of its ε/2-neighbors drag it
+    // towards p? (the per-shell-point partner scan, shared by both paths)
+    let q1_dragged = |p: &[f64], q1_idx: usize| -> bool {
+        let q1 = &coords[q1_idx * dim..(q1_idx + 1) * dim];
+        match confined {
+            // confined shell point: every ε/2-neighbor is a cell mate, so
+            // scan only q1's own cell
+            Some(conf) if conf[q1_idx] => grid
+                .cell_points(grid.point_cell()[q1_idx] as usize)
+                .iter()
+                .any(|&q2_idx| {
+                    let q2 = &coords[q2_idx as usize * dim..(q2_idx as usize + 1) * dim];
+                    pair_drags(p, q1, q2, eps_sq, half_sq)
+                }),
+            _ => shell_pair_reaches_host(grid, coords, &geo, p, q1, eps_sq, half_sq, dim),
+        }
+    };
     exec.all(n, POINT_CHUNK, |entry| {
         let p_idx = order[entry] as usize;
         let p = &coords[p_idx * dim..(p_idx + 1) * dim];
@@ -240,33 +267,40 @@ pub fn second_term_holds_host(
             if dragged || geo.min_sq_dist_to_cell(p, grid.cell_key(c)) > shell_sq {
                 return;
             }
-            for &q1_idx in grid.cell_points(c) {
-                let q1 = &coords[q1_idx as usize * dim..(q1_idx as usize + 1) * dim];
-                let mut d_sq = 0.0;
-                for i in 0..dim {
-                    let d = q1[i] - p[i];
-                    d_sq += d * d;
+            if use_simd {
+                // four shell-membership distances per step; exact lanes, so
+                // the accepted slots match the scalar scan one for one
+                let slots = grid.cell_range(c);
+                for b in slots.start / LANES..=(slots.end - 1) / LANES {
+                    let at = b * dim * LANES;
+                    let d_sq = distance_sq_lanes(&lane_coords[at..at + dim * LANES], p).to_array();
+                    for (j, &d2) in d_sq.iter().enumerate() {
+                        let slot = b * LANES + j;
+                        if slot < slots.start || slot >= slots.end || d2 <= eps_sq || d2 > shell_sq
+                        {
+                            continue;
+                        }
+                        if q1_dragged(p, order[slot] as usize) {
+                            dragged = true;
+                            return;
+                        }
+                    }
                 }
-                if d_sq <= eps_sq || d_sq > shell_sq {
-                    continue;
-                }
-                // q1 hovers in the shell: can one of its ε/2-neighbors
-                // drag it towards p?
-                let reaches = match confined {
-                    // confined shell point: every ε/2-neighbor is a cell
-                    // mate, so scan only q1's own cell
-                    Some(conf) if conf[q1_idx as usize] => grid
-                        .cell_points(grid.point_cell()[q1_idx as usize] as usize)
-                        .iter()
-                        .any(|&q2_idx| {
-                            let q2 = &coords[q2_idx as usize * dim..(q2_idx as usize + 1) * dim];
-                            pair_drags(p, q1, q2, eps_sq, half_sq)
-                        }),
-                    _ => shell_pair_reaches_host(grid, coords, &geo, p, q1, eps_sq, half_sq, dim),
-                };
-                if reaches {
-                    dragged = true;
-                    return;
+            } else {
+                for &q1_idx in grid.cell_points(c) {
+                    let q1 = &coords[q1_idx as usize * dim..(q1_idx as usize + 1) * dim];
+                    let mut d_sq = 0.0;
+                    for i in 0..dim {
+                        let d = q1[i] - p[i];
+                        d_sq += d * d;
+                    }
+                    if d_sq <= eps_sq || d_sq > shell_sq {
+                        continue;
+                    }
+                    if q1_dragged(p, q1_idx as usize) {
+                        dragged = true;
+                        return;
+                    }
                 }
             }
         });
@@ -364,7 +398,13 @@ mod tests {
         let exec = Executor::new(Some(workers));
         let geo = GridGeometry::new(dim, eps, n, GridVariant::Auto);
         let grid = CellGrid::build(&exec, geo, coords);
-        second_term_holds_host(&exec, &grid, coords, eps, None)
+        let scalar = second_term_holds_host(&exec, &grid, coords, eps, None, false);
+        let simd = second_term_holds_host(&exec, &grid, coords, eps, None, true);
+        assert_eq!(
+            scalar, simd,
+            "SIMD shell scan must match the scalar verdict"
+        );
+        scalar
     }
 
     #[test]

@@ -26,13 +26,15 @@ use crate::algorithms::gpu_sync::{BLOCK, MAX_DIM};
 use crate::exec::{Executor, ScatterWriter, CELL_CHUNK, POINT_CHUNK};
 use crate::grid::{CellGrid, DeviceGrid, GridGeometry, PreGrid};
 use crate::instrument::UpdateCounters;
+use crate::kernels::{avx2_available, pair_term_cell, F64x4, LANES};
 
 use super::super::grid::device::seg_start;
 
 /// Number of `u64` slots in the device-side update-counter buffer consumed
 /// by [`egg_update`] and the grid refresh: `[summary_cells, point_pairs,
-/// sin_calls_avoided, moved_points, dirty_cells, cells_skipped]`.
-pub const COUNTER_SLOTS: usize = 6;
+/// sin_calls_avoided, moved_points, dirty_cells, cells_skipped,
+/// simd_lanes, simd_remainder_lanes]`.
+pub const COUNTER_SLOTS: usize = 8;
 
 /// Read an [`UpdateCounters`] back from a device counter buffer of
 /// [`COUNTER_SLOTS`] slots.
@@ -44,6 +46,8 @@ pub fn counters_from_device(buf: &DeviceBuffer<u64>) -> UpdateCounters {
         moved_points: buf.load(3),
         dirty_cells: buf.load(4),
         cells_skipped: buf.load(5),
+        simd_lanes: buf.load(6),
+        simd_remainder_lanes: buf.load(7),
     }
 }
 
@@ -73,6 +77,25 @@ pub struct UpdateOptions {
     /// bitwise identical to the full-rebuild path; toggling this only
     /// changes how much work each iteration performs.
     pub use_incremental: bool,
+    /// Drive the partial-cell pair term through the 4-lane SIMD kernels
+    /// ([`crate::kernels`]) on the host path, striping four grid-sorted
+    /// trig-table rows per step. Neighbor predicates and counts stay
+    /// **exact** (lane distances accumulate dimension-major, matching the
+    /// scalar chain bitwise); only the pair-term sum is reassociated
+    /// across lanes, so results agree with the scalar oracle to ~1e-9.
+    /// Output is still bitwise identical across worker counts. Requires
+    /// `use_trig_tables`; without it this flag is inert. Defaults to on
+    /// unless the `EGG_FORCE_SCALAR` environment variable is set.
+    pub use_simd: bool,
+}
+
+/// Process-wide default for [`UpdateOptions::use_simd`]: on, unless the
+/// `EGG_FORCE_SCALAR` environment variable is set (the CI leg that
+/// exercises the scalar oracle end to end). Cached so that
+/// `UpdateOptions::default()` stays allocation-free on the steady path.
+fn simd_default() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("EGG_FORCE_SCALAR").is_none())
 }
 
 impl Default for UpdateOptions {
@@ -82,6 +105,7 @@ impl Default for UpdateOptions {
             use_pregrid: true,
             use_trig_tables: true,
             use_incremental: true,
+            use_simd: simd_default(),
         }
     }
 }
@@ -353,6 +377,18 @@ pub fn egg_update(
                     let pts_lo = grid.cell_start(c) as usize;
                     let pts_hi = grid.i_ends.load(c) as usize;
                     local.point_pairs += (pts_hi - pts_lo) as u64;
+                    if options.use_simd && options.use_trig_tables {
+                        // Lane accounting mirrors the host SIMD path: on a
+                        // real GPU every pair occupies a SIMD lane. Counted
+                        // as the minimal whole 4-lane blocks covering the
+                        // cell — a pure function of the cell's *size*, so
+                        // host and device totals match even though their
+                        // CSR layouts align cells differently.
+                        let len = pts_hi - pts_lo;
+                        let lanes = (len.div_ceil(4) * 4) as u64;
+                        local.simd_lanes += lanes;
+                        local.simd_remainder_lanes += lanes - len as u64;
+                    }
                     for e in pts_lo..pts_hi {
                         let q_idx = grid.i_points.load(e) as usize;
                         let mut q = [0.0f64; MAX_DIM];
@@ -424,6 +460,12 @@ pub fn egg_update(
         }
         if local.sin_calls_avoided != 0 {
             counters.atomic_add(2, local.sin_calls_avoided);
+        }
+        if local.simd_lanes != 0 {
+            counters.atomic_add(6, local.simd_lanes);
+        }
+        if local.simd_remainder_lanes != 0 {
+            counters.atomic_add(7, local.simd_remainder_lanes);
         }
     });
 }
@@ -526,6 +568,10 @@ pub fn egg_update_host(
         None => None,
     };
     let inc = &inc;
+    // lane-kernel dispatch, resolved once per pass (not per block)
+    let use_lane = options.use_simd && options.use_trig_tables;
+    let use_avx2 = use_lane && avx2_available();
+    let (lane_sin, lane_cos, lane_coords) = (grid.lane_sin(), grid.lane_cos(), grid.lane_coords());
     let writer = ScatterWriter::new(next);
     let writer = &writer;
     exec.map_ranges_into(n, POINT_CHUNK, chunk_stats, |range| {
@@ -564,6 +610,9 @@ pub fn egg_update_host(
                 (&sin_buf[..dim], &cos_buf[..dim])
             };
             let mut sums = [0.0f64; MAX_DIM];
+            // per-dimension lane accumulators of the SIMD pair-term path,
+            // reduced into `sums` once after the whole reach walk
+            let mut lane_acc = [F64x4::ZERO; MAX_DIM];
             let mut neighbors = 0u64;
             grid.for_each_cell_in_reach(geo.outer_id_of_point(p), |c| {
                 let key = grid.cell_key(c);
@@ -581,6 +630,37 @@ pub fn egg_update_host(
                     neighbors += len;
                     counters.summary_cells += 1;
                     counters.sin_calls_avoided += dim as u64 * len;
+                } else if use_lane {
+                    let slots = grid.cell_range(c);
+                    counters.point_pairs += slots.len() as u64;
+                    // stripe the cell's slot range in whole lane blocks of
+                    // the lane-blocked tables; the first/last block mask
+                    // off slots outside the range. Lane distances are
+                    // exact, so the neighbor count matches the scalar path
+                    // bit for bit — only the pair-term sum reassociates.
+                    // (Lane counters use the minimal covering block count,
+                    // a pure function of the cell size shared with the
+                    // device kernel; a straddling range may touch one
+                    // extra block.)
+                    let lanes = (slots.len().div_ceil(LANES) * LANES) as u64;
+                    counters.simd_lanes += lanes;
+                    counters.simd_remainder_lanes += lanes - slots.len() as u64;
+                    let hits = pair_term_cell(
+                        lane_coords,
+                        lane_sin,
+                        lane_cos,
+                        dim,
+                        slots.start,
+                        slots.end,
+                        p,
+                        sin_p,
+                        cos_p,
+                        eps_sq,
+                        &mut lane_acc[..dim],
+                        use_avx2,
+                    );
+                    neighbors += u64::from(hits);
+                    counters.sin_calls_avoided += dim as u64 * u64::from(hits);
                 } else {
                     let slots = grid.cell_range(c);
                     counters.point_pairs += slots.len() as u64;
@@ -613,6 +693,13 @@ pub fn egg_update_host(
                     }
                 }
             });
+            if use_lane {
+                // one ordered cross-lane fold per dimension — the sole
+                // reassociation relative to the scalar oracle
+                for i in 0..dim {
+                    sums[i] += lane_acc[i].reduce_sum();
+                }
+            }
             let inv = 1.0 / neighbors as f64;
             // disjoint rows: `order` is a permutation of the point indices
             let out = unsafe { writer.row_mut(p_idx * dim, dim) };

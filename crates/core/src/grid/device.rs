@@ -186,10 +186,14 @@ impl GridWorkspace {
             point_slot: device.alloc(n),
             point_cell: device.alloc(n),
             cell_fill: device.alloc(n),
-            sin_sums: device.alloc(nd),
-            cos_sums: device.alloc(nd),
-            trig_sin: device.alloc(nd),
-            trig_cos: device.alloc(nd),
+            // lane-padded to a LANES multiple like the host grid's trig
+            // and summary storage; the padding is zero-initialized and
+            // never written, so kernels and bitwise comparisons see the
+            // same `dim`-stride rows as before
+            sin_sums: device.alloc(crate::kernels::lane_pad(nd)),
+            cos_sums: device.alloc(crate::kernels::lane_pad(nd)),
+            trig_sin: device.alloc(crate::kernels::lane_pad(nd)),
+            trig_cos: device.alloc(crate::kernels::lane_pad(nd)),
             pre_list: device.alloc(m.max(1)),
             pre_index: device.alloc(m),
             pre_sizes: device.alloc(m.max(1)),

@@ -14,10 +14,11 @@
 
 use std::collections::HashMap;
 
-use egg_spatial::distance::{row, squared_euclidean};
+use egg_spatial::distance::{row, within_sq};
 
 use crate::algorithms::gpu_sync::MAX_DIM;
 use crate::exec::{Executor, ScatterWriter, CELL_CHUNK, POINT_CHUNK};
+use crate::kernels::{accumulate_row, lane_pad, LANES};
 
 use super::geometry::GridGeometry;
 
@@ -106,8 +107,9 @@ impl<'a> HostGrid<'a> {
                 // `Vec<u64>: Borrow<[u64]>` — the lookup borrows the key
                 if let Some(points) = self.cells.get(&key[..dim]) {
                     for &q_idx in points {
-                        if squared_euclidean(p, row(self.coords, dim, q_idx as usize)) <= radius_sq
-                        {
+                        // blocked early-exit predicate; exact, so the
+                        // result set matches the full-distance scan
+                        if within_sq(p, row(self.coords, dim, q_idx as usize), radius_sq) {
                             out.push(q_idx);
                         }
                     }
@@ -155,15 +157,33 @@ pub struct CellGrid {
     cell_points: Vec<u32>,
     /// Compacted cell index of every point.
     point_cell: Vec<u32>,
-    /// Per-cell `[Σsin_0.. Σsin_{d-1}, Σcos_0.. Σcos_{d-1}]`.
+    /// Per-cell `[Σsin_0.. Σsin_{d-1}, Σcos_0.. Σcos_{d-1}]`, rows padded
+    /// to [`CellGrid::trig_stride`] with zeros so the accumulation runs in
+    /// whole [`LANES`]-wide steps.
     trig_sums: Vec<f64>,
     /// `[sin_0.. sin_{d-1}, cos_0.. cos_{d-1}]` of the raw coordinates,
     /// **in grid-sorted slot order** (row `s` belongs to point
     /// `cell_points[s]`) — the iteration's trig table, shared by the
     /// summary construction and the update kernel's angle-addition fast
     /// path. Slot order makes both consumers stream it sequentially: a
-    /// cell's rows are one contiguous block.
+    /// cell's rows are one contiguous block. Rows are padded to
+    /// [`CellGrid::trig_stride`]; the pad elements are never written, so
+    /// they stay zero from the initial sizing.
     point_trig: Vec<f64>,
+    /// Lane-blocked sin table for the SIMD pair-term kernel: block `b`
+    /// covers grid-sorted slots `4b..4b+4`, and `lane_sin[(b·dim + i)·4 +
+    /// j]` is `sin` of dimension `i` of the point in slot `4b + j` (zero
+    /// in the padding lanes past `n`). A pure relayout of `point_trig`,
+    /// refreshed by copy — never by recomputing transcendentals — so it is
+    /// bitwise consistent with the trig table by construction.
+    lane_sin: Vec<f64>,
+    /// Lane-blocked cos table, same layout as `lane_sin`.
+    lane_cos: Vec<f64>,
+    /// Lane-blocked raw coordinates in grid-sorted slot order, same layout
+    /// as `lane_sin` — the distance side of the SIMD kernels reads four
+    /// neighbors contiguously instead of gathering through the order
+    /// permutation.
+    lane_coords: Vec<f64>,
     /// `(outer id, lo, hi)` cell ranges in sorted cell order, ascending by
     /// outer id (binary-searched by [`CellGrid::for_each_cell_in_reach`]).
     outer_index: Vec<(u64, u32, u32)>,
@@ -222,6 +242,9 @@ impl CellGrid {
             point_cell: Vec::new(),
             trig_sums: Vec::new(),
             point_trig: Vec::new(),
+            lane_sin: Vec::new(),
+            lane_cos: Vec::new(),
+            lane_coords: Vec::new(),
             outer_index: Vec::new(),
             point_keys: Vec::new(),
             point_outer: Vec::new(),
@@ -299,8 +322,10 @@ impl CellGrid {
         // Pass 3 — trig rows in grid-sorted slot order: slot `s` holds
         // sin/cos of point `cell_points[s]`, so a cell's rows form one
         // contiguous block that the summary pass and the update's pair
-        // loop stream sequentially.
-        self.point_trig.resize(n * 2 * dim, 0.0);
+        // loop stream sequentially. Rows are lane-padded; only the live
+        // `2·dim` prefix is ever written, so the pad stays zero.
+        let ts = self.trig_stride();
+        self.point_trig.resize(n * ts, 0.0);
         {
             let order = &self.cell_points;
             let trig = ScatterWriter::new(&mut self.point_trig);
@@ -309,7 +334,7 @@ impl CellGrid {
                 for slot in range {
                     let p = row(coords, dim, order[slot] as usize);
                     // each slot occurs in exactly one chunk
-                    let t = unsafe { trig.row_mut(slot * 2 * dim, 2 * dim) };
+                    let t = unsafe { trig.row_mut(slot * ts, ts) };
                     for i in 0..dim {
                         t[i] = p[i].sin();
                         t[dim + i] = p[i].cos();
@@ -359,30 +384,27 @@ impl CellGrid {
 
         // Pass 5 — per-cell Σsin/Σcos from the trig table, parallel over
         // cells; each cell's contiguous slot rows are accumulated
-        // sequentially in slot order, so the sums are bitwise-reproducible.
+        // sequentially in slot order, so the sums are bitwise-reproducible
+        // (the lane-wide `accumulate_row` keeps every element's addition
+        // chain identical to the scalar loop).
         self.trig_sums.clear();
-        self.trig_sums.resize(num_cells * 2 * dim, 0.0);
+        self.trig_sums.resize(num_cells * ts, 0.0);
         {
             let cell_starts = &self.cell_starts;
             let point_trig = &self.point_trig;
-            exec.map_chunks_mut(
-                &mut self.trig_sums,
-                CELL_CHUNK * 2 * dim,
-                |offset, chunk| {
-                    let first = offset / (2 * dim);
-                    for (r, sums) in chunk.chunks_exact_mut(2 * dim).enumerate() {
-                        let c = first + r;
-                        let lo = cell_starts[c] as usize;
-                        let hi = cell_starts[c + 1] as usize;
-                        for t in point_trig[lo * 2 * dim..hi * 2 * dim].chunks_exact(2 * dim) {
-                            for i in 0..2 * dim {
-                                sums[i] += t[i];
-                            }
-                        }
+            exec.map_chunks_mut(&mut self.trig_sums, CELL_CHUNK * ts, |offset, chunk| {
+                let first = offset / ts;
+                for (r, sums) in chunk.chunks_exact_mut(ts).enumerate() {
+                    let c = first + r;
+                    let lo = cell_starts[c] as usize;
+                    let hi = cell_starts[c + 1] as usize;
+                    for t in point_trig[lo * ts..hi * ts].chunks_exact(ts) {
+                        accumulate_row(sums, t);
                     }
-                },
-            );
+                }
+            });
         }
+        self.rebuild_lane_tables(exec, coords);
         self.has_state = true;
     }
 
@@ -495,6 +517,7 @@ impl CellGrid {
     /// of cells containing movers are recomputed, in place.
     fn refresh_in_place(&mut self, exec: &Executor, coords: &[f64], moved: &[bool]) -> u64 {
         let dim = self.geometry.dim;
+        let ts = self.trig_stride();
         let n = moved.len();
         let num_cells = self.num_cells();
 
@@ -511,7 +534,7 @@ impl CellGrid {
                     }
                     let p = row(coords, dim, p_idx);
                     // each slot occurs in exactly one chunk
-                    let t = unsafe { trig.row_mut(slot * 2 * dim, 2 * dim) };
+                    let t = unsafe { trig.row_mut(slot * ts, ts) };
                     for i in 0..dim {
                         t[i] = p[i].sin();
                         t[dim + i] = p[i].cos();
@@ -540,28 +563,23 @@ impl CellGrid {
             let cell_starts = &self.cell_starts;
             let point_trig = &self.point_trig;
             let cell_dirty = &self.cell_dirty;
-            exec.map_chunks_mut(
-                &mut self.trig_sums,
-                CELL_CHUNK * 2 * dim,
-                |offset, chunk| {
-                    let first = offset / (2 * dim);
-                    for (r, sums) in chunk.chunks_exact_mut(2 * dim).enumerate() {
-                        let c = first + r;
-                        if !cell_dirty[c] {
-                            continue;
-                        }
-                        sums.fill(0.0);
-                        let lo = cell_starts[c] as usize;
-                        let hi = cell_starts[c + 1] as usize;
-                        for t in point_trig[lo * 2 * dim..hi * 2 * dim].chunks_exact(2 * dim) {
-                            for i in 0..2 * dim {
-                                sums[i] += t[i];
-                            }
-                        }
+            exec.map_chunks_mut(&mut self.trig_sums, CELL_CHUNK * ts, |offset, chunk| {
+                let first = offset / ts;
+                for (r, sums) in chunk.chunks_exact_mut(ts).enumerate() {
+                    let c = first + r;
+                    if !cell_dirty[c] {
+                        continue;
                     }
-                },
-            );
+                    sums.fill(0.0);
+                    let lo = cell_starts[c] as usize;
+                    let hi = cell_starts[c + 1] as usize;
+                    for t in point_trig[lo * ts..hi * ts].chunks_exact(ts) {
+                        accumulate_row(sums, t);
+                    }
+                }
+            });
         }
+        self.rebuild_lane_tables(exec, coords);
         dirty_cells
     }
 
@@ -710,7 +728,8 @@ impl CellGrid {
         // trig pass into the double buffer: movers are recomputed, stayers'
         // rows are relocated from their old slots — bitwise the same values
         // a fresh build would compute from the same coordinates
-        self.trig_scratch.resize(n * 2 * dim, 0.0);
+        let ts = self.trig_stride();
+        self.trig_scratch.resize(n * ts, 0.0);
         {
             let order = &self.merge_scratch;
             let old_slot = &self.point_slot;
@@ -721,7 +740,7 @@ impl CellGrid {
                 for slot in range {
                     let p_idx = order[slot] as usize;
                     // each slot occurs in exactly one chunk
-                    let t = unsafe { trig.row_mut(slot * 2 * dim, 2 * dim) };
+                    let t = unsafe { trig.row_mut(slot * ts, ts) };
                     if moved[p_idx] {
                         let p = row(coords, dim, p_idx);
                         for i in 0..dim {
@@ -730,7 +749,7 @@ impl CellGrid {
                         }
                     } else {
                         let s = old_slot[p_idx] as usize;
-                        t.copy_from_slice(&old_trig[s * 2 * dim..(s + 1) * 2 * dim]);
+                        t.copy_from_slice(&old_trig[s * ts..(s + 1) * ts]);
                     }
                 }
             });
@@ -740,35 +759,29 @@ impl CellGrid {
         // their full membership in slot order, clean cells copy their old
         // row (identical membership, identical rows ⇒ identical bits)
         self.sums_scratch.clear();
-        self.sums_scratch.resize(num_cells * 2 * dim, 0.0);
+        self.sums_scratch.resize(num_cells * ts, 0.0);
         {
             let cell_starts = &self.starts_scratch;
             let point_trig = &self.trig_scratch;
             let cell_dirty = &self.cell_dirty;
             let clean_src = &self.clean_src;
             let old_sums = &self.trig_sums;
-            exec.map_chunks_mut(
-                &mut self.sums_scratch,
-                CELL_CHUNK * 2 * dim,
-                |offset, chunk| {
-                    let first = offset / (2 * dim);
-                    for (r, sums) in chunk.chunks_exact_mut(2 * dim).enumerate() {
-                        let c = first + r;
-                        if cell_dirty[c] {
-                            let lo = cell_starts[c] as usize;
-                            let hi = cell_starts[c + 1] as usize;
-                            for t in point_trig[lo * 2 * dim..hi * 2 * dim].chunks_exact(2 * dim) {
-                                for i in 0..2 * dim {
-                                    sums[i] += t[i];
-                                }
-                            }
-                        } else {
-                            let src = clean_src[c] as usize;
-                            sums.copy_from_slice(&old_sums[src * 2 * dim..(src + 1) * 2 * dim]);
+            exec.map_chunks_mut(&mut self.sums_scratch, CELL_CHUNK * ts, |offset, chunk| {
+                let first = offset / ts;
+                for (r, sums) in chunk.chunks_exact_mut(ts).enumerate() {
+                    let c = first + r;
+                    if cell_dirty[c] {
+                        let lo = cell_starts[c] as usize;
+                        let hi = cell_starts[c + 1] as usize;
+                        for t in point_trig[lo * ts..hi * ts].chunks_exact(ts) {
+                            accumulate_row(sums, t);
                         }
+                    } else {
+                        let src = clean_src[c] as usize;
+                        sums.copy_from_slice(&old_sums[src * ts..(src + 1) * ts]);
                     }
-                },
-            );
+                }
+            });
         }
 
         // promote the double buffers
@@ -778,12 +791,90 @@ impl CellGrid {
         std::mem::swap(&mut self.point_slot, &mut self.point_slot_scratch);
         std::mem::swap(&mut self.point_trig, &mut self.trig_scratch);
         std::mem::swap(&mut self.trig_sums, &mut self.sums_scratch);
+        self.rebuild_lane_tables(exec, coords);
         dirty_cells
+    }
+
+    /// Rebuild the lane-blocked SoA tables (`lane_sin`, `lane_cos`,
+    /// `lane_coords`) from the freshly maintained trig table and the
+    /// grid-sorted order. A pure relayout — block `b` copies the rows of
+    /// slots `4b..4b+4` into dimension-major lane groups, padding lanes
+    /// past `n` stay zero — so the tables are bitwise consistent with
+    /// `point_trig`/`coords` whether the grid was rebuilt or refreshed,
+    /// and the pass is deterministic for any worker count.
+    fn rebuild_lane_tables(&mut self, exec: &Executor, coords: &[f64]) {
+        let dim = self.geometry.dim;
+        let ts = self.trig_stride();
+        let n = self.cell_points.len();
+        let n_blocks = n.div_ceil(LANES);
+        let len = n_blocks * dim * LANES;
+        self.lane_sin.clear();
+        self.lane_sin.resize(len, 0.0);
+        self.lane_cos.clear();
+        self.lane_cos.resize(len, 0.0);
+        self.lane_coords.clear();
+        self.lane_coords.resize(len, 0.0);
+        let order = &self.cell_points;
+        let trig = &self.point_trig;
+        let sin_w = ScatterWriter::new(&mut self.lane_sin);
+        let cos_w = ScatterWriter::new(&mut self.lane_cos);
+        let xyz_w = ScatterWriter::new(&mut self.lane_coords);
+        let (sin_w, cos_w, xyz_w) = (&sin_w, &cos_w, &xyz_w);
+        exec.map_ranges(n_blocks, CELL_CHUNK, |range| {
+            for b in range {
+                // each block occurs in exactly one chunk
+                let (sins, coss, xyzs) = unsafe {
+                    (
+                        sin_w.row_mut(b * dim * LANES, dim * LANES),
+                        cos_w.row_mut(b * dim * LANES, dim * LANES),
+                        xyz_w.row_mut(b * dim * LANES, dim * LANES),
+                    )
+                };
+                for j in 0..LANES.min(n - b * LANES) {
+                    let slot = b * LANES + j;
+                    let t = &trig[slot * ts..(slot + 1) * ts];
+                    let p = row(coords, dim, order[slot] as usize);
+                    for i in 0..dim {
+                        sins[i * LANES + j] = t[i];
+                        coss[i * LANES + j] = t[dim + i];
+                        xyzs[i * LANES + j] = p[i];
+                    }
+                }
+            }
+        });
     }
 
     /// The geometry the grid was built under.
     pub fn geometry(&self) -> &GridGeometry {
         &self.geometry
+    }
+
+    /// Padded length of a trig-table or summary row: `2·dim` live elements
+    /// (`sin` then `cos` per dimension) rounded up to a [`LANES`] multiple,
+    /// so row accumulation runs in whole vector steps.
+    pub fn trig_stride(&self) -> usize {
+        lane_pad(2 * self.geometry.dim)
+    }
+
+    /// Lane-blocked `sin` table: `lane_sin()[(b·dim + i)·LANES + j]` is
+    /// `sin` of dimension `i` of the point in grid-sorted slot `4b + j`
+    /// (zero in the padding lanes past the last point). The SIMD
+    /// pair-term kernel's row layout.
+    pub fn lane_sin(&self) -> &[f64] {
+        &self.lane_sin
+    }
+
+    /// Lane-blocked `cos` table, same layout as [`CellGrid::lane_sin`].
+    pub fn lane_cos(&self) -> &[f64] {
+        &self.lane_cos
+    }
+
+    /// Lane-blocked raw coordinates in grid-sorted slot order, same layout
+    /// as [`CellGrid::lane_sin`] — lets the SIMD distance kernel load four
+    /// neighbors contiguously instead of gathering through
+    /// [`CellGrid::point_order`].
+    pub fn lane_coords(&self) -> &[f64] {
+        &self.lane_coords
     }
 
     /// Number of non-empty cells.
@@ -816,13 +907,15 @@ impl CellGrid {
     /// Per-dimension Σsin over the points of cell `c`.
     pub fn sin_sums(&self, c: usize) -> &[f64] {
         let dim = self.geometry.dim;
-        &self.trig_sums[c * 2 * dim..c * 2 * dim + dim]
+        let ts = self.trig_stride();
+        &self.trig_sums[c * ts..c * ts + dim]
     }
 
     /// Per-dimension Σcos over the points of cell `c`.
     pub fn cos_sums(&self, c: usize) -> &[f64] {
         let dim = self.geometry.dim;
-        &self.trig_sums[c * 2 * dim + dim..(c + 1) * 2 * dim]
+        let ts = self.trig_stride();
+        &self.trig_sums[c * ts + dim..c * ts + 2 * dim]
     }
 
     /// All point indices in grid-sorted order — the host edition of the
@@ -845,14 +938,16 @@ impl CellGrid {
     /// iteration's trig table.
     pub fn slot_sin(&self, s: usize) -> &[f64] {
         let dim = self.geometry.dim;
-        &self.point_trig[s * 2 * dim..s * 2 * dim + dim]
+        let ts = self.trig_stride();
+        &self.point_trig[s * ts..s * ts + dim]
     }
 
     /// Per-dimension `cos` of the raw coordinates of the point in
     /// grid-sorted slot `s`, from the iteration's trig table.
     pub fn slot_cos(&self, s: usize) -> &[f64] {
         let dim = self.geometry.dim;
-        &self.point_trig[s * 2 * dim + dim..(s + 1) * 2 * dim]
+        let ts = self.trig_stride();
+        &self.point_trig[s * ts + dim..s * ts + 2 * dim]
     }
 
     /// Invoke `f` with the compacted index of every non-empty cell in the
@@ -881,6 +976,9 @@ impl CellGrid {
             + self.point_cell.len() * 4
             + self.trig_sums.len() * 8
             + self.point_trig.len() * 8
+            + self.lane_sin.len() * 8
+            + self.lane_cos.len() * 8
+            + self.lane_coords.len() * 8
             + self.outer_index.len() * 16
             + self.point_keys.len() * 8
             + self.point_outer.len() * 8
@@ -902,6 +1000,7 @@ impl CellGrid {
 mod tests {
     use super::super::geometry::GridVariant;
     use super::*;
+    use egg_spatial::distance::squared_euclidean;
 
     fn grid_fixture(coords: &[f64], dim: usize, eps: f64) -> (GridGeometry, Vec<f64>) {
         let g = GridGeometry::new(dim, eps, coords.len() / dim, GridVariant::Auto);
@@ -959,10 +1058,15 @@ mod tests {
         for (_, pts) in grid.iter_cells() {
             for (a, &i) in pts.iter().enumerate() {
                 for &j in &pts[a + 1..] {
-                    let d =
-                        squared_euclidean(row(&coords, 2, i as usize), row(&coords, 2, j as usize))
-                            .sqrt();
-                    assert!(d <= eps / 2.0 + 1e-12, "cell mates {i},{j} at distance {d}");
+                    // radius-only comparison: no sqrt needed
+                    assert!(
+                        egg_spatial::distance::within(
+                            row(&coords, 2, i as usize),
+                            row(&coords, 2, j as usize),
+                            eps / 2.0 + 1e-12,
+                        ),
+                        "cell mates {i},{j} farther than ε/2 apart"
+                    );
                 }
             }
         }
@@ -1039,6 +1143,51 @@ mod tests {
             // summaries must be bitwise identical, not just close
             let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
             assert_eq!(bits(&grid.trig_sums), bits(&reference.trig_sums));
+        }
+    }
+
+    /// The lane-blocked tables must be an exact relayout of the trig table
+    /// and the grid-sorted coordinates — including after incremental
+    /// refreshes, whose lane pass copies rather than recomputes — with
+    /// zeroed padding lanes.
+    #[test]
+    fn lane_tables_mirror_trig_table_and_coords() {
+        let (n, dim) = (519, 3); // deliberately not a lane multiple
+        let g = GridGeometry::new(dim, 0.12, n, GridVariant::Auto);
+        let exec = Executor::new(Some(3));
+        let mut coords = pseudo_cloud(n, dim);
+        let mut grid = CellGrid::new(g);
+        grid.refresh(&exec, &coords, None);
+        fn check(grid: &CellGrid, coords: &[f64], n: usize, dim: usize) {
+            let n_blocks = n.div_ceil(LANES);
+            assert_eq!(grid.lane_sin().len(), n_blocks * dim * LANES);
+            for b in 0..n_blocks {
+                for j in 0..LANES {
+                    let slot = b * LANES + j;
+                    for i in 0..dim {
+                        let at = (b * dim + i) * LANES + j;
+                        let (s, c, x) = if slot < n {
+                            let p = grid.point_order()[slot] as usize;
+                            (
+                                grid.slot_sin(slot)[i],
+                                grid.slot_cos(slot)[i],
+                                coords[p * dim + i],
+                            )
+                        } else {
+                            (0.0, 0.0, 0.0) // padding lanes
+                        };
+                        assert_eq!(grid.lane_sin()[at].to_bits(), s.to_bits());
+                        assert_eq!(grid.lane_cos()[at].to_bits(), c.to_bits());
+                        assert_eq!(grid.lane_coords()[at].to_bits(), x.to_bits());
+                    }
+                }
+            }
+        }
+        for round in 0..3u64 {
+            check(&grid, &coords, n, dim);
+            let moved = perturb(&mut coords, dim, round);
+            grid.refresh(&exec, &coords, Some(&moved));
+            check(&grid, &coords, n, dim);
         }
     }
 

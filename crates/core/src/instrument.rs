@@ -101,6 +101,15 @@ pub struct UpdateCounters {
     /// Cells whose whole ε-reach saw zero movers, so the update pass
     /// reused their cached positions and confinement flags outright.
     pub cells_skipped: u64,
+    /// f64 lanes processed by the SIMD pair-term kernel: every visited
+    /// partial cell contributes the minimal whole lane blocks covering its
+    /// size. A pure function of the visited cell sizes — host and device
+    /// backends count identically.
+    pub simd_lanes: u64,
+    /// The subset of `simd_lanes` that were padding: lanes of a partial
+    /// cell's last block that fall beyond its size and are masked off.
+    /// High values mean many tiny cells and little lane utilization.
+    pub simd_remainder_lanes: u64,
 }
 
 impl UpdateCounters {
@@ -112,6 +121,8 @@ impl UpdateCounters {
         self.moved_points += other.moved_points;
         self.dirty_cells += other.dirty_cells;
         self.cells_skipped += other.cells_skipped;
+        self.simd_lanes += other.simd_lanes;
+        self.simd_remainder_lanes += other.simd_remainder_lanes;
     }
 }
 
@@ -206,6 +217,8 @@ mod tests {
             moved_points: 7,
             dirty_cells: 2,
             cells_skipped: 1,
+            simd_lanes: 16,
+            simd_remainder_lanes: 6,
         };
         a.merge(&UpdateCounters {
             summary_cells: 1,
@@ -214,6 +227,8 @@ mod tests {
             moved_points: 3,
             dirty_cells: 4,
             cells_skipped: 5,
+            simd_lanes: 8,
+            simd_remainder_lanes: 1,
         });
         assert_eq!(a.summary_cells, 4);
         assert_eq!(a.point_pairs, 15);
@@ -221,6 +236,8 @@ mod tests {
         assert_eq!(a.moved_points, 10);
         assert_eq!(a.dirty_cells, 6);
         assert_eq!(a.cells_skipped, 6);
+        assert_eq!(a.simd_lanes, 24);
+        assert_eq!(a.simd_remainder_lanes, 7);
     }
 
     #[test]

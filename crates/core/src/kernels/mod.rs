@@ -1,0 +1,736 @@
+//! Portable SIMD kernels for the EGG-update hot loops.
+//!
+//! The update and termination inner loops are wide, regular f64 arithmetic
+//! — the shape the paper exploits on a GPU and a CPU vector unit eats just
+//! as well. This module provides a fixed-width 4-lane vector type
+//! ([`F64x4`], a plain `[f64; 4]` wrapper whose operations reliably
+//! autovectorize on stable Rust) plus the blocked kernels built on it:
+//!
+//! * [`pair_term_block`] — one lane block of the partial-cell pair term
+//!   `sin q · cos p − cos q · sin p`, striping four neighbor rows of the
+//!   grid-sorted lane tables per step;
+//! * [`distance_sq_lanes`] — four point-to-point squared distances at once,
+//!   accumulated **dimension-major without fused multiply-add**, so each
+//!   lane reproduces the scalar `d² += d·d` sequence bit for bit and every
+//!   neighborhood predicate (`d² ≤ ε²`) is *exact*, not merely close;
+//! * [`accumulate_row`] — element-wise row accumulation for the lane-padded
+//!   per-cell Σsin/Σcos summary rows (bitwise identical to the scalar loop,
+//!   since each element's addition chain is unchanged).
+//!
+//! On `x86_64` an AVX2 fast path behind runtime CPU detection
+//! ([`avx2_available`]) mirrors the portable operations instruction for
+//! instruction (mul/add/sub/compare/mask — deliberately no FMA), so the
+//! two implementations produce **bitwise identical** results and switching
+//! between them is pure performance.
+//!
+//! Only the order of the cross-lane reduction differs from the scalar
+//! oracle: the pair-term partial sums are folded `((l₀+l₁)+l₂)+l₃` at the
+//! end of a point's neighborhood walk. That reassociation is the sole
+//! source of divergence, covered by the 1e-9 tolerance the trig-table fast
+//! path already established; the scalar path remains the oracle.
+
+/// Fixed vector width of the kernel layer, in f64 lanes.
+pub const LANES: usize = 4;
+
+/// Round `len` up to the next multiple of [`LANES`] — the padded row
+/// length of the lane-aligned trig-table and summary rows.
+#[inline]
+pub const fn lane_pad(len: usize) -> usize {
+    len.div_ceil(LANES) * LANES
+}
+
+/// Four f64 lanes. Operations are plain per-lane arithmetic on a fixed
+/// array, written so the compiler reliably autovectorizes them on stable;
+/// the AVX2 fast path mirrors them exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(transparent)]
+pub struct F64x4(pub [f64; LANES]);
+
+impl F64x4 {
+    /// All lanes zero.
+    pub const ZERO: Self = Self([0.0; LANES]);
+
+    /// Broadcast `v` into every lane.
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        Self([v; LANES])
+    }
+
+    /// Load the first [`LANES`] elements of `src`.
+    #[inline(always)]
+    pub fn load(src: &[f64]) -> Self {
+        Self(src[..LANES].try_into().unwrap())
+    }
+
+    /// The lanes as a plain array.
+    #[inline(always)]
+    pub fn to_array(self) -> [f64; LANES] {
+        self.0
+    }
+
+    /// Per-lane fused `self * a + b`. **Not** used by the exactness-bearing
+    /// kernels: `f64::mul_add` rounds once where `mul` + `add` round twice,
+    /// which would break the bitwise parity between the portable and AVX2
+    /// paths and between the lane distances and the scalar oracle. Provided
+    /// for kernels that only need the 1e-9 contract.
+    #[inline(always)]
+    pub fn mul_add(self, a: Self, b: Self) -> Self {
+        let mut out = self.0;
+        for i in 0..LANES {
+            out[i] = out[i].mul_add(a.0[i], b.0[i]);
+        }
+        Self(out)
+    }
+
+    /// Per-lane `self ≤ rhs`.
+    #[inline(always)]
+    pub fn le(self, rhs: Self) -> Mask4 {
+        let mut out = [false; LANES];
+        for i in 0..LANES {
+            out[i] = self.0[i] <= rhs.0[i];
+        }
+        Mask4(out)
+    }
+
+    /// Lane-wise choice: `t` where the mask is set, `f` elsewhere.
+    #[inline(always)]
+    pub fn select(mask: Mask4, t: Self, f: Self) -> Self {
+        let mut out = f.0;
+        for i in 0..LANES {
+            if mask.0[i] {
+                out[i] = t.0[i];
+            }
+        }
+        Self(out)
+    }
+
+    /// Ordered horizontal sum `((l₀ + l₁) + l₂) + l₃` — a fixed fold, so
+    /// the reduction is deterministic for any worker count.
+    #[inline(always)]
+    pub fn reduce_sum(self) -> f64 {
+        ((self.0[0] + self.0[1]) + self.0[2]) + self.0[3]
+    }
+}
+
+impl std::ops::Add for F64x4 {
+    type Output = Self;
+
+    /// Per-lane addition.
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(&rhs.0) {
+            *o += r;
+        }
+        Self(out)
+    }
+}
+
+impl std::ops::AddAssign for F64x4 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::Sub for F64x4 {
+    type Output = Self;
+
+    /// Per-lane subtraction.
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(&rhs.0) {
+            *o -= r;
+        }
+        Self(out)
+    }
+}
+
+impl std::ops::Mul for F64x4 {
+    type Output = Self;
+
+    /// Per-lane multiplication.
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(&rhs.0) {
+            *o *= r;
+        }
+        Self(out)
+    }
+}
+
+/// Four boolean lanes, the predicate companion of [`F64x4`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct Mask4(pub [bool; LANES]);
+
+impl Mask4 {
+    /// Per-lane conjunction.
+    #[inline(always)]
+    pub fn and(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(&rhs.0) {
+            *o &= r;
+        }
+        Self(out)
+    }
+
+    /// Number of set lanes.
+    #[inline(always)]
+    pub fn count(self) -> u32 {
+        self.0.iter().map(|&b| b as u32).sum()
+    }
+
+    /// Lane `j` set iff grid-sorted slot `base + j` lies in `[lo, hi)` —
+    /// the in-cell mask of a lane block covering slots `base..base+LANES`.
+    #[inline(always)]
+    pub fn slot_range(base: usize, lo: usize, hi: usize) -> Self {
+        let mut out = [false; LANES];
+        for (j, o) in out.iter_mut().enumerate() {
+            let slot = base + j;
+            *o = slot >= lo && slot < hi;
+        }
+        Self(out)
+    }
+}
+
+/// Whether the AVX2 fast path is available on this CPU (always `false` off
+/// `x86_64`). Detected once and cached.
+#[inline]
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| std::is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Squared distances from `p` to the four points of one lane block of the
+/// lane-blocked coordinate table (`block[i * LANES + j]` = dimension `i` of
+/// the block's lane-`j` point).
+///
+/// Accumulated dimension-major with separate multiply and add, each lane
+/// reproduces the scalar `d² += d·d` loop **bit for bit** — predicates
+/// derived from these distances (`d² ≤ ε²`, shell membership) are exact,
+/// never approximations of the scalar oracle.
+#[inline(always)]
+pub fn distance_sq_lanes(block: &[f64], p: &[f64]) -> F64x4 {
+    let mut d2 = F64x4::ZERO;
+    for (i, &pi) in p.iter().enumerate() {
+        let d = F64x4::load(&block[i * LANES..]) - F64x4::splat(pi);
+        d2 += d * d;
+    }
+    d2
+}
+
+/// One lane block of the partial-cell pair term: compute the four
+/// neighbor distances, mask to the lanes that are inside the cell's slot
+/// range **and** within `eps_sq`, and accumulate the angle-addition term
+/// `sin q · cos p − cos q · sin p` of every accepted lane into `acc`
+/// (per-dimension lane accumulators, reduced once per point by the
+/// caller). Returns the number of accepted lanes — with the exact lane
+/// distances this equals the scalar path's neighbor count for the block.
+///
+/// `coords`, `sins`, `coss` are the block's rows of the lane-blocked
+/// tables (`dim * LANES` elements each); `use_avx2` selects the bitwise
+/// identical [`std::arch`] mirror (fetch [`avx2_available`] once per pass,
+/// not per block).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub fn pair_term_block(
+    coords: &[f64],
+    sins: &[f64],
+    coss: &[f64],
+    p: &[f64],
+    sin_p: &[f64],
+    cos_p: &[f64],
+    eps_sq: f64,
+    lane_mask: Mask4,
+    acc: &mut [F64x4],
+    use_avx2: bool,
+) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2 {
+        // Safety: callers gate `use_avx2` on `avx2_available()`.
+        return unsafe {
+            pair_term_block_avx2(coords, sins, coss, p, sin_p, cos_p, eps_sq, lane_mask, acc)
+        };
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = use_avx2;
+    pair_term_block_portable(coords, sins, coss, p, sin_p, cos_p, eps_sq, lane_mask, acc)
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn pair_term_block_portable(
+    coords: &[f64],
+    sins: &[f64],
+    coss: &[f64],
+    p: &[f64],
+    sin_p: &[f64],
+    cos_p: &[f64],
+    eps_sq: f64,
+    lane_mask: Mask4,
+    acc: &mut [F64x4],
+) -> u32 {
+    let dim = p.len();
+    let mask = distance_sq_lanes(coords, p)
+        .le(F64x4::splat(eps_sq))
+        .and(lane_mask);
+    let hits = mask.count();
+    if hits == 0 {
+        return 0;
+    }
+    for i in 0..dim {
+        // sin(q−p) = sin q · cos p − cos q · sin p, four neighbors at once
+        let term = F64x4::load(&sins[i * LANES..]) * F64x4::splat(cos_p[i])
+            - F64x4::load(&coss[i * LANES..]) * F64x4::splat(sin_p[i]);
+        acc[i] += F64x4::select(mask, term, F64x4::ZERO);
+    }
+    hits
+}
+
+/// AVX2 mirror of [`pair_term_block`]: the same multiply/add/subtract/
+/// compare/mask sequence as the portable path, intrinsic for intrinsic and
+/// **without FMA**, so its results are bitwise identical — runtime dispatch
+/// never changes the output, only the throughput.
+///
+/// # Safety
+/// Requires AVX2 (callers gate on [`avx2_available`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+#[inline]
+unsafe fn pair_term_block_avx2(
+    coords: &[f64],
+    sins: &[f64],
+    coss: &[f64],
+    p: &[f64],
+    sin_p: &[f64],
+    cos_p: &[f64],
+    eps_sq: f64,
+    lane_mask: Mask4,
+    acc: &mut [F64x4],
+) -> u32 {
+    use std::arch::x86_64::*;
+    let dim = p.len();
+    let mut d2 = _mm256_setzero_pd();
+    for (i, &pi) in p.iter().enumerate() {
+        let q = _mm256_loadu_pd(coords.as_ptr().add(i * LANES));
+        let d = _mm256_sub_pd(q, _mm256_set1_pd(pi));
+        d2 = _mm256_add_pd(d2, _mm256_mul_pd(d, d));
+    }
+    let in_lane = _mm256_set_pd(
+        f64::from_bits(u64::MAX * lane_mask.0[3] as u64),
+        f64::from_bits(u64::MAX * lane_mask.0[2] as u64),
+        f64::from_bits(u64::MAX * lane_mask.0[1] as u64),
+        f64::from_bits(u64::MAX * lane_mask.0[0] as u64),
+    );
+    let mask = _mm256_and_pd(
+        _mm256_cmp_pd::<_CMP_LE_OQ>(d2, _mm256_set1_pd(eps_sq)),
+        in_lane,
+    );
+    let hits = _mm256_movemask_pd(mask).count_ones();
+    if hits == 0 {
+        return 0;
+    }
+    for i in 0..dim {
+        let term = _mm256_sub_pd(
+            _mm256_mul_pd(
+                _mm256_loadu_pd(sins.as_ptr().add(i * LANES)),
+                _mm256_set1_pd(cos_p[i]),
+            ),
+            _mm256_mul_pd(
+                _mm256_loadu_pd(coss.as_ptr().add(i * LANES)),
+                _mm256_set1_pd(sin_p[i]),
+            ),
+        );
+        // masked lanes contribute +0.0, exactly like the portable select
+        let a = _mm256_add_pd(
+            _mm256_loadu_pd(acc[i].0.as_ptr()),
+            _mm256_and_pd(term, mask),
+        );
+        _mm256_storeu_pd(acc[i].0.as_mut_ptr(), a);
+    }
+    hits
+}
+
+/// The partial-cell pair term for a whole cell: every lane block covering
+/// grid-sorted slots `lo..hi` of the lane-blocked tables, accumulated into
+/// `acc` exactly as per-block [`pair_term_block`] calls would. Returns the
+/// cell's accepted-lane (= exact neighbor) count.
+///
+/// This is the form the update hot loop should call: the AVX2 dispatch
+/// happens **once per cell**, not once per 4-row block. A
+/// `#[target_feature]` function cannot inline into a caller compiled
+/// without the feature, so per-block dispatch pays a real function call
+/// every 4 rows — enough to cancel the 256-bit win at small `dim`. The
+/// cell-granular mirror hoists the call boundary so the block kernel
+/// inlines into the feature-enabled loop.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub fn pair_term_cell(
+    lane_coords: &[f64],
+    lane_sins: &[f64],
+    lane_coss: &[f64],
+    dim: usize,
+    lo: usize,
+    hi: usize,
+    p: &[f64],
+    sin_p: &[f64],
+    cos_p: &[f64],
+    eps_sq: f64,
+    acc: &mut [F64x4],
+    use_avx2: bool,
+) -> u32 {
+    debug_assert!(lo < hi);
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2 {
+        // Safety: callers gate `use_avx2` on `avx2_available()`.
+        return unsafe {
+            pair_term_cell_avx2(
+                lane_coords,
+                lane_sins,
+                lane_coss,
+                dim,
+                lo,
+                hi,
+                p,
+                sin_p,
+                cos_p,
+                eps_sq,
+                acc,
+            )
+        };
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = use_avx2;
+    let mut hits = 0;
+    for b in lo / LANES..=(hi - 1) / LANES {
+        let at = b * dim * LANES;
+        hits += pair_term_block_portable(
+            &lane_coords[at..at + dim * LANES],
+            &lane_sins[at..at + dim * LANES],
+            &lane_coss[at..at + dim * LANES],
+            p,
+            sin_p,
+            cos_p,
+            eps_sq,
+            Mask4::slot_range(b * LANES, lo, hi),
+            acc,
+        );
+    }
+    hits
+}
+
+/// AVX2 body of [`pair_term_cell`]: the identical block loop inside one
+/// feature-enabled frame, so [`pair_term_block_avx2`] inlines and the
+/// whole cell runs without a call per block. Bitwise identical to the
+/// portable loop, like every AVX2 mirror in this module.
+///
+/// # Safety
+/// Requires AVX2 (callers gate on [`avx2_available`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn pair_term_cell_avx2(
+    lane_coords: &[f64],
+    lane_sins: &[f64],
+    lane_coss: &[f64],
+    dim: usize,
+    lo: usize,
+    hi: usize,
+    p: &[f64],
+    sin_p: &[f64],
+    cos_p: &[f64],
+    eps_sq: f64,
+    acc: &mut [F64x4],
+) -> u32 {
+    let mut hits = 0;
+    for b in lo / LANES..=(hi - 1) / LANES {
+        let at = b * dim * LANES;
+        hits += pair_term_block_avx2(
+            &lane_coords[at..at + dim * LANES],
+            &lane_sins[at..at + dim * LANES],
+            &lane_coss[at..at + dim * LANES],
+            p,
+            sin_p,
+            cos_p,
+            eps_sq,
+            Mask4::slot_range(b * LANES, lo, hi),
+            acc,
+        );
+    }
+    hits
+}
+
+/// Element-wise `sums[i] += row[i]` over lane-padded rows, four lanes per
+/// step. Each element's addition chain is identical to the scalar loop, so
+/// the result is bitwise identical — the summary rows stay exact.
+#[inline(always)]
+pub fn accumulate_row(sums: &mut [f64], row: &[f64]) {
+    debug_assert_eq!(sums.len(), row.len());
+    debug_assert_eq!(sums.len() % LANES, 0);
+    for (s, r) in sums.chunks_exact_mut(LANES).zip(row.chunks_exact(LANES)) {
+        let v = F64x4::load(s) + F64x4::load(r);
+        s.copy_from_slice(&v.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_pad_rounds_up_to_lane_multiples() {
+        assert_eq!(lane_pad(0), 0);
+        assert_eq!(lane_pad(1), 4);
+        assert_eq!(lane_pad(4), 4);
+        assert_eq!(lane_pad(5), 8);
+        assert_eq!(lane_pad(2 * 3), 8);
+        assert_eq!(lane_pad(2 * 8), 16);
+    }
+
+    #[test]
+    fn f64x4_arithmetic_is_per_lane() {
+        let a = F64x4([1.0, 2.0, 3.0, 4.0]);
+        let b = F64x4([0.5, 0.5, 0.5, 0.5]);
+        assert_eq!((a + b).0, [1.5, 2.5, 3.5, 4.5]);
+        assert_eq!((a - b).0, [0.5, 1.5, 2.5, 3.5]);
+        assert_eq!((a * b).0, [0.5, 1.0, 1.5, 2.0]);
+        assert_eq!(a.mul_add(b, b).0, [1.0, 1.5, 2.0, 2.5]);
+        assert_eq!(a.reduce_sum(), 10.0);
+        assert_eq!(F64x4::splat(7.0).0, [7.0; 4]);
+    }
+
+    #[test]
+    fn mask_operations() {
+        let m = F64x4([1.0, 5.0, 2.0, 9.0]).le(F64x4::splat(4.0));
+        assert_eq!(m.0, [true, false, true, false]);
+        assert_eq!(m.count(), 2);
+        let r = Mask4::slot_range(8, 9, 11);
+        assert_eq!(r.0, [false, true, true, false]);
+        assert_eq!(m.and(r).0, [false, false, true, false]);
+        let sel = F64x4::select(m, F64x4::splat(1.0), F64x4::ZERO);
+        assert_eq!(sel.0, [1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn reduce_sum_is_the_fixed_left_fold() {
+        // pick lanes whose sum is order-sensitive in f64
+        let v = F64x4([1e16, 1.0, -1e16, 1.0]);
+        assert_eq!(v.reduce_sum(), ((1e16 + 1.0) + -1e16) + 1.0);
+    }
+
+    /// Build a lane block (`dim × LANES`, dimension-major) from 4 points.
+    fn block_of(points: &[[f64; 3]; LANES]) -> Vec<f64> {
+        let mut out = vec![0.0; 3 * LANES];
+        for (j, p) in points.iter().enumerate() {
+            for i in 0..3 {
+                out[i * LANES + j] = p[i];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn distance_lanes_match_scalar_sequence_bitwise() {
+        let qs = [
+            [0.1, 0.7, 0.3],
+            [0.9999, 0.0001, 0.5],
+            [0.25, 0.25, 0.25],
+            [0.6, 0.4, 0.8],
+        ];
+        let p = [0.3, 0.3, 0.31];
+        let block = block_of(&qs);
+        let lanes = distance_sq_lanes(&block, &p).to_array();
+        for (j, q) in qs.iter().enumerate() {
+            let mut d_sq = 0.0;
+            for i in 0..3 {
+                let d = q[i] - p[i];
+                d_sq += d * d;
+            }
+            assert_eq!(lanes[j].to_bits(), d_sq.to_bits(), "lane {j}");
+        }
+    }
+
+    fn trig_blocks(qs: &[[f64; 3]; LANES]) -> (Vec<f64>, Vec<f64>) {
+        let mut sins = vec![0.0; 3 * LANES];
+        let mut coss = vec![0.0; 3 * LANES];
+        for (j, q) in qs.iter().enumerate() {
+            for i in 0..3 {
+                sins[i * LANES + j] = q[i].sin();
+                coss[i * LANES + j] = q[i].cos();
+            }
+        }
+        (sins, coss)
+    }
+
+    #[test]
+    fn pair_term_block_counts_and_accumulates_like_scalar() {
+        let qs = [
+            [0.30, 0.30, 0.32], // close: accepted
+            [0.90, 0.90, 0.90], // far: rejected by distance
+            [0.31, 0.29, 0.30], // close but masked out by the slot range
+            [0.32, 0.31, 0.30], // close: accepted
+        ];
+        let p = [0.3, 0.3, 0.3];
+        let (sin_p, cos_p) = (p.map(f64::sin), p.map(f64::cos));
+        let eps_sq = 0.05 * 0.05;
+        let coords = block_of(&qs);
+        let (sins, coss) = trig_blocks(&qs);
+        let lane_mask = Mask4([true, true, false, true]);
+        let mut acc = [F64x4::ZERO; 3];
+        let hits = pair_term_block(
+            &coords, &sins, &coss, &p, &sin_p, &cos_p, eps_sq, lane_mask, &mut acc, false,
+        );
+        assert_eq!(hits, 2);
+        for i in 0..3 {
+            let mut expected = 0.0;
+            for j in [0usize, 3] {
+                expected += qs[j][i].sin() * cos_p[i] - qs[j][i].cos() * sin_p[i];
+            }
+            let got = acc[i].reduce_sum();
+            assert!(
+                (got - expected).abs() <= 1e-12,
+                "dim {i}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn avx2_path_is_bitwise_identical_to_portable() {
+        if !avx2_available() {
+            return; // nothing to compare on this CPU
+        }
+        let qs = [
+            [0.30, 0.30, 0.32],
+            [0.90, 0.90, 0.90],
+            [0.31, 0.29, 0.30],
+            [0.32, 0.31, 0.30],
+        ];
+        let p = [0.3, 0.3, 0.3];
+        let (sin_p, cos_p) = (p.map(f64::sin), p.map(f64::cos));
+        let coords = block_of(&qs);
+        let (sins, coss) = trig_blocks(&qs);
+        for eps in [0.01f64, 0.05, 0.5] {
+            for mask in [
+                Mask4([true; LANES]),
+                Mask4([true, false, true, false]),
+                Mask4([false; LANES]),
+            ] {
+                let mut a = [F64x4::splat(0.125); 3];
+                let mut b = a;
+                let ha = pair_term_block(
+                    &coords,
+                    &sins,
+                    &coss,
+                    &p,
+                    &sin_p,
+                    &cos_p,
+                    eps * eps,
+                    mask,
+                    &mut a,
+                    false,
+                );
+                let hb = pair_term_block(
+                    &coords,
+                    &sins,
+                    &coss,
+                    &p,
+                    &sin_p,
+                    &cos_p,
+                    eps * eps,
+                    mask,
+                    &mut b,
+                    true,
+                );
+                assert_eq!(ha, hb, "eps {eps}");
+                for i in 0..3 {
+                    let (la, lb) = (a[i].to_array(), b[i].to_array());
+                    for j in 0..LANES {
+                        assert_eq!(la[j].to_bits(), lb[j].to_bits(), "dim {i} lane {j}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_term_cell_is_bitwise_identical_to_per_block_calls() {
+        // 3 blocks of d=3 rows; cell slot range straddles block boundaries
+        const DIM: usize = 3;
+        let val = |k: usize| (k as u64).wrapping_mul(2654435761) as f64 / u32::MAX as f64;
+        let coords: Vec<f64> = (0..3 * DIM * LANES).map(val).collect();
+        let sins: Vec<f64> = coords.iter().map(|x| x.sin()).collect();
+        let coss: Vec<f64> = coords.iter().map(|x| x.cos()).collect();
+        let p = [0.4f64, 0.5, 0.6];
+        let (sin_p, cos_p) = (p.map(f64::sin), p.map(f64::cos));
+        let eps_sq = 0.3f64;
+        for (lo, hi) in [(0, 12), (1, 11), (5, 7), (2, 3)] {
+            for use_avx2 in [false, avx2_available()] {
+                let mut by_block = [F64x4::splat(0.25); DIM];
+                let mut by_cell = by_block;
+                let mut hits_block = 0;
+                for b in lo / LANES..=(hi - 1) / LANES {
+                    let at = b * DIM * LANES;
+                    hits_block += pair_term_block(
+                        &coords[at..at + DIM * LANES],
+                        &sins[at..at + DIM * LANES],
+                        &coss[at..at + DIM * LANES],
+                        &p,
+                        &sin_p,
+                        &cos_p,
+                        eps_sq,
+                        Mask4::slot_range(b * LANES, lo, hi),
+                        &mut by_block,
+                        use_avx2,
+                    );
+                }
+                let hits_cell = pair_term_cell(
+                    &coords,
+                    &sins,
+                    &coss,
+                    DIM,
+                    lo,
+                    hi,
+                    &p,
+                    &sin_p,
+                    &cos_p,
+                    eps_sq,
+                    &mut by_cell,
+                    use_avx2,
+                );
+                assert_eq!(hits_block, hits_cell, "slots {lo}..{hi} avx2={use_avx2}");
+                for i in 0..DIM {
+                    let (a, b) = (by_block[i].to_array(), by_cell[i].to_array());
+                    for j in 0..LANES {
+                        assert_eq!(a[j].to_bits(), b[j].to_bits(), "dim {i} lane {j}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_row_is_bitwise_elementwise_addition() {
+        let mut sums = vec![0.1, 1e16, -3.0, 0.0, 2.0, 4.0, 8.0, 16.0];
+        let row = vec![0.2, 1.0, 3.0, 0.0, -2.0, 0.5, 0.25, 0.125];
+        let mut expected = sums.clone();
+        for (s, r) in expected.iter_mut().zip(&row) {
+            *s += r;
+        }
+        accumulate_row(&mut sums, &row);
+        for (s, e) in sums.iter().zip(&expected) {
+            assert_eq!(s.to_bits(), e.to_bits());
+        }
+    }
+}

@@ -60,6 +60,7 @@ pub mod exec;
 pub mod extensions;
 pub mod grid;
 pub mod instrument;
+pub mod kernels;
 pub mod model;
 mod result;
 

@@ -79,7 +79,7 @@ fn steady_state_iterations_do_not_allocate() {
             None,
         );
         if first_term {
-            second_term_holds_host(&exec, &grid, coords_cur, eps, None);
+            second_term_holds_host(&exec, &grid, coords_cur, eps, None, true);
         }
         std::mem::swap(coords_cur, coords_next);
     };
@@ -130,7 +130,7 @@ fn incremental_steady_state_does_not_allocate() {
             Some(&mut state),
         );
         if first_term {
-            second_term_holds_host(&exec, &grid, coords_cur, eps, state.confined_flags());
+            second_term_holds_host(&exec, &grid, coords_cur, eps, state.confined_flags(), true);
         }
         state.finish_pass(&geometry, coords_cur, coords_next);
         std::mem::swap(coords_cur, coords_next);

@@ -25,11 +25,70 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     squared_euclidean(a, b).sqrt()
 }
 
+/// Blocked 4-lane squared Euclidean distance: four per-dimension partial
+/// sums folded `((l₀+l₁)+l₂)+l₃` at the end, plus a sequential tail.
+///
+/// The reduction order is **fixed** (never data- or thread-dependent) but
+/// *different* from [`squared_euclidean`]'s sequential chain, so the two
+/// may differ in the last bits. Use this where throughput matters and the
+/// caller's tolerance covers reassociation (benchmark kernels, scoring);
+/// use [`within_sq`] for predicates, which stays exact.
+#[inline]
+pub fn squared_euclidean_lanes(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f64; 4];
+    let (a4, a_tail) = a.split_at(a.len() / 4 * 4);
+    let (b4, b_tail) = b.split_at(a4.len());
+    for (x, y) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        for j in 0..4 {
+            let d = x[j] - y[j];
+            lanes[j] += d * d;
+        }
+    }
+    let mut acc = ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
 /// Whether `b` lies within the closed `radius`-ball around `a`
 /// (`‖a − b‖ ≤ radius`), computed without a square root.
 #[inline]
 pub fn within(a: &[f64], b: &[f64], radius: f64) -> bool {
-    squared_euclidean(a, b) <= radius * radius
+    within_sq(a, b, radius * radius)
+}
+
+/// Whether `‖a − b‖² ≤ radius_sq`, with a blocked early exit: the partial
+/// sum is tested against the threshold every four dimensions, so scans
+/// against far-away points bail out after a fraction of the row.
+///
+/// **Exact**: the accumulation is the same sequential chain as
+/// [`squared_euclidean`], and partial sums of non-negative terms are
+/// monotone under round-to-nearest — once a prefix exceeds `radius_sq` the
+/// full sum does too. The verdict is therefore always identical to
+/// `squared_euclidean(a, b) <= radius_sq`, bit for bit.
+#[inline]
+pub fn within_sq(a: &[f64], b: &[f64], radius_sq: f64) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i + 4 <= a.len() {
+        for j in i..i + 4 {
+            let d = a[j] - b[j];
+            acc += d * d;
+        }
+        if acc > radius_sq {
+            return false;
+        }
+        i += 4;
+    }
+    for j in i..a.len() {
+        let d = a[j] - b[j];
+        acc += d * d;
+    }
+    acc <= radius_sq
 }
 
 /// View point `i` of a row-major `n × dim` coordinate array.
@@ -74,6 +133,42 @@ mod tests {
         assert_eq!(row(&coords, 2, 0), &[1.0, 2.0]);
         assert_eq!(row(&coords, 2, 2), &[5.0, 6.0]);
         assert_eq!(row(&coords, 3, 1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn within_sq_agrees_with_full_distance_on_pseudo_random_rows() {
+        // deterministic pseudo-random rows across the blocked-exit widths
+        for dim in 1..=11usize {
+            for seed in 0..40u64 {
+                let gen = |k: u64| {
+                    ((seed * 131 + k).wrapping_mul(2654435761) % 2000) as f64 / 1000.0 - 1.0
+                };
+                let a: Vec<f64> = (0..dim as u64).map(gen).collect();
+                let b: Vec<f64> = (0..dim as u64).map(|k| gen(k + 7919)).collect();
+                let full = squared_euclidean(&a, &b);
+                for r_sq in [0.0, full * 0.5, full, full * 1.5, f64::next_down(full)] {
+                    assert_eq!(
+                        within_sq(&a, &b, r_sq),
+                        full <= r_sq,
+                        "dim {dim} seed {seed} r² {r_sq}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_variant_is_close_and_deterministic() {
+        for dim in 1..=11usize {
+            let a: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.37).sin()).collect();
+            let b: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.61).cos()).collect();
+            let lanes = squared_euclidean_lanes(&a, &b);
+            assert!(
+                (lanes - squared_euclidean(&a, &b)).abs() <= 1e-12,
+                "dim {dim}"
+            );
+            assert_eq!(lanes.to_bits(), squared_euclidean_lanes(&a, &b).to_bits());
+        }
     }
 
     #[test]

@@ -6,7 +6,9 @@ row carries the workload shape (experiment, method, n, d, threads) and a
 per-stage nanosecond breakdown. This script groups rows by workload
 shape, compares the latest row of every group against the previous one,
 and emits a GitHub Actions `::warning::` annotation whenever a tracked
-stage regressed by more than the threshold (default 15%).
+stage regressed by more than the threshold (default 15%). With
+--fail-over PCT, any regression exceeding PCT additionally fails the
+job — the hard backstop behind the soft warning threshold.
 
 Stage timings below MIN_STAGE_NS are skipped: on CI-scale quick runs a
 sub-millisecond stage is dominated by scheduler noise and any ratio on
@@ -14,9 +16,11 @@ it is meaningless.
 
 Exit codes: 0 on success (warnings do not fail the job); 1 when the
 ledger is missing, malformed, or — with --require-rows — empty, so the
-"perf ledger silently stopped recording" failure mode of PR 2 is loud.
+"perf ledger silently stopped recording" failure mode of PR 2 is loud;
+1 when a --fail-over regression fired.
 
-Usage: check_bench_regression.py [--threshold 0.15] [--require-rows] [PATH]
+Usage: check_bench_regression.py [--threshold 0.15] [--fail-over 0.40]
+                                 [--require-rows] [PATH]
 """
 
 import json
@@ -44,11 +48,15 @@ def group_key(row):
 
 
 def check(rows, threshold):
-    """Return a list of warning strings for >threshold stage regressions."""
+    """Return a list of (ratio, message) pairs for >threshold regressions.
+
+    ratio is after/before, so callers can re-filter against a harder
+    limit (--fail-over) without re-walking the ledger.
+    """
     groups = {}
     for row in rows:
         groups.setdefault(group_key(row), []).append(row)
-    warnings = []
+    findings = []
     for key, series in groups.items():
         if len(series) < 2:
             continue
@@ -62,16 +70,18 @@ def check(rows, threshold):
                 continue
             if after > before * (1.0 + threshold):
                 experiment, method, n, d, threads = key
-                warnings.append(
+                findings.append((
+                    after / before,
                     f"{experiment}/{method} (n={n}, d={d}, t={threads}): "
                     f"stage '{stage}' regressed {after / before:.2f}x "
-                    f"({before} ns -> {after} ns)"
-                )
-    return warnings
+                    f"({before} ns -> {after} ns)",
+                ))
+    return findings
 
 
 def main(argv):
     threshold = 0.15
+    fail_over = None
     require_rows = False
     path = "target/paper_results/BENCH_egg.json"
     args = list(argv[1:])
@@ -79,6 +89,8 @@ def main(argv):
         arg = args.pop(0)
         if arg == "--threshold":
             threshold = float(args.pop(0))
+        elif arg == "--fail-over":
+            fail_over = float(args.pop(0))
         elif arg == "--require-rows":
             require_rows = True
         else:
@@ -102,12 +114,17 @@ def main(argv):
         return 1
 
     print(f"{len(rows)} ledger row(s) in {path}")
-    warnings = check(rows, threshold)
-    for w in warnings:
-        print(f"::warning::{w}")
-    if not warnings:
+    findings = check(rows, threshold)
+    failed = False
+    for ratio, message in findings:
+        if fail_over is not None and ratio > 1.0 + fail_over:
+            print(f"::error::{message} (over the {fail_over:.0%} hard limit)")
+            failed = True
+        else:
+            print(f"::warning::{message}")
+    if not findings:
         print(f"no stage regressed by more than {threshold:.0%}")
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,98 @@
+"""Stdlib unit tests for check_bench_regression.py.
+
+Run from the repository root with:
+
+    python3 -m unittest discover -s scripts
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_bench_regression as cbr
+
+
+def row(update_ns, experiment="exp", method="m", n=1000, d=4, threads=1):
+    return {
+        "experiment": experiment,
+        "method": method,
+        "n": n,
+        "d": d,
+        "threads": threads,
+        "stages_ns": {"update": update_ns},
+    }
+
+
+class CheckTests(unittest.TestCase):
+    def test_no_regression_when_last_row_is_faster(self):
+        findings = cbr.check([row(50_000_000), row(40_000_000)], 0.15)
+        self.assertEqual(findings, [])
+
+    def test_regression_over_threshold_is_reported_with_ratio(self):
+        findings = cbr.check([row(50_000_000), row(100_000_000)], 0.15)
+        self.assertEqual(len(findings), 1)
+        ratio, message = findings[0]
+        self.assertAlmostEqual(ratio, 2.0)
+        self.assertIn("'update' regressed 2.00x", message)
+
+    def test_regression_under_threshold_is_silent(self):
+        findings = cbr.check([row(50_000_000), row(55_000_000)], 0.15)
+        self.assertEqual(findings, [])
+
+    def test_sub_millisecond_stages_are_ignored(self):
+        findings = cbr.check([row(100_000), row(900_000)], 0.15)
+        self.assertEqual(findings, [])
+
+    def test_groups_compare_only_their_own_series(self):
+        rows = [
+            row(50_000_000, method="a"),
+            row(50_000_000, method="b"),
+            row(49_000_000, method="a"),
+            row(200_000_000, method="b"),
+        ]
+        findings = cbr.check(rows, 0.15)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("exp/b", findings[0][1])
+
+    def test_single_row_groups_need_no_baseline(self):
+        self.assertEqual(cbr.check([row(50_000_000)], 0.15), [])
+
+
+class MainTests(unittest.TestCase):
+    def run_main(self, rows, *flags):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "BENCH_egg.json")
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump(rows, f)
+            return cbr.main(["prog", *flags, path])
+
+    def test_warnings_alone_exit_zero(self):
+        code = self.run_main([row(50_000_000), row(100_000_000)])
+        self.assertEqual(code, 0)
+
+    def test_fail_over_fails_hard_regressions(self):
+        code = self.run_main(
+            [row(50_000_000), row(100_000_000)], "--fail-over", "0.40"
+        )
+        self.assertEqual(code, 1)
+
+    def test_fail_over_keeps_soft_regressions_as_warnings(self):
+        # 20% over: warned at the 15% threshold, under the 40% hard limit
+        code = self.run_main(
+            [row(50_000_000), row(60_000_000)], "--fail-over", "0.40"
+        )
+        self.assertEqual(code, 0)
+
+    def test_missing_ledger_fails(self):
+        self.assertEqual(cbr.main(["prog", "/nonexistent/ledger.json"]), 1)
+
+    def test_require_rows_fails_on_empty_ledger(self):
+        self.assertEqual(self.run_main([], "--require-rows"), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

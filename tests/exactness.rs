@@ -91,27 +91,21 @@ fn every_grid_variant_is_exact() {
 fn every_optimization_toggle_is_exact() {
     let data = blobs(150, 2, 3, 29);
     let oracle = ExactSync::new(0.05).cluster(&data);
-    for use_summaries in [false, true] {
-        for use_pregrid in [false, true] {
-            for use_trig_tables in [false, true] {
-                for use_incremental in [false, true] {
-                    let mut algo = EggSync::new(0.05);
-                    algo.options = UpdateOptions {
-                        use_summaries,
-                        use_pregrid,
-                        use_trig_tables,
-                        use_incremental,
-                    };
-                    let egg = algo.cluster(&data);
-                    assert!(
-                        metrics::same_partition(&oracle.labels, &egg.labels),
-                        "summaries={use_summaries} pregrid={use_pregrid} \
-                         trig_tables={use_trig_tables} \
-                         incremental={use_incremental} not exact"
-                    );
-                }
-            }
-        }
+    for bits in 0u8..32 {
+        let options = UpdateOptions {
+            use_summaries: bits & 1 != 0,
+            use_pregrid: bits & 2 != 0,
+            use_trig_tables: bits & 4 != 0,
+            use_incremental: bits & 8 != 0,
+            use_simd: bits & 16 != 0,
+        };
+        let mut algo = EggSync::new(0.05);
+        algo.options = options;
+        let egg = algo.cluster(&data);
+        assert!(
+            metrics::same_partition(&oracle.labels, &egg.labels),
+            "{options:?} not exact"
+        );
     }
 }
 

@@ -309,6 +309,135 @@ proptest! {
             prop_assert_eq!(run(workers), reference.clone(), "workers {}", workers);
         }
     }
+
+    #[test]
+    fn simd_update_matches_scalar_oracle_across_dims_and_variants(
+        raw in prop::collection::vec(0.0f64..=1.0, 16..=320),
+        dim in 2usize..=8,
+        eps_scale in 0.5f64..1.5,
+    ) {
+        // the lane-striped pair term must agree with the scalar oracle
+        // within 1e-9 (the only divergence is the cross-lane fold) and
+        // reproduce its first-term verdict and counters exactly, for
+        // every dimensionality and grid access variant
+        use egg_sync::core::egg::update::{egg_update_host, UpdateOptions};
+        use egg_sync::core::exec::Executor;
+        use egg_sync::core::grid::{CellGrid, MAX_OUTER_CELLS};
+        let coords: Vec<f64> = raw[..raw.len() / dim * dim].to_vec();
+        let n = coords.len() / dim;
+        prop_assume!(n > 0);
+        let eps = eps_scale * 0.1 * (dim as f64).sqrt();
+        let probe = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+        let dense_feasible = (probe.width as u64)
+            .checked_pow(dim as u32)
+            .is_some_and(|m| m <= MAX_OUTER_CELLS as u64);
+        let mut variants = vec![
+            GridVariant::Auto,
+            GridVariant::Sequential,
+            GridVariant::Mixed(1),
+        ];
+        if dense_feasible {
+            variants.push(GridVariant::RandomAccess);
+        }
+        for variant in variants {
+            let geo = GridGeometry::new(dim, eps, n, variant);
+            let exec = Executor::new(Some(2));
+            let grid = CellGrid::build(&exec, geo, &coords);
+            let mut stats = Vec::new();
+            let mut scalar = vec![0.0; coords.len()];
+            let (first_scalar, counters_scalar) = egg_update_host(
+                &exec, &grid, &coords, &mut scalar, eps,
+                UpdateOptions { use_simd: false, ..UpdateOptions::default() },
+                &mut stats, None,
+            );
+            let mut simd = vec![0.0; coords.len()];
+            let (first_simd, counters_simd) = egg_update_host(
+                &exec, &grid, &coords, &mut simd, eps,
+                UpdateOptions { use_simd: true, ..UpdateOptions::default() },
+                &mut stats, None,
+            );
+            // exact lane distances: identical neighborhoods, hence an
+            // identical first-term verdict and identical work counters
+            prop_assert_eq!(first_simd, first_scalar, "{:?}", variant);
+            prop_assert_eq!(counters_simd.point_pairs, counters_scalar.point_pairs);
+            prop_assert_eq!(
+                counters_simd.sin_calls_avoided,
+                counters_scalar.sin_calls_avoided
+            );
+            prop_assert!(counters_simd.simd_lanes >= counters_simd.point_pairs);
+            for (i, (s, d)) in simd.iter().zip(&scalar).enumerate() {
+                prop_assert!(
+                    (s - d).abs() <= 1e-9,
+                    "{:?} dim {} coordinate {}: {} vs {}", variant, dim, i, s, d
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_update_is_worker_count_invariant(
+        raw in prop::collection::vec(0.0f64..=1.0, 16..=320),
+        dim in 2usize..=8,
+    ) {
+        // lane striping and the cross-lane fold are pure functions of the
+        // grid layout, so the SIMD path inherits the engine's bitwise
+        // determinism contract
+        use egg_sync::core::egg::update::{egg_update_host, UpdateOptions};
+        use egg_sync::core::exec::Executor;
+        use egg_sync::core::grid::CellGrid;
+        let coords: Vec<f64> = raw[..raw.len() / dim * dim].to_vec();
+        let n = coords.len() / dim;
+        prop_assume!(n > 0);
+        let eps = 0.1 * (dim as f64).sqrt();
+        let geo = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+        let run = |workers: usize| {
+            let exec = Executor::new(Some(workers));
+            let grid = CellGrid::build(&exec, geo, &coords);
+            let mut next = vec![0.0; coords.len()];
+            let mut stats = Vec::new();
+            egg_update_host(
+                &exec, &grid, &coords, &mut next, eps,
+                UpdateOptions { use_simd: true, ..UpdateOptions::default() },
+                &mut stats, None,
+            );
+            next.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        };
+        let reference = run(1);
+        for workers in [4, 8] {
+            prop_assert_eq!(run(workers), reference.clone(), "workers {}", workers);
+        }
+    }
+
+    #[test]
+    fn ball_query_matches_brute_force_neighborhoods(
+        raw in prop::collection::vec(0.0f64..=1.0, 12..=240),
+        dim in 2usize..=6,
+        eps_scale in 0.5f64..1.5,
+    ) {
+        // the grid ball query (with its blocked early-exit predicate) must
+        // return exactly the brute-force closed-ball neighborhood, and the
+        // reusable output buffer must not leak state across queries
+        use egg_sync::core::grid::HostGrid;
+        use egg_sync::spatial::distance::{row, squared_euclidean};
+        let coords: Vec<f64> = raw[..raw.len() / dim * dim].to_vec();
+        let n = coords.len() / dim;
+        prop_assume!(n > 0);
+        let eps = eps_scale * 0.1 * (dim as f64).sqrt();
+        let geo = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+        let grid = HostGrid::build(&geo, &coords);
+        let mut out = Vec::new();
+        for p_idx in 0..n {
+            let p = row(&coords, dim, p_idx);
+            // the same buffer is reused across every query
+            grid.ball_indices_into(p, eps, &mut out);
+            let mut got = out.clone();
+            got.sort_unstable();
+            let expected: Vec<u32> = (0..n as u32)
+                .filter(|&q| squared_euclidean(p, row(&coords, dim, q as usize)) <= eps * eps)
+                .collect();
+            prop_assert_eq!(got, expected, "dim {} point {}", dim, p_idx);
+        }
+    }
 }
 
 proptest! {
@@ -332,7 +461,7 @@ proptest! {
             let exec = Executor::new(Some(workers));
             let grid = CellGrid::build(&exec, geo, &coords);
             prop_assert_eq!(
-                second_term_holds_host(&exec, &grid, &coords, eps, None),
+                second_term_holds_host(&exec, &grid, &coords, eps, None, true),
                 expected,
                 "workers {}", workers
             );
