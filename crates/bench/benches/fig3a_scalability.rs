@@ -3,8 +3,11 @@
 //!
 //! Paper shape: EGG-SynC is 2–3 orders of magnitude faster than SynC,
 //! MP-SynC and FSynC and almost one order faster than GPU-SynC, with the
-//! gap growing in n. The O(n²) baselines are capped at smaller sizes here
-//! (single-core host); EGG-SynC runs the full sweep.
+//! gap growing in n. The paper's sweep doubles n from 2 000 up to
+//! 1 024 000; this harness runs the same envelope on the host execution
+//! engine ("EGG-SynC (host)"), while the simulated-GPU EGG-SynC and the
+//! O(n²)/GPU baselines are capped at smaller sizes (single-core host).
+//! Set `EGG_BENCH_SCALE` (e.g. `0.25`) for the CI quick mode.
 
 use egg_bench::{
     append_bench_ledger, bench_ledger_row, default_synthetic, measure, scaled, Experiment,
@@ -13,9 +16,13 @@ use egg_sync_core::{EggSync, FSync, GpuSync, MpSync, Sync};
 
 fn main() {
     let mut exp = Experiment::new("fig3a_scalability", "n");
-    let sweep = [1_000, 2_000, 4_000, 8_000, 16_000, 32_000];
+    // the paper's doubling sweep, 2 000 → 1 024 000
+    let sweep = [
+        2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 128_000, 256_000, 512_000, 1_024_000,
+    ];
     let brute_cap = scaled(8_000);
     let gpu_cap = scaled(4_000);
+    let sim_cap = scaled(32_000);
     for &raw_n in &sweep {
         let n = scaled(raw_n);
         let data = default_synthetic(n);
@@ -27,7 +34,11 @@ fn main() {
         if n <= gpu_cap {
             exp.push(measure(&GpuSync::new(0.05), &data, n as f64));
         }
-        exp.push(measure(&EggSync::new(0.05), &data, n as f64));
+        if n <= sim_cap {
+            exp.push(measure(&EggSync::new(0.05), &data, n as f64));
+        }
+        // host engine carries the full paper envelope
+        exp.push(measure(&EggSync::host(0.05, None), &data, n as f64));
     }
     let ledger_rows: Vec<_> = exp
         .rows()

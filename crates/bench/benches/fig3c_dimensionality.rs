@@ -4,16 +4,20 @@
 //! highest dimensionalities — the curse of dimensionality spreads the
 //! points out, neighborhoods shrink, and synchronization needs fewer
 //! iterations. EGG-SynC's speedup is largest at low d and converges to a
-//! still-substantial factor at high d.
+//! still-substantial factor at high d. The paper's envelope sweeps
+//! d = 2…20; the host engine ("EGG-SynC (host)") runs it at a larger n
+//! than the simulated backends, exercising the mixed-access grid's d'
+//! selection at every dimensionality.
 
-use egg_bench::{measure, scaled, Experiment};
+use egg_bench::{append_bench_ledger, bench_ledger_row, measure, scaled, Experiment};
 use egg_data::generator::GaussianSpec;
 use egg_sync_core::{EggSync, GpuSync, Sync};
 
 fn main() {
     let mut exp = Experiment::new("fig3c_dimensionality", "d");
     let n = scaled(2_000);
-    for &dim in &[2usize, 4, 8, 16, 32] {
+    let host_n = scaled(16_000);
+    for &dim in &[2usize, 4, 8, 12, 16, 20, 32] {
         let data = GaussianSpec {
             n,
             dim,
@@ -24,6 +28,40 @@ fn main() {
         exp.push(measure(&Sync::new(0.05), &data, dim as f64));
         exp.push(measure(&GpuSync::new(0.05), &data, dim as f64));
         exp.push(measure(&EggSync::new(0.05), &data, dim as f64));
+        let host_data = GaussianSpec {
+            n: host_n,
+            dim,
+            ..GaussianSpec::default()
+        }
+        .generate_normalized()
+        .0;
+        exp.push(measure(&EggSync::host(0.05, None), &host_data, dim as f64));
+    }
+    let ledger_rows: Vec<_> = exp
+        .rows()
+        .iter()
+        .map(|m| {
+            let row_n = if m.algorithm == "EGG-SynC (host)" {
+                host_n
+            } else {
+                n
+            };
+            bench_ledger_row(
+                "fig3c_dimensionality",
+                &m.algorithm,
+                row_n,
+                m.x as usize,
+                m.engine_threads.unwrap_or(1),
+                m.iterations,
+                m.wall_seconds,
+                &m.stages,
+                &m.counters,
+            )
+        })
+        .collect();
+    match append_bench_ledger(&ledger_rows) {
+        Ok(ledger) => println!("(ledger appended to {})", ledger.display()),
+        Err(e) => eprintln!("warning: could not append BENCH_egg.json: {e}"),
     }
     exp.finish();
 }

@@ -2,16 +2,18 @@
 //!
 //! Paper shape: several orders of magnitude speedup for EGG-SynC across
 //! the sweep; all three algorithms are fastest for small σ (tight clusters
-//! reach local synchronization in fewer iterations).
+//! reach local synchronization in fewer iterations). The paper's envelope
+//! sweeps σ ∈ {1, 5, 10, 15, 20}; the host engine runs it at a larger n.
 
-use egg_bench::{measure, scaled, Experiment};
+use egg_bench::{append_bench_ledger, bench_ledger_row, measure, scaled, Experiment};
 use egg_data::generator::GaussianSpec;
 use egg_sync_core::{EggSync, FSync, Sync};
 
 fn main() {
     let mut exp = Experiment::new("fig3e_stddev", "sigma");
     let n = scaled(2_000);
-    for &sigma in &[1.0f64, 2.5, 5.0, 10.0, 20.0] {
+    let host_n = scaled(16_000);
+    for &sigma in &[1.0f64, 5.0, 10.0, 15.0, 20.0] {
         let data = GaussianSpec {
             n,
             std_dev: sigma,
@@ -22,6 +24,40 @@ fn main() {
         exp.push(measure(&Sync::new(0.05), &data, sigma));
         exp.push(measure(&FSync::new(0.05), &data, sigma));
         exp.push(measure(&EggSync::new(0.05), &data, sigma));
+        let host_data = GaussianSpec {
+            n: host_n,
+            std_dev: sigma,
+            ..GaussianSpec::default()
+        }
+        .generate_normalized()
+        .0;
+        exp.push(measure(&EggSync::host(0.05, None), &host_data, sigma));
+    }
+    let ledger_rows: Vec<_> = exp
+        .rows()
+        .iter()
+        .map(|m| {
+            let row_n = if m.algorithm == "EGG-SynC (host)" {
+                host_n
+            } else {
+                n
+            };
+            bench_ledger_row(
+                "fig3e_stddev",
+                &m.algorithm,
+                row_n,
+                2,
+                m.engine_threads.unwrap_or(1),
+                m.iterations,
+                m.wall_seconds,
+                &m.stages,
+                &m.counters,
+            )
+        })
+        .collect();
+    match append_bench_ledger(&ledger_rows) {
+        Ok(ledger) => println!("(ledger appended to {})", ledger.display()),
+        Err(e) => eprintln!("warning: could not append BENCH_egg.json: {e}"),
     }
     exp.finish();
 }

@@ -2,18 +2,52 @@
 //!
 //! Paper shape: EGG-SynC keeps a multi-order speedup over SynC and FSynC
 //! for all ε; at very small ε the index-based methods' advantage shrinks
-//! slightly (cells get small, points spread over many of them).
+//! slightly (cells get small, points spread over many of them). The
+//! paper's envelope sweeps ε ∈ {0.01, 0.05, 0.1, 0.25, 0.5}; the host
+//! engine runs it at a larger n.
 
-use egg_bench::{default_synthetic, measure, scaled, Experiment};
+use egg_bench::{
+    append_bench_ledger, bench_ledger_row, default_synthetic, measure, scaled, Experiment,
+};
 use egg_sync_core::{EggSync, FSync, Sync};
 
 fn main() {
     let mut exp = Experiment::new("fig3f_epsilon", "epsilon");
-    let data = default_synthetic(scaled(2_000));
-    for &eps in &[0.0125f64, 0.025, 0.05, 0.1, 0.2] {
+    let n = scaled(2_000);
+    let host_n = scaled(16_000);
+    let data = default_synthetic(n);
+    let host_data = default_synthetic(host_n);
+    for &eps in &[0.01f64, 0.05, 0.1, 0.25, 0.5] {
         exp.push(measure(&Sync::new(eps), &data, eps));
         exp.push(measure(&FSync::new(eps), &data, eps));
         exp.push(measure(&EggSync::new(eps), &data, eps));
+        exp.push(measure(&EggSync::host(eps, None), &host_data, eps));
+    }
+    let ledger_rows: Vec<_> = exp
+        .rows()
+        .iter()
+        .map(|m| {
+            let row_n = if m.algorithm == "EGG-SynC (host)" {
+                host_n
+            } else {
+                n
+            };
+            bench_ledger_row(
+                "fig3f_epsilon",
+                &m.algorithm,
+                row_n,
+                2,
+                m.engine_threads.unwrap_or(1),
+                m.iterations,
+                m.wall_seconds,
+                &m.stages,
+                &m.counters,
+            )
+        })
+        .collect();
+    match append_bench_ledger(&ledger_rows) {
+        Ok(ledger) => println!("(ledger appended to {})", ledger.display()),
+        Err(e) => eprintln!("warning: could not append BENCH_egg.json: {e}"),
     }
     exp.finish();
 }

@@ -1,14 +1,18 @@
 //! Figure 4 — runtimes on the real-world (UCI) datasets.
 //!
-//! This reproduction uses seeded synthetic proxies with the original
-//! datasets' dimensionality (see `egg_data::catalog`), scaled down in n
-//! for the single-core host. Paper shape: large speedups for the
-//! GPU-parallelized algorithms everywhere; EGG-SynC beats GPU-SynC on all
-//! datasets *except* Skin, where the exact criterion must resolve a slow
-//! cluster merge that λ-termination silently skips (7 vs 343 iterations
-//! in the paper — the proxy reproduces the same gap by construction).
+//! Fetch-or-synthesize: when `EGG_DATA_DIR` holds a `<slug>.csv` for a
+//! dataset, the real rows are loaded; otherwise a seeded synthetic proxy
+//! with the original's n/d/value range stands in (see `egg_data::catalog`).
+//! The host engine ("EGG-SynC (host)") runs every dataset at its full
+//! original size — up to Roads' 434 874 × 3 — while the simulated backends
+//! are scaled down in n for the single-core host. Paper shape: large
+//! speedups for the GPU-parallelized algorithms everywhere; EGG-SynC beats
+//! GPU-SynC on all datasets *except* Skin, where the exact criterion must
+//! resolve a slow cluster merge that λ-termination silently skips (7 vs
+//! 343 iterations in the paper — the proxy reproduces the same gap by
+//! construction).
 
-use egg_bench::{measure, scaled, Experiment};
+use egg_bench::{append_bench_ledger, bench_ledger_row, measure, scaled, Experiment};
 use egg_data::catalog::UciDataset;
 use egg_sync_core::{EggSync, FSync, GpuSync, Sync};
 
@@ -17,20 +21,23 @@ fn main() {
     let brute_cap = scaled(5_000);
     let gpu_cap = scaled(5_000);
     println!(
-        "(sizes scaled to ≤{} for O(n²) baselines, ≤{gpu_cap} for GPU-SynC)",
-        brute_cap
+        "(sizes scaled to ≤{brute_cap} for O(n²) baselines, ≤{gpu_cap} for GPU-SynC; \
+         host engine runs full sizes)"
     );
+    let mut ledger_rows = Vec::new();
     for (idx, ds) in UciDataset::ALL.iter().enumerate() {
         let full = ds.full_size();
         let n = scaled(full.min(6_000));
-        let data = ds.generate_scaled(n);
+        let (data, real) = ds.load(n);
         println!(
-            "\n{} (original {} × {}, proxy n = {}):",
+            "\n{} (original {} × {}, {} n = {}):",
             ds.name(),
             full,
             ds.dim(),
+            if real { "loaded" } else { "proxy" },
             data.len()
         );
+        let before = exp.rows().len();
         if data.len() <= brute_cap {
             exp.push(measure(&Sync::new(0.05), &data, idx as f64));
             exp.push(measure(&FSync::new(0.05), &data, idx as f64));
@@ -39,6 +46,41 @@ fn main() {
             exp.push(measure(&GpuSync::new(0.05), &data, idx as f64));
         }
         exp.push(measure(&EggSync::new(0.05), &data, idx as f64));
+        for m in &exp.rows()[before..] {
+            ledger_rows.push(bench_ledger_row(
+                "fig4_realworld",
+                &format!("{}/{}", m.algorithm, ds.name()),
+                data.len(),
+                ds.dim(),
+                m.engine_threads.unwrap_or(1),
+                m.iterations,
+                m.wall_seconds,
+                &m.stages,
+                &m.counters,
+            ));
+        }
+        // the host engine carries the paper-envelope size per dataset
+        let host_n = scaled(full);
+        let (host_data, _) = ds.load(host_n);
+        let before = exp.rows().len();
+        exp.push(measure(&EggSync::host(0.05, None), &host_data, idx as f64));
+        for m in &exp.rows()[before..] {
+            ledger_rows.push(bench_ledger_row(
+                "fig4_realworld",
+                &format!("{}/{}", m.algorithm, ds.name()),
+                host_data.len(),
+                ds.dim(),
+                m.engine_threads.unwrap_or(1),
+                m.iterations,
+                m.wall_seconds,
+                &m.stages,
+                &m.counters,
+            ));
+        }
+    }
+    match append_bench_ledger(&ledger_rows) {
+        Ok(ledger) => println!("(ledger appended to {})", ledger.display()),
+        Err(e) => eprintln!("warning: could not append BENCH_egg.json: {e}"),
     }
     exp.finish();
 }

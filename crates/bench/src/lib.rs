@@ -78,7 +78,9 @@ fn secs_to_ns(seconds: f64) -> u64 {
 
 /// One row of the cross-PR benchmark ledger `BENCH_egg.json`: which
 /// experiment and method produced the run, its workload shape (n, d,
-/// threads), the per-stage nanoseconds that trend dashboards diff across
+/// threads), a unix-milliseconds timestamp (rows appended later must not
+/// go backwards — the regression checker validates monotonicity per
+/// group), the per-stage nanoseconds that trend dashboards diff across
 /// commits, and the EGG-update work counters (all-zero for non-EGG
 /// methods).
 #[allow(clippy::too_many_arguments)]
@@ -111,6 +113,10 @@ pub fn bench_ledger_row(
         "simd_lanes": counters.simd_lanes,
         "simd_remainder_lanes": counters.simd_remainder_lanes,
     });
+    let timestamp_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
     serde_json::json!({
         "experiment": experiment,
         "method": method,
@@ -118,6 +124,7 @@ pub fn bench_ledger_row(
         "d": d,
         "threads": threads,
         "iterations": iterations,
+        "timestamp_ms": timestamp_ms,
         "wall_ns": secs_to_ns(wall_seconds),
         "stages_ns": stages_ns,
         "counters": counters_json,

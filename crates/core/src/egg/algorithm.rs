@@ -450,13 +450,14 @@ mod tests {
     fn ablation_toggles_do_not_change_results() {
         let (data, _) = blobs(150, 3, 19);
         let reference = EggSync::new(0.05).cluster(&data);
-        for bits in 0u8..32 {
+        for bits in 0u8..64 {
             let options = UpdateOptions {
                 use_summaries: bits & 1 != 0,
                 use_pregrid: bits & 2 != 0,
                 use_trig_tables: bits & 4 != 0,
                 use_incremental: bits & 8 != 0,
                 use_simd: bits & 16 != 0,
+                use_cell_bounds: bits & 32 != 0,
             };
             let mut algo = EggSync::new(0.05);
             algo.options = options;

@@ -60,7 +60,6 @@ pub fn second_term_holds(
             }
             let c_oid = geo.outer_id_of_point(&p[..dim]);
             let k = pre.index_of.load(c_oid) as usize;
-            let mut cell_coords = [0u64; MAX_DIM];
 
             let lo = seg_start(&pre.ends, k) as usize;
             let hi = pre.ends.load(k) as usize;
@@ -69,10 +68,14 @@ pub fn second_term_holds(
                 let cells_lo = seg_start(&grid.o_ends, oid) as usize;
                 let cells_hi = grid.o_ends.load(oid) as usize;
                 for c in cells_lo..cells_hi {
-                    for i in 0..dim {
-                        cell_coords[i] = grid.i_ids.load(c * dim + i);
-                    }
-                    if geo.min_sq_dist_to_cell(&p[..dim], &cell_coords[..dim]) > shell_sq {
+                    // prune through the cell's point MBR — tighter than the
+                    // grid box and still conservative, so the verdict is
+                    // unchanged (skipped cells provably hold no shell point):
+                    // beyond the shell no point reaches it, and entirely
+                    // inside the ε-ball every point is a plain ε-neighbor
+                    if min_sq_dist_to_cell_points(grid, c, &p[..dim], dim) > shell_sq
+                        || max_sq_dist_to_cell_points(grid, c, &p[..dim], dim) <= eps_sq
+                    {
                         continue;
                     }
                     let pts_lo = grid.cell_start(c) as usize;
@@ -131,6 +134,31 @@ pub fn second_term_holds(
     flag.load(0) == 1
 }
 
+/// Squared distance from `p` to the point MBR of compacted cell `c` of a
+/// device grid — the tight cell prune of the termination scans.
+#[inline]
+fn min_sq_dist_to_cell_points(grid: &DeviceGrid, c: usize, p: &[f64], dim: usize) -> f64 {
+    let (mut lo, mut hi) = ([0.0f64; MAX_DIM], [0.0f64; MAX_DIM]);
+    for i in 0..dim {
+        lo[i] = grid.c_bounds.load(c * 2 * dim + i);
+        hi[i] = grid.c_bounds.load(c * 2 * dim + dim + i);
+    }
+    GridGeometry::min_sq_dist_to_bounds(p, &lo[..dim], &hi[..dim])
+}
+
+/// Squared distance from `p` to the farthest corner of the point MBR of
+/// compacted cell `c` — cells entirely inside the ε-ball hold no shell
+/// point, which collapses the termination scan on converged clusters.
+#[inline]
+fn max_sq_dist_to_cell_points(grid: &DeviceGrid, c: usize, p: &[f64], dim: usize) -> f64 {
+    let (mut lo, mut hi) = ([0.0f64; MAX_DIM], [0.0f64; MAX_DIM]);
+    for i in 0..dim {
+        lo[i] = grid.c_bounds.load(c * 2 * dim + i);
+        hi[i] = grid.c_bounds.load(c * 2 * dim + dim + i);
+    }
+    GridGeometry::max_sq_dist_to_bounds(p, &lo[..dim], &hi[..dim])
+}
+
 /// The per-partner predicate of Lemma 4.6: is `q₂` an ε/2-neighbor of `q₁`
 /// whose pair-MBR with `q₁` intersects the ε-ball of `p`?
 fn pair_drags(p: &[f64], q1: &[f64], q2: &[f64], eps_sq: f64, half_sq: f64) -> bool {
@@ -175,7 +203,6 @@ fn shell_pair_reaches(
 ) -> bool {
     let q1_oid = geo.outer_id_of_point(q1);
     let k1 = pre.index_of.load(q1_oid) as usize;
-    let mut cell_coords = [0u64; MAX_DIM];
     let lo = seg_start(&pre.ends, k1) as usize;
     let hi = pre.ends.load(k1) as usize;
     for s in lo..hi {
@@ -183,10 +210,7 @@ fn shell_pair_reaches(
         let cells_lo = seg_start(&grid.o_ends, oid) as usize;
         let cells_hi = grid.o_ends.load(oid) as usize;
         for c in cells_lo..cells_hi {
-            for i in 0..dim {
-                cell_coords[i] = grid.i_ids.load(c * dim + i);
-            }
-            if geo.min_sq_dist_to_cell(q1, &cell_coords[..dim]) > half_sq {
+            if min_sq_dist_to_cell_points(grid, c, q1, dim) > half_sq {
                 continue;
             }
             let pts_lo = grid.cell_start(c) as usize;
@@ -264,7 +288,15 @@ pub fn second_term_holds_host(
         let p = &coords[p_idx * dim..(p_idx + 1) * dim];
         let mut dragged = false;
         grid.for_each_cell_in_reach(geo.outer_id_of_point(p), |c| {
-            if dragged || geo.min_sq_dist_to_cell(p, grid.cell_key(c)) > shell_sq {
+            // tight MBR prune — conservative, so the verdict is unchanged:
+            // past the shell no cell point reaches it, and entirely inside
+            // the ε-ball every cell point is a plain ε-neighbor, never a
+            // shell point (this collapses the scan on converged clusters)
+            let (b_lo, b_hi) = grid.cell_bounds(c);
+            if dragged
+                || GridGeometry::min_sq_dist_to_bounds(p, b_lo, b_hi) > shell_sq
+                || GridGeometry::max_sq_dist_to_bounds(p, b_lo, b_hi) <= eps_sq
+            {
                 return;
             }
             if use_simd {
@@ -324,7 +356,8 @@ fn shell_pair_reaches_host(
 ) -> bool {
     let mut reaches = false;
     grid.for_each_cell_in_reach(geo.outer_id_of_point(q1), |c| {
-        if reaches || geo.min_sq_dist_to_cell(q1, grid.cell_key(c)) > half_sq {
+        let (b_lo, b_hi) = grid.cell_bounds(c);
+        if reaches || GridGeometry::min_sq_dist_to_bounds(q1, b_lo, b_hi) > half_sq {
             return;
         }
         for &q2_idx in grid.cell_points(c) {

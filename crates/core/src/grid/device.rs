@@ -63,6 +63,10 @@ pub struct DeviceGrid {
     pub trig_sin: DeviceBuffer<f64>,
     /// Per-point cos(pᵢ) (`n × dim`).
     pub trig_cos: DeviceBuffer<f64>,
+    /// Per-cell point MBR, `2·dim` words per compacted inner cell
+    /// (`[lo_0.. lo_{d-1}, hi_0.. hi_{d-1}]`) — the tight bounds the
+    /// update kernel classifies cells with (exact: points ⊆ MBR ⊆ box).
+    pub c_bounds: DeviceBuffer<f64>,
     /// Number of compacted non-empty inner cells.
     pub num_inner: usize,
 }
@@ -122,6 +126,7 @@ pub struct GridWorkspace {
     cos_sums: DeviceBuffer<f64>,
     trig_sin: DeviceBuffer<f64>,
     trig_cos: DeviceBuffer<f64>,
+    c_bounds: DeviceBuffer<f64>,
     pre_list: DeviceBuffer<u64>,
     pre_index: DeviceBuffer<u64>,
     pre_sizes: DeviceBuffer<u64>,
@@ -194,6 +199,7 @@ impl GridWorkspace {
             cos_sums: device.alloc(crate::kernels::lane_pad(nd)),
             trig_sin: device.alloc(crate::kernels::lane_pad(nd)),
             trig_cos: device.alloc(crate::kernels::lane_pad(nd)),
+            c_bounds: device.alloc(2 * nd),
             pre_list: device.alloc(m.max(1)),
             pre_index: device.alloc(m),
             pre_sizes: device.alloc(m.max(1)),
@@ -230,6 +236,7 @@ impl GridWorkspace {
             self.cos_sums.len(),
             self.trig_sin.len(),
             self.trig_cos.len(),
+            self.c_bounds.len(),
             self.pre_list.len(),
             self.pre_index.len(),
             self.pre_sizes.len(),
@@ -454,6 +461,12 @@ impl GridWorkspace {
             });
         }
 
+        // -- per-cell point MBRs, for the update kernel's tight cell
+        // classification: one thread per compacted cell walks its own
+        // contiguous grid-sorted slot range — a pure function of the CSR
+        // layout and the coordinates
+        self.compute_cell_bounds(coords, num_inner, None);
+
         DeviceGrid {
             geometry: geo,
             o_sizes: self.o_sizes.clone(),
@@ -466,8 +479,49 @@ impl GridWorkspace {
             cos_sums: self.cos_sums.clone(),
             trig_sin: self.trig_sin.clone(),
             trig_cos: self.trig_cos.clone(),
+            c_bounds: self.c_bounds.clone(),
             num_inner,
         }
+    }
+
+    /// Recompute the per-cell point MBRs (`c_bounds`) for every cell — or,
+    /// with `dirty` set, only for cells flagged in it (clean cells hold no
+    /// mover, so their rows are already current). Each cell reduces its own
+    /// slot range sequentially, so the rows are bitwise identical for
+    /// either maintenance path.
+    fn compute_cell_bounds(
+        &self,
+        coords: &DeviceBuffer<f64>,
+        num_inner: usize,
+        dirty: Option<&DeviceBuffer<u64>>,
+    ) {
+        let dim = self.geometry.dim;
+        let (i_ends, i_points, c_bounds) = (&self.i_ends, &self.i_points, &self.c_bounds);
+        self.device
+            .launch("grid_cell_bounds", grid_for(num_inner, BLOCK), BLOCK, |t| {
+                let c = t.global_id();
+                if c >= num_inner {
+                    return;
+                }
+                if let Some(d) = dirty {
+                    if d.load(c) == 0 {
+                        return;
+                    }
+                }
+                let lo = seg_start(i_ends, c) as usize;
+                let hi = i_ends.load(c) as usize;
+                for i in 0..dim {
+                    let mut min = f64::INFINITY;
+                    let mut max = f64::NEG_INFINITY;
+                    for e in lo..hi {
+                        let x = coords.load(i_points.load(e) as usize * dim + i);
+                        min = min.min(x);
+                        max = max.max(x);
+                    }
+                    c_bounds.store(c * 2 * dim + i, min);
+                    c_bounds.store(c * 2 * dim + dim + i, max);
+                }
+            });
     }
 
     /// Precompute the non-empty surrounding outer cells of every non-empty
@@ -613,6 +667,7 @@ impl GridWorkspace {
             cos_sums: self.cos_sums.clone(),
             trig_sin: self.trig_sin.clone(),
             trig_cos: self.trig_cos.clone(),
+            c_bounds: self.c_bounds.clone(),
             num_inner: self.last_num_inner,
         }
     }
@@ -816,6 +871,10 @@ impl GridWorkspace {
                 }
             });
         }
+
+        // 5: refresh the MBRs of the dirty cells (clean cells hold no
+        // mover, so their rows are already current)
+        self.compute_cell_bounds(coords, num_inner, Some(&self.cell_fill));
 
         // no mover crossed a boundary, so `point_keys` is already current
         let stats = DeviceRefreshStats {

@@ -23,6 +23,18 @@ pub enum GridVariant {
 /// counters) — the memory-feasibility line for [`GridVariant::RandomAccess`].
 pub const MAX_OUTER_CELLS: usize = 1 << 24;
 
+/// Cap on the surround-enumeration volume `v^{d'}` (`v = 2·reach + 1`)
+/// that [`GridVariant::Auto`] will accept. Every reach walk — the update
+/// kernel, the preGrid build, the incremental skip marking — enumerates
+/// `v^{d'}` outer offsets per cell or point, so past a few thousand ids
+/// the directory's pruning no longer pays for its own enumeration. At
+/// high `d` the paper's pure-memory heuristic `w^{d'} ≤ n·d` keeps
+/// growing `d'` long after `v^{d'}` has exploded (d = 20, ε = 0.05 gives
+/// v = 21, so `d' = 3` already walks 9261 offsets per point); this cap is
+/// what keeps the mixed structure usable across the paper's d = 2–20
+/// envelope.
+pub const MAX_SURROUND_ENUM: usize = 4096;
+
 /// Cell geometry shared by grid construction, the update kernel, the
 /// termination check and the gatherer. `Copy`, so kernel closures can
 /// capture it by value the way CUDA kernels take it by parameter.
@@ -60,7 +72,12 @@ impl GridGeometry {
         let width = (1.0 / cell_width).ceil() as usize;
         let reach = ((epsilon + delta(epsilon)) / cell_width).ceil() as usize;
 
-        let budget = (n * dim).max(64);
+        // Auto's directory budget is the paper's `w^{d'} ≤ n·d`, clamped to
+        // the hard directory cap so the heuristic can never select a `d'`
+        // the construction below would refuse (reachable on the paper
+        // envelope: n = 1M, d = 20 gives a 20M budget > MAX_OUTER_CELLS).
+        let budget = (n.saturating_mul(dim)).clamp(64, MAX_OUTER_CELLS);
+        let v = 2 * reach + 1;
         let outer_dims = match variant {
             GridVariant::Sequential => 0,
             GridVariant::RandomAccess => dim,
@@ -68,10 +85,13 @@ impl GridGeometry {
             GridVariant::Auto => {
                 let mut d_prime = 0usize;
                 let mut cells = 1usize;
+                let mut surround = 1usize;
                 while d_prime < dim {
-                    match cells.checked_mul(width) {
-                        Some(next) if next <= budget => {
+                    let next_surround = surround.checked_mul(v);
+                    match (cells.checked_mul(width), next_surround) {
+                        (Some(next), Some(ns)) if next <= budget && ns <= MAX_SURROUND_ENUM => {
                             cells = next;
+                            surround = ns;
                             d_prime += 1;
                         }
                         _ => break,
@@ -185,6 +205,45 @@ impl GridGeometry {
             let lo = self.cell_lo(coords[i]);
             let hi = lo + self.cell_width;
             let d = (p[i] - lo).abs().max((p[i] - hi).abs());
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Squared distance from `p` to the closest point of the axis-aligned
+    /// box `[lo, hi]` (0 when `p` is inside). With a cell's *point* MBR as
+    /// the box this is a tighter — still conservative — edition of
+    /// [`GridGeometry::min_sq_dist_to_cell`]: the points are inside the
+    /// MBR, so a cell whose MBR lies beyond ε provably holds no neighbor.
+    #[inline]
+    pub fn min_sq_dist_to_bounds(p: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..p.len() {
+            let d = if p[i] < lo[i] {
+                lo[i] - p[i]
+            } else if p[i] > hi[i] {
+                p[i] - hi[i]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Squared distance from `p` to the farthest point of the box
+    /// `[lo, hi]` — the MBR edition of
+    /// [`GridGeometry::max_sq_dist_to_cell`]. When this is ≤ ε² every
+    /// point of the cell is within ε of `p` (points ⊆ MBR), so consuming
+    /// the cell's Σsin/Σcos summary stays **exact** even though the grid
+    /// box itself straddles the ε-ball. This is what collapses the pair
+    /// term on tightly clustered data, where late-stage cells hold
+    /// near-coincident points whose spread is far below the cell width.
+    #[inline]
+    pub fn max_sq_dist_to_bounds(p: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..p.len() {
+            let d = (p[i] - lo[i]).abs().max((p[i] - hi[i]).abs());
             acc += d * d;
         }
         acc
@@ -314,6 +373,50 @@ mod tests {
         // point one cell to the left
         let left = [2.5 * cw, 4.5 * cw];
         assert!((g.min_sq_dist_to_cell(&left, &coords).sqrt() - 0.5 * cw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auto_budget_is_clamped_to_the_directory_cap() {
+        // n·d = 20.5M exceeds MAX_OUTER_CELLS; the uncapped heuristic
+        // would pick a directory in the (cap, budget] window and the
+        // construction would panic. The clamp keeps Auto total.
+        let g = GridGeometry::new(20, 0.035, 1_024_000, GridVariant::Auto);
+        assert!(g.outer_cells <= MAX_OUTER_CELLS);
+    }
+
+    #[test]
+    fn auto_caps_surround_enumeration_at_high_dim() {
+        for (dim, eps) in [(16, 0.05), (20, 0.05), (20, 0.01)] {
+            let g = GridGeometry::new(dim, eps, 1_024_000, GridVariant::Auto);
+            let v = g.surround_per_dim();
+            assert!(
+                v.pow(g.outer_dims as u32) <= MAX_SURROUND_ENUM,
+                "d={dim} ε={eps}: v^d' = {v}^{} over the enumeration cap",
+                g.outer_dims
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_distances_are_tighter_than_cell_distances() {
+        let g = GridGeometry::new(2, 0.1, 1000, GridVariant::Auto);
+        let cw = g.cell_width;
+        let coords = [3u64, 4u64];
+        // points huddled in the middle 20% of the cell
+        let lo = [3.4 * cw, 4.4 * cw];
+        let hi = [3.6 * cw, 4.6 * cw];
+        let p = [1.0 * cw, 4.5 * cw];
+        let min_b = GridGeometry::min_sq_dist_to_bounds(&p, &lo, &hi);
+        let max_b = GridGeometry::max_sq_dist_to_bounds(&p, &lo, &hi);
+        assert!(min_b >= g.min_sq_dist_to_cell(&p, &coords));
+        assert!(max_b <= g.max_sq_dist_to_cell(&p, &coords));
+        assert!((min_b.sqrt() - 2.4 * cw).abs() < 1e-12);
+        assert!((max_b.sqrt() - (2.6f64 * 2.6 + 0.1 * 0.1).sqrt() * cw).abs() < 1e-12);
+        // a point inside the MBR is at distance 0
+        assert_eq!(
+            GridGeometry::min_sq_dist_to_bounds(&[3.5 * cw, 4.5 * cw], &lo, &hi),
+            0.0
+        );
     }
 
     #[test]

@@ -184,6 +184,16 @@ pub struct CellGrid {
     /// neighbors contiguously instead of gathering through the order
     /// permutation.
     lane_coords: Vec<f64>,
+    /// Per-cell point MBR `[lo_0.. lo_{d-1}, hi_0.. hi_{d-1}]`, rows of
+    /// stride `2·dim` in sorted cell order. Recomputed from the final CSR
+    /// layout and raw coordinates after every rebuild/refresh — a pure
+    /// function of both, so the rows are identical whichever maintenance
+    /// path produced the layout, and for any worker count. The update
+    /// kernel classifies cells against the ε-ball through these bounds
+    /// (exact: points ⊆ MBR ⊆ cell box), which keeps tightly clustered
+    /// cells on the O(1) summary path even when their grid box straddles
+    /// the ball.
+    cell_bounds: Vec<f64>,
     /// `(outer id, lo, hi)` cell ranges in sorted cell order, ascending by
     /// outer id (binary-searched by [`CellGrid::for_each_cell_in_reach`]).
     outer_index: Vec<(u64, u32, u32)>,
@@ -245,6 +255,7 @@ impl CellGrid {
             lane_sin: Vec::new(),
             lane_cos: Vec::new(),
             lane_coords: Vec::new(),
+            cell_bounds: Vec::new(),
             outer_index: Vec::new(),
             point_keys: Vec::new(),
             point_outer: Vec::new(),
@@ -281,6 +292,11 @@ impl CellGrid {
         let dim = geometry.dim;
         debug_assert!(dim <= MAX_DIM);
         let n = coords.len() / dim;
+        // every per-point array (CSR entries, slots, inversions) is u32
+        assert!(
+            u32::try_from(n).is_ok(),
+            "CellGrid indexes points with u32: n = {n} exceeds u32::MAX"
+        );
 
         // Pass 1 — per-point cell key and outer id, all independent,
         // scattered into pre-sized buffers.
@@ -345,12 +361,15 @@ impl CellGrid {
 
         // Pass 4 — walk the sorted order once to cut cell boundaries and
         // outer ranges, and invert into the per-point cell index.
+        // No eager `reserve` here: pre-reserving the worst case (n cells)
+        // allocates n·dim u64 keys up front — a 160 MB spike at the paper
+        // envelope's 1M×20 — while the realistic cell count is far below
+        // n. Amortized growth reaches the actual size instead, and the
+        // capacity persists across iterations, so the steady state still
+        // allocates nothing.
         self.cell_keys.clear();
         self.cell_starts.clear();
         self.outer_index.clear();
-        self.cell_keys.reserve(n * dim);
-        self.cell_starts.reserve(n + 1);
-        self.outer_index.reserve(n.min(geometry.outer_cells));
         self.point_cell.resize(n, 0);
         self.point_slot.resize(n, 0);
         self.cell_starts.push(0);
@@ -405,6 +424,7 @@ impl CellGrid {
             });
         }
         self.rebuild_lane_tables(exec, coords);
+        self.rebuild_cell_bounds(exec, coords);
         self.has_state = true;
     }
 
@@ -580,6 +600,7 @@ impl CellGrid {
             });
         }
         self.rebuild_lane_tables(exec, coords);
+        self.rebuild_cell_bounds(exec, coords);
         dirty_cells
     }
 
@@ -639,6 +660,9 @@ impl CellGrid {
         // A cell is clean iff it contains no changer and no mover and its
         // membership is unchanged (same old cell, same size) — then both
         // its trig rows and its summary row are bitwise reusable.
+        // The per-point scratch reserves here are u32-sized (a few MB even
+        // at the 1M envelope) and guarantee the zero-alloc steady state;
+        // only `rebuild`'s n·dim key reserve was a real memory spike.
         self.cell_keys.clear();
         self.outer_index.clear();
         self.starts_scratch.clear();
@@ -792,7 +816,42 @@ impl CellGrid {
         std::mem::swap(&mut self.point_trig, &mut self.trig_scratch);
         std::mem::swap(&mut self.trig_sums, &mut self.sums_scratch);
         self.rebuild_lane_tables(exec, coords);
+        self.rebuild_cell_bounds(exec, coords);
         dirty_cells
+    }
+
+    /// Recompute the per-cell point MBRs from the final grid-sorted order
+    /// — an O(n·d) pass, within the same per-iteration envelope as the
+    /// lane-table relayout that precedes it. Each cell scans its own
+    /// contiguous slot range sequentially, so the rows are a pure function
+    /// of the CSR layout and the coordinates: bitwise identical for any
+    /// worker count and for either maintenance path.
+    fn rebuild_cell_bounds(&mut self, exec: &Executor, coords: &[f64]) {
+        let dim = self.geometry.dim;
+        let num_cells = self.num_cells();
+        let bs = 2 * dim;
+        self.cell_bounds.clear();
+        self.cell_bounds.resize(num_cells * bs, 0.0);
+        let cell_starts = &self.cell_starts;
+        let order = &self.cell_points;
+        exec.map_chunks_mut(&mut self.cell_bounds, CELL_CHUNK * bs, |offset, chunk| {
+            let first = offset / bs;
+            for (r, bounds) in chunk.chunks_exact_mut(bs).enumerate() {
+                let c = first + r;
+                let lo = cell_starts[c] as usize;
+                let hi = cell_starts[c + 1] as usize;
+                let (b_lo, b_hi) = bounds.split_at_mut(dim);
+                b_lo.copy_from_slice(row(coords, dim, order[lo] as usize));
+                b_hi.copy_from_slice(b_lo);
+                for slot in lo + 1..hi {
+                    let q = row(coords, dim, order[slot] as usize);
+                    for i in 0..dim {
+                        b_lo[i] = b_lo[i].min(q[i]);
+                        b_hi[i] = b_hi[i].max(q[i]);
+                    }
+                }
+            }
+        });
     }
 
     /// Rebuild the lane-blocked SoA tables (`lane_sin`, `lane_cos`,
@@ -918,6 +977,15 @@ impl CellGrid {
         &self.trig_sums[c * ts + dim..c * ts + 2 * dim]
     }
 
+    /// The point MBR of compacted cell `c`: `(lo, hi)` slices of `dim`
+    /// values each — the tight bounds the update kernel classifies the
+    /// cell with (exact: the cell's points all lie inside them).
+    pub fn cell_bounds(&self, c: usize) -> (&[f64], &[f64]) {
+        let dim = self.geometry.dim;
+        let bs = 2 * dim;
+        self.cell_bounds[c * bs..(c + 1) * bs].split_at(dim)
+    }
+
     /// All point indices in grid-sorted order — the host edition of the
     /// device's `i_points` (§4.2.6). Processing points in this order makes
     /// consecutive points share cells, so their reach walks touch the same
@@ -956,7 +1024,50 @@ impl CellGrid {
     /// are skipped by a binary search over the sorted non-empty outer
     /// ranges instead of a precomputed list.
     pub fn for_each_cell_in_reach(&self, oid: usize, mut f: impl FnMut(usize)) {
-        self.geometry.for_each_surrounding_outer(oid, |o| {
+        let geo = &self.geometry;
+        let d = geo.outer_dims;
+        let v = geo.surround_per_dim();
+        // When far fewer outer cells are occupied than the surround volume
+        // v^d' — narrow cells, high reach, or a converged dataset collapsed
+        // into a handful of cells — enumerating offsets wastes a binary
+        // search per empty bucket (729 probes per point for 3 cells on the
+        // converged Skin workload). Instead, filter the occupied list by
+        // the reach box and replay it in the exact offset-enumeration
+        // order, so every caller sees the identical visit sequence (the
+        // summary accumulation order is part of the bitwise contract).
+        const SMALL_OCCUPANCY: usize = 64;
+        let occupied = self.outer_index.len();
+        if d > 0 && occupied <= SMALL_OCCUPANCY && occupied < v.pow(d as u32) {
+            let mut base = [0u64; 64];
+            geo.outer_coords_of_id(oid, &mut base[..d]);
+            // (offset-enumeration key k, outer_index entry); dim 0 is k's
+            // least-significant digit, exactly as in the offset loop
+            let mut in_reach = [(0u64, 0u32); SMALL_OCCUPANCY];
+            let mut len = 0usize;
+            let mut coords = [0u64; 64];
+            'entries: for (e, &(id, _, _)) in self.outer_index.iter().enumerate() {
+                geo.outer_coords_of_id(id as usize, &mut coords[..d]);
+                let mut k = 0u64;
+                for i in (0..d).rev() {
+                    let off = coords[i] as i64 - base[i] as i64;
+                    if off.unsigned_abs() as usize > geo.reach {
+                        continue 'entries;
+                    }
+                    k = k * v as u64 + (off + geo.reach as i64) as u64;
+                }
+                in_reach[len] = (k, e as u32);
+                len += 1;
+            }
+            in_reach[..len].sort_unstable();
+            for &(_, e) in &in_reach[..len] {
+                let (_, lo, hi) = self.outer_index[e as usize];
+                for c in lo..hi {
+                    f(c as usize);
+                }
+            }
+            return;
+        }
+        geo.for_each_surrounding_outer(oid, |o| {
             let o = o as u64;
             if let Ok(e) = self.outer_index.binary_search_by_key(&o, |&(id, _, _)| id) {
                 let (_, lo, hi) = self.outer_index[e];
@@ -979,6 +1090,7 @@ impl CellGrid {
             + self.lane_sin.len() * 8
             + self.lane_cos.len() * 8
             + self.lane_coords.len() * 8
+            + self.cell_bounds.len() * 8
             + self.outer_index.len() * 16
             + self.point_keys.len() * 8
             + self.point_outer.len() * 8
@@ -1272,6 +1384,28 @@ mod tests {
                 // summaries and trig tables bitwise, not merely close
                 assert_eq!(bits(&grid.trig_sums), bits(&fresh.trig_sums), "{tag}");
                 assert_eq!(bits(&grid.point_trig), bits(&fresh.point_trig), "{tag}");
+                assert_eq!(bits(&grid.cell_bounds), bits(&fresh.cell_bounds), "{tag}");
+            }
+        }
+    }
+
+    #[test]
+    fn cell_bounds_are_tight_point_mbrs() {
+        let coords = pseudo_cloud(300, 3);
+        let g = GridGeometry::new(3, 0.12, 100, GridVariant::Auto);
+        let grid = CellGrid::build(&Executor::new(Some(4)), g, &coords);
+        assert!(grid.num_cells() > 1);
+        for c in 0..grid.num_cells() {
+            let (lo, hi) = grid.cell_bounds(c);
+            for i in 0..3 {
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                for &p in grid.cell_points(c) {
+                    min = min.min(coords[p as usize * 3 + i]);
+                    max = max.max(coords[p as usize * 3 + i]);
+                }
+                assert_eq!(lo[i].to_bits(), min.to_bits(), "cell {c} dim {i}");
+                assert_eq!(hi[i].to_bits(), max.to_bits(), "cell {c} dim {i}");
             }
         }
     }

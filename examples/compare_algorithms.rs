@@ -1,45 +1,108 @@
-//! Run all five algorithms on one dataset and compare runtime, iteration
+//! Run the algorithm suite on one dataset and compare runtime, iteration
 //! count, cluster count and agreement with the exact result.
 //!
 //! ```sh
-//! cargo run --release --example compare_algorithms [n] [epsilon]
+//! cargo run --release --example compare_algorithms [n] [epsilon] [dataset]
 //! ```
+//!
+//! `dataset` is `synthetic` (default: 2-D, 5 Gaussian clusters) or a
+//! catalog slug (`skin`, `roads`, `ccpp`, `bank`, `eb`, `wilt`, `yeast`,
+//! `eeg`, `letter`) — catalog stand-ins are fetched from `EGG_DATA_DIR`
+//! when present, synthesized with pinned seeds otherwise, and sized to
+//! exactly `n` points (upscaled past the original size if asked — the
+//! paper-envelope acceptance run is `compare_algorithms 1024000 0.05
+//! skin`). The O(n²) baselines and the simulated-GPU algorithms only run
+//! below built-in caps; the host-engine EGG-SynC always runs and serves
+//! as the exactness reference at scale. Every run appends a row to the
+//! `BENCH_egg.json` ledger.
 
 use std::time::Instant;
 
+use egg_bench::{append_bench_ledger, bench_ledger_row, measurement_from};
+use egg_data::catalog::UciDataset;
+use egg_data::Dataset;
 use egg_sync::prelude::*;
+
+/// `synthetic` or a catalog slug. Catalog entries honor `EGG_DATA_DIR`
+/// (fetch) up to the real file's size and switch to the seeded proxy for
+/// anything larger — `generate_sized` is uncapped, so the paper envelope's
+/// n = 1 024 000 upscales the Skin regime past its original 245 057 rows.
+fn resolve_dataset(which: &str, n: usize) -> (Dataset, String) {
+    if which == "synthetic" {
+        let data = GaussianSpec {
+            n,
+            dim: 2,
+            clusters: 5,
+            std_dev: 5.0,
+            ..GaussianSpec::default()
+        }
+        .generate_normalized()
+        .0;
+        return (data, "synthetic".to_owned());
+    }
+    let ds = UciDataset::ALL
+        .iter()
+        .find(|d| d.slug() == which)
+        .unwrap_or_else(|| {
+            let slugs: Vec<_> = UciDataset::ALL.iter().map(|d| d.slug()).collect();
+            panic!("unknown dataset '{which}': use synthetic or one of {slugs:?}")
+        });
+    let (data, real) = ds.load(n);
+    if real && data.len() >= n {
+        return (data, format!("{} (loaded)", ds.name()));
+    }
+    if n > data.len() {
+        // requested size exceeds both the file and the capped proxy
+        return (ds.generate_sized(n), format!("{} (proxy)", ds.name()));
+    }
+    (data, format!("{} (proxy)", ds.name()))
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2_000);
     let epsilon: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.05);
+    let which = args.next().unwrap_or_else(|| "synthetic".to_owned());
 
-    let (data, _) = GaussianSpec {
-        n,
-        dim: 2,
-        clusters: 5,
-        std_dev: 5.0,
-        ..GaussianSpec::default()
-    }
-    .generate_normalized();
-    println!("dataset: {n} points, 2 dims, 5 Gaussian clusters, ε = {epsilon}\n");
+    let (data, label) = resolve_dataset(&which, n);
+    println!(
+        "dataset: {} — {} points, {} dims, ε = {epsilon}\n",
+        label,
+        data.len(),
+        data.dim()
+    );
 
-    // exact reference first — everything is scored against it
-    let reference = EggSync::new(epsilon).cluster(&data);
+    // single-core host caps: O(n²) baselines and the instruction-level
+    // simulated GPU become impractical long before the host engine does
+    let brute_cap = 20_000usize;
+    let sim_cap = 50_000usize;
 
-    let algorithms: Vec<Box<dyn ClusterAlgorithm>> = vec![
-        Box::new(Sync::new(epsilon)),
-        Box::new(FSync::new(epsilon)),
-        Box::new(MpSync::new(epsilon)),
-        Box::new(GpuSync::new(epsilon)),
-        Box::new(EggSync::new(epsilon)),
+    // exact reference — host engine, which covers every size
+    let reference = EggSync::host(epsilon, None).cluster(&data);
+
+    let algorithms: Vec<(Box<dyn ClusterAlgorithm>, usize)> = vec![
+        (Box::new(Sync::new(epsilon)), brute_cap),
+        (Box::new(FSync::new(epsilon)), brute_cap),
+        (Box::new(MpSync::new(epsilon)), brute_cap),
+        (Box::new(GpuSync::new(epsilon)), sim_cap),
+        (Box::new(EggSync::new(epsilon)), sim_cap),
+        (Box::new(EggSync::host(epsilon, None)), usize::MAX),
     ];
 
     println!(
-        "{:<10} {:>10} {:>7} {:>9} {:>12} {:>14} {:>10}",
+        "{:<16} {:>10} {:>7} {:>9} {:>12} {:>14} {:>10}",
         "algorithm", "wall [s]", "iters", "clusters", "NMI vs exact", "sim GPU [s]", "exact?"
     );
-    for algo in &algorithms {
+    let mut ledger_rows = Vec::new();
+    for (algo, cap) in &algorithms {
+        if data.len() > *cap {
+            println!(
+                "{:<16} {:>10}   (skipped: n > {cap} cap on the single-core host)",
+                algo.name(),
+                "-"
+            );
+            continue;
+        }
         let start = Instant::now();
         let result = algo.cluster(&data);
         let wall = start.elapsed().as_secs_f64();
@@ -50,7 +113,7 @@ fn main() {
             .total_sim_seconds
             .map_or_else(|| "-".to_owned(), |s| format!("{s:.6}"));
         println!(
-            "{:<10} {:>10.3} {:>7} {:>9} {:>12.4} {:>14} {:>10}",
+            "{:<16} {:>10.3} {:>7} {:>9} {:>12.4} {:>14} {:>10}",
             algo.name(),
             wall,
             result.iterations,
@@ -59,6 +122,18 @@ fn main() {
             sim,
             if exact { "yes" } else { "no" },
         );
+        let m = measurement_from(algo.name(), data.len() as f64, wall, &result);
+        ledger_rows.push(bench_ledger_row(
+            "compare_algorithms",
+            &format!("{}/{}", m.algorithm, label),
+            data.len(),
+            data.dim(),
+            m.engine_threads.unwrap_or(1),
+            m.iterations,
+            m.wall_seconds,
+            &m.stages,
+            &m.counters,
+        ));
     }
 
     let counters = &reference.trace.update_counters;
@@ -72,8 +147,12 @@ fn main() {
          {} converged cells skipped outright",
         counters.moved_points, counters.dirty_cells, counters.cells_skipped
     );
+    match append_bench_ledger(&ledger_rows) {
+        Ok(ledger) => println!("\n(ledger appended to {})", ledger.display()),
+        Err(e) => eprintln!("\nwarning: could not append BENCH_egg.json: {e}"),
+    }
     println!(
         "\nNote: on this host the GPU is simulated; 'sim GPU' is the cost-model estimate \
-         on the paper's RTX 3090, 'wall' is single-core host time."
+         on the paper's RTX 3090, 'wall' is host time."
     );
 }

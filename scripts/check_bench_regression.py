@@ -14,10 +14,16 @@ Stage timings below MIN_STAGE_NS are skipped: on CI-scale quick runs a
 sub-millisecond stage is dominated by scheduler noise and any ratio on
 it is meaningless.
 
+Every row is schema-validated before the diff: known stage names only,
+non-negative integer nanosecond timings, and (when rows carry the
+optional timestamp_ms) monotone non-decreasing timestamps per group —
+rows appended out of order would make the latest-two diff compare the
+wrong pair.
+
 Exit codes: 0 on success (warnings do not fail the job); 1 when the
-ledger is missing, malformed, or — with --require-rows — empty, so the
-"perf ledger silently stopped recording" failure mode of PR 2 is loud;
-1 when a --fail-over regression fired.
+ledger is missing, malformed, fails schema validation, or — with
+--require-rows — empty, so the "perf ledger silently stopped recording"
+failure mode of PR 2 is loud; 1 when a --fail-over regression fired.
 
 Usage: check_bench_regression.py [--threshold 0.15] [--fail-over 0.40]
                                  [--require-rows] [PATH]
@@ -45,6 +51,65 @@ def group_key(row):
         row.get("d"),
         row.get("threads"),
     )
+
+
+def validate_rows(rows):
+    """Schema-check ledger rows; return a list of error messages.
+
+    Catches the quiet corruption modes a diff-based checker would
+    otherwise misread: a renamed stage (its timings silently drop out of
+    the comparison), a stage recorded in the wrong unit (seconds instead
+    of nanoseconds parse as sub-MIN_STAGE_NS noise), and rows appended
+    out of order (the "latest two" diff compares the wrong pair). The
+    timestamp is optional — older ledgers predate it — but when present
+    it must be a non-negative integer and non-decreasing per group.
+    """
+    errors = []
+    last_ts = {}
+    for i, r in enumerate(rows):
+        where = f"row {i}"
+        if not isinstance(r, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if isinstance(r.get("experiment"), str) and isinstance(r.get("method"), str):
+            where = f"row {i} ({r['experiment']}/{r['method']})"
+        for field in ("experiment", "method"):
+            if not isinstance(r.get(field), str) or not r.get(field):
+                errors.append(f"{where}: '{field}' must be a non-empty string")
+        for field in ("n", "d", "threads", "iterations", "wall_ns"):
+            v = r.get(field)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                errors.append(f"{where}: '{field}' must be a non-negative integer")
+        stages = r.get("stages_ns")
+        if not isinstance(stages, dict):
+            errors.append(f"{where}: 'stages_ns' must be an object")
+        else:
+            for stage, v in stages.items():
+                if stage not in TRACKED_STAGES:
+                    errors.append(
+                        f"{where}: unknown stage '{stage}' "
+                        f"(tracked: {', '.join(TRACKED_STAGES)})"
+                    )
+                elif not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    errors.append(
+                        f"{where}: stage '{stage}' must be non-negative "
+                        "integer nanoseconds"
+                    )
+        ts = r.get("timestamp_ms")
+        if ts is not None:
+            if not isinstance(ts, int) or isinstance(ts, bool) or ts < 0:
+                errors.append(
+                    f"{where}: 'timestamp_ms' must be a non-negative integer"
+                )
+            else:
+                key = group_key(r)
+                if key in last_ts and ts < last_ts[key]:
+                    errors.append(
+                        f"{where}: timestamp_ms {ts} goes backwards within "
+                        f"its group (previous row had {last_ts[key]})"
+                    )
+                last_ts[key] = ts
+    return errors
 
 
 def check(rows, threshold):
@@ -114,6 +179,11 @@ def main(argv):
         return 1
 
     print(f"{len(rows)} ledger row(s) in {path}")
+    schema_errors = validate_rows(rows)
+    if schema_errors:
+        for message in schema_errors:
+            print(f"::error::ledger schema: {message}")
+        return 1
     findings = check(rows, threshold)
     failed = False
     for ratio, message in findings:

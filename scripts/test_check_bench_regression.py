@@ -16,15 +16,20 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import check_bench_regression as cbr
 
 
-def row(update_ns, experiment="exp", method="m", n=1000, d=4, threads=1):
-    return {
+def row(update_ns, experiment="exp", method="m", n=1000, d=4, threads=1, ts=None):
+    r = {
         "experiment": experiment,
         "method": method,
         "n": n,
         "d": d,
         "threads": threads,
+        "iterations": 5,
+        "wall_ns": update_ns,
         "stages_ns": {"update": update_ns},
     }
+    if ts is not None:
+        r["timestamp_ms"] = ts
+    return r
 
 
 class CheckTests(unittest.TestCase):
@@ -62,6 +67,53 @@ class CheckTests(unittest.TestCase):
         self.assertEqual(cbr.check([row(50_000_000)], 0.15), [])
 
 
+class ValidateTests(unittest.TestCase):
+    def test_well_formed_rows_pass(self):
+        rows = [row(50_000_000, ts=100), row(60_000_000, ts=200)]
+        self.assertEqual(cbr.validate_rows(rows), [])
+
+    def test_rows_without_timestamps_pass(self):
+        # older ledgers predate timestamp_ms; the field is optional
+        self.assertEqual(cbr.validate_rows([row(50_000_000)]), [])
+
+    def test_unknown_stage_name_is_an_error(self):
+        bad = row(50_000_000)
+        bad["stages_ns"]["warmup"] = 1_000_000
+        errors = cbr.validate_rows([bad])
+        self.assertEqual(len(errors), 1)
+        self.assertIn("unknown stage 'warmup'", errors[0])
+
+    def test_non_integer_stage_timing_is_an_error(self):
+        bad = row(50_000_000)
+        bad["stages_ns"]["update"] = 0.05  # seconds, not nanoseconds
+        errors = cbr.validate_rows([bad])
+        self.assertEqual(len(errors), 1)
+        self.assertIn("nanoseconds", errors[0])
+
+    def test_missing_required_field_is_an_error(self):
+        bad = row(50_000_000)
+        del bad["n"]
+        errors = cbr.validate_rows([bad])
+        self.assertEqual(len(errors), 1)
+        self.assertIn("'n'", errors[0])
+
+    def test_backwards_timestamp_within_group_is_an_error(self):
+        rows = [row(50_000_000, ts=200), row(60_000_000, ts=100)]
+        errors = cbr.validate_rows(rows)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("goes backwards", errors[0])
+
+    def test_timestamps_only_ordered_within_their_group(self):
+        # interleaved groups may have non-monotone global order
+        rows = [
+            row(50_000_000, method="a", ts=200),
+            row(50_000_000, method="b", ts=100),
+            row(51_000_000, method="a", ts=300),
+            row(51_000_000, method="b", ts=150),
+        ]
+        self.assertEqual(cbr.validate_rows(rows), [])
+
+
 class MainTests(unittest.TestCase):
     def run_main(self, rows, *flags):
         with tempfile.TemporaryDirectory() as tmp:
@@ -92,6 +144,14 @@ class MainTests(unittest.TestCase):
 
     def test_require_rows_fails_on_empty_ledger(self):
         self.assertEqual(self.run_main([], "--require-rows"), 1)
+
+    def test_schema_errors_fail_the_run(self):
+        bad = row(50_000_000)
+        bad["stages_ns"]["renamed_stage"] = 5_000_000
+        self.assertEqual(self.run_main([bad]), 1)
+
+    def test_non_array_ledger_fails(self):
+        self.assertEqual(self.run_main({"rows": []}), 1)
 
 
 if __name__ == "__main__":

@@ -91,13 +91,14 @@ fn every_grid_variant_is_exact() {
 fn every_optimization_toggle_is_exact() {
     let data = blobs(150, 2, 3, 29);
     let oracle = ExactSync::new(0.05).cluster(&data);
-    for bits in 0u8..32 {
+    for bits in 0u8..64 {
         let options = UpdateOptions {
             use_summaries: bits & 1 != 0,
             use_pregrid: bits & 2 != 0,
             use_trig_tables: bits & 4 != 0,
             use_incremental: bits & 8 != 0,
             use_simd: bits & 16 != 0,
+            use_cell_bounds: bits & 32 != 0,
         };
         let mut algo = EggSync::new(0.05);
         algo.options = options;
