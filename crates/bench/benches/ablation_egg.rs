@@ -116,6 +116,7 @@ fn bench_incremental_grid_100k_d4(c: &mut Criterion) {
                 UpdateOptions::default(),
                 &mut chunk_stats,
                 if incremental { Some(&mut state) } else { None },
+                None,
             );
             let done = first_term
                 && second_term_holds_host(
@@ -274,6 +275,7 @@ fn bench_simd_update_100k_d4(c: &mut Criterion) {
                 eps,
                 options,
                 &mut chunk_stats,
+                None,
                 None,
             );
             update_secs += t0.elapsed().as_secs_f64();

@@ -102,6 +102,7 @@ pub fn bench_ledger_row(
         "extra_check": secs_to_ns(stages.get(Stage::ExtraCheck)),
         "clustering": secs_to_ns(stages.get(Stage::Clustering)),
         "free_memory": secs_to_ns(stages.get(Stage::FreeMemory)),
+        "halo_exchange": secs_to_ns(stages.get(Stage::HaloExchange)),
     });
     let counters_json = serde_json::json!({
         "summary_cells": counters.summary_cells,
@@ -112,6 +113,9 @@ pub fn bench_ledger_row(
         "cells_skipped": counters.cells_skipped,
         "simd_lanes": counters.simd_lanes,
         "simd_remainder_lanes": counters.simd_remainder_lanes,
+        "shard_count": counters.shard_count,
+        "halo_movers": counters.halo_movers,
+        "halo_cells": counters.halo_cells,
     });
     let timestamp_ms = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)

@@ -16,7 +16,7 @@ use egg_data::Dataset;
 use egg_gpu_sim::{Device, DeviceConfig};
 
 use crate::exec::Executor;
-use crate::grid::{CellGrid, GridGeometry, GridVariant, GridWorkspace};
+use crate::grid::{CellGrid, GridGeometry, GridVariant, GridWorkspace, ShardPlan};
 use crate::instrument::{timed, IterationRecord, RunTrace, Stage, StageTimings};
 use crate::result::{ClusterAlgorithm, Clustering};
 
@@ -111,12 +111,21 @@ impl EggSync {
             return Clustering::from_labels(Vec::new(), 0, true, data.clone(), trace);
         }
 
+        let geometry = GridGeometry::new(dim, self.epsilon, n, self.variant);
+        if self.options.num_shards > 1 {
+            let plan = ShardPlan::new(&geometry, self.options.num_shards);
+            // a clamped-to-1 plan (degenerate leading dimension) falls
+            // through to the single-grid path below — it IS that path
+            if plan.count() > 1 {
+                return super::shard::cluster_host_sharded(self, data, exec, trace, geometry, plan);
+            }
+        }
+
         // --- allocate the iteration workspace once: ping-pong coordinate
         // buffers, the reusable grid (CSR arrays, summaries, trig tables)
         // and the per-chunk update scratch. The loop below only ever
         // *reuses* these, so steady-state iterations are allocation-free.
         let use_inc = self.options.use_incremental;
-        let geometry = GridGeometry::new(dim, self.epsilon, n, self.variant);
         let ((mut coords_cur, mut coords_next, mut grid, mut chunk_stats, mut state), alloc_secs) =
             timed(|| {
                 (
@@ -146,6 +155,7 @@ impl EggSync {
             trace.stages.add(Stage::BuildStructure, build_secs);
             trace.update_counters.dirty_cells += stats.dirty_cells;
             trace.observe_structure_bytes(grid.memory_bytes());
+            trace.observe_shard_structure_bytes(grid.memory_bytes());
 
             // update t → t+1, certifying the first term on state t
             let ((first_term, counters), update_secs) = timed(|| {
@@ -158,6 +168,7 @@ impl EggSync {
                     self.options,
                     &mut chunk_stats,
                     if use_inc { Some(&mut state) } else { None },
+                    None,
                 )
             });
             trace.stages.add(Stage::Update, update_secs);
@@ -458,6 +469,7 @@ mod tests {
                 use_incremental: bits & 8 != 0,
                 use_simd: bits & 16 != 0,
                 use_cell_bounds: bits & 32 != 0,
+                ..UpdateOptions::default()
             };
             let mut algo = EggSync::new(0.05);
             algo.options = options;
@@ -584,5 +596,66 @@ mod tests {
         let result = EggSync::new(0.4).cluster(&data);
         assert!(result.converged);
         assert!(purity(&truth, &result.labels) > 0.95);
+    }
+
+    #[test]
+    fn sharded_host_matches_oracle_on_blobs() {
+        let (data, _) = blobs(400, 3, 7);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for workers in [Some(1), Some(4), None] {
+            let mut oracle = EggSync::host(0.05, workers);
+            oracle.options.num_shards = 1;
+            let oracle = oracle.cluster(&data);
+            for shards in [2usize, 4, 8] {
+                let mut algo = EggSync::host(0.05, workers);
+                algo.options.num_shards = shards;
+                let run = algo.cluster(&data);
+                assert_eq!(run.labels, oracle.labels, "S={shards} {workers:?}");
+                assert_eq!(run.iterations, oracle.iterations, "S={shards} {workers:?}");
+                assert_eq!(
+                    bits(run.final_coords.coords()),
+                    bits(oracle.final_coords.coords()),
+                    "S={shards} {workers:?}"
+                );
+                assert_eq!(run.trace.update_counters.shard_count, shards as u64);
+                // each shard's grid must be a real fraction of the whole
+                assert!(
+                    run.trace.peak_shard_structure_bytes < oracle.trace.peak_structure_bytes,
+                    "S={shards}: per-shard grid should shrink below the single grid"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_degrades_gracefully_on_degenerate_domains() {
+        // constant leading dimension: every point shares leading cell 0,
+        // so all but the first shard own empty regions — the sharded run
+        // must still match the oracle bitwise instead of panicking on
+        // empty member lists or empty owned windows
+        let coords: Vec<f64> = (0..300)
+            .flat_map(|i| [0.0, ((i as u64 * 2654435761) % 1000) as f64 / 1000.0])
+            .collect();
+        let data = Dataset::from_coords(coords, 2);
+        let mut oracle = EggSync::host(0.05, Some(1));
+        oracle.options.num_shards = 1;
+        let oracle = oracle.cluster(&data);
+        for shards in [4usize, 8] {
+            let mut algo = EggSync::host(0.05, Some(2));
+            algo.options.num_shards = shards;
+            let run = algo.cluster(&data);
+            assert_eq!(run.labels, oracle.labels, "S={shards}");
+            assert_eq!(run.iterations, oracle.iterations, "S={shards}");
+            assert_eq!(run.final_coords.coords(), oracle.final_coords.coords());
+        }
+
+        // huge ε collapses the grid to a single cell per dimension: the
+        // plan clamps to one shard and the run degrades to the single-grid
+        // path (shard_count counter stays 0 — it never forked)
+        let mut algo = EggSync::host(3.0, Some(2));
+        algo.options.num_shards = 8;
+        let run = algo.cluster(&data);
+        assert!(run.converged);
+        assert_eq!(run.trace.update_counters.shard_count, 0);
     }
 }

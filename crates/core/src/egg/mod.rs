@@ -15,5 +15,6 @@
 pub mod algorithm;
 pub mod gather;
 pub mod reference;
+pub mod shard;
 pub mod termination;
 pub mod update;

@@ -257,9 +257,32 @@ pub fn second_term_holds_host(
     confined: Option<&[bool]>,
     use_simd: bool,
 ) -> bool {
+    let n = coords.len() / grid.geometry().dim;
+    second_term_holds_host_range(exec, grid, coords, epsilon, confined, use_simd, 0..n)
+}
+
+/// [`second_term_holds_host`] restricted to the grid-sorted slot window
+/// `slots` — one shard's owned points in a sharded execution, where
+/// `grid`/`coords`/`confined` are the shard's resident-local structures.
+///
+/// The verdict for every owned point matches the single-grid oracle:
+/// the second term only ever runs after the *first* term held globally,
+/// so every shell point `q1` is confined — its ε/2-partners are cell
+/// mates, resident by construction — and the shell scan itself only
+/// visits cells within the reach of an owned cell, which the resident
+/// range covers in full.
+#[allow(clippy::too_many_arguments)]
+pub fn second_term_holds_host_range(
+    exec: &Executor,
+    grid: &CellGrid,
+    coords: &[f64],
+    epsilon: f64,
+    confined: Option<&[bool]>,
+    use_simd: bool,
+    slots: std::ops::Range<usize>,
+) -> bool {
     let geo = *grid.geometry();
     let dim = geo.dim;
-    let n = coords.len() / dim;
     let eps_sq = epsilon * epsilon;
     let shell = epsilon + delta(epsilon);
     let shell_sq = shell * shell;
@@ -283,8 +306,10 @@ pub fn second_term_holds_host(
             _ => shell_pair_reaches_host(grid, coords, &geo, p, q1, eps_sq, half_sq, dim),
         }
     };
-    exec.all(n, POINT_CHUNK, |entry| {
-        let p_idx = order[entry] as usize;
+    debug_assert!(slots.end <= order.len());
+    let slot_base = slots.start;
+    exec.all(slots.len(), POINT_CHUNK, |off| {
+        let p_idx = order[slot_base + off] as usize;
         let p = &coords[p_idx * dim..(p_idx + 1) * dim];
         let mut dragged = false;
         grid.for_each_cell_in_reach(geo.outer_id_of_point(p), |c| {

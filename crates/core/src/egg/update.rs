@@ -48,6 +48,9 @@ pub fn counters_from_device(buf: &DeviceBuffer<u64>) -> UpdateCounters {
         cells_skipped: buf.load(5),
         simd_lanes: buf.load(6),
         simd_remainder_lanes: buf.load(7),
+        // Sharding counters: the device backend runs a single grid, so
+        // these stay zero and host/device counter-equality is preserved.
+        ..UpdateCounters::default()
     }
 }
 
@@ -99,6 +102,17 @@ pub struct UpdateOptions {
     /// summation order; results agree with the box-classified oracle to
     /// ~1e-9 and remain bitwise identical across worker counts.
     pub use_cell_bounds: bool,
+    /// Shard the host engine's domain along the leading grid dimension
+    /// into this many regions, each owning its own [`CellGrid`] over its
+    /// resident (owned + ε-halo) points, with halo movers exchanged
+    /// between iterations through a deterministic sorted buffer. `1`
+    /// (the default) is today's single-grid path, which stays the
+    /// oracle; any larger count is bitwise-invisible in the output —
+    /// like the worker count — and only bounds the largest resident
+    /// grid by ~1/S. Clamped to the grid width; ignored by the device
+    /// backend. Defaults to the `EGG_NUM_SHARDS` environment variable
+    /// when set (the CI leg that exercises sharding end to end).
+    pub num_shards: usize,
 }
 
 /// Process-wide default for [`UpdateOptions::use_simd`]: on, unless the
@@ -110,6 +124,20 @@ fn simd_default() -> bool {
     *ON.get_or_init(|| std::env::var_os("EGG_FORCE_SCALAR").is_none())
 }
 
+/// Process-wide default for [`UpdateOptions::num_shards`]: 1, unless the
+/// `EGG_NUM_SHARDS` environment variable holds a positive integer.
+/// Cached like [`simd_default`] so defaults stay allocation-free.
+fn shards_default() -> usize {
+    static COUNT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *COUNT.get_or_init(|| {
+        std::env::var("EGG_NUM_SHARDS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&s| s >= 1)
+            .unwrap_or(1)
+    })
+}
+
 impl Default for UpdateOptions {
     fn default() -> Self {
         Self {
@@ -119,6 +147,7 @@ impl Default for UpdateOptions {
             use_incremental: true,
             use_simd: simd_default(),
             use_cell_bounds: true,
+            num_shards: shards_default(),
         }
     }
 }
@@ -136,17 +165,19 @@ impl Default for UpdateOptions {
 #[derive(Debug, Default)]
 pub struct IncrementalState {
     /// Per point: did the last pass change its position bitwise?
-    moved: Vec<bool>,
+    /// (`pub(crate)`: the sharded engine seeds these from its global
+    /// mirror and reads the pass's results back out.)
+    pub(crate) moved: Vec<bool>,
     /// Per point: was its ε-neighborhood confined to its own cell when the
     /// point was last processed? Still valid for skipped points — a
     /// skippable cell's neighborhoods are unchanged by construction.
-    confined: Vec<bool>,
+    pub(crate) confined: Vec<bool>,
     /// Per cell of the current grid: can the coming pass skip it?
-    cell_skip: Vec<bool>,
+    pub(crate) cell_skip: Vec<bool>,
     /// Per outer cell: does it contain a mover's old or new position?
-    outer_dirty: Vec<bool>,
+    pub(crate) outer_dirty: Vec<bool>,
     /// Whether a pass has completed (i.e. the flags describe real history).
-    active: bool,
+    pub(crate) active: bool,
 }
 
 impl IncrementalState {
@@ -501,6 +532,27 @@ pub fn egg_update(
     });
 }
 
+/// One shard's slice of a sharded update pass, handed to
+/// [`egg_update_host`] by the sharded engine (`egg::shard`).
+///
+/// The grid, `coords`/`next`, and incremental state passed alongside are
+/// all *shard-local* (indexed by the shard's resident points), while the
+/// pass must compute results only for **owned** points — residents whose
+/// cell's leading coordinate falls in the shard's owned range. Owned
+/// cells are contiguous in the grid's sorted cell order, so the owned
+/// points occupy the contiguous grid-sorted slot window `slots`; ghost
+/// rows of `next` are left untouched (their owners compute them).
+pub struct ShardPass<'a> {
+    /// Grid-sorted slot window of the shard's owned points.
+    pub slots: std::ops::Range<usize>,
+    /// Global outer-dirty flags (geometry-indexed, so shareable across
+    /// shards read-only) driving the cell-skip logic, or `None` on
+    /// passes where skips must not run (first pass, incremental off).
+    /// Replaces the shard-local [`IncrementalState::outer_dirty`], which
+    /// cannot see movers outside the shard's residents.
+    pub outer_dirty: Option<&'a [bool]>,
+}
+
 /// Host-engine counterpart of [`egg_update`]: move every point of `coords`
 /// into `next` on `exec`'s workers, and return whether the *first term* of
 /// Definition 4.2 held (every neighborhood confined to its own cell),
@@ -532,6 +584,15 @@ pub fn egg_update(
 /// sorted order, so `next` is bit-for-bit identical for any worker count.
 /// The skip verdicts are a pure function of the mover history, never of
 /// the worker count, so this extends to the incremental path.
+///
+/// With `shard` present the pass runs one shard of a sharded execution:
+/// only the grid-sorted slot window `shard.slots` is processed (the
+/// shard's owned points), chunked identically to an unsharded pass over
+/// that window, and the cell-skip logic is driven by the *global*
+/// `shard.outer_dirty` flags instead of the shard-local state's. Since
+/// each owned point sees bit-identical neighborhoods in its shard grid
+/// (residents cover the full ε-reach of owned cells), the computed rows
+/// of `next` match the single-grid oracle bit for bit.
 #[allow(clippy::too_many_arguments)]
 pub fn egg_update_host(
     exec: &Executor,
@@ -542,6 +603,7 @@ pub fn egg_update_host(
     options: UpdateOptions,
     chunk_stats: &mut Vec<(bool, UpdateCounters)>,
     state: Option<&mut IncrementalState>,
+    shard: Option<&ShardPass>,
 ) -> (bool, UpdateCounters) {
     let geo = *grid.geometry();
     let dim = geo.dim;
@@ -549,8 +611,13 @@ pub fn egg_update_host(
     let n = next.len() / dim.max(1);
     let order = grid.point_order();
     debug_assert_eq!(order.len(), n);
+    let slots = shard.map_or(0..n, |sh| sh.slots.clone());
+    debug_assert!(slots.start <= slots.end && slots.end <= n);
     chunk_stats.clear();
-    chunk_stats.resize(n.div_ceil(POINT_CHUNK), (true, UpdateCounters::default()));
+    chunk_stats.resize(
+        slots.len().div_ceil(POINT_CHUNK),
+        (true, UpdateCounters::default()),
+    );
     // `(active, cell_skip, moved writer, confined writer)` when incremental
     let inc = match state {
         Some(s) => {
@@ -559,11 +626,17 @@ pub fn egg_update_host(
             let num_cells = grid.num_cells();
             s.cell_skip.clear();
             s.cell_skip.resize(num_cells, false);
-            if s.active {
+            // Sharded passes see movers outside their resident set only
+            // through the global dirty flags, so those override the
+            // shard-local history (which is never armed).
+            let (skip_active, outer_dirty): (bool, &[bool]) = match shard {
+                Some(sh) => (sh.outer_dirty.is_some(), sh.outer_dirty.unwrap_or(&[])),
+                None => (s.active, &s.outer_dirty),
+            };
+            if skip_active {
                 // a cell may be skipped iff no outer cell in the surround
                 // of its own outer cell is dirty — then no mover's old or
                 // new position lies within the ε-reach of any of its points
-                let outer_dirty = &s.outer_dirty;
                 let skips = ScatterWriter::new(&mut s.cell_skip);
                 let skips = &skips;
                 exec.map_ranges(num_cells, CELL_CHUNK, |range| {
@@ -586,11 +659,10 @@ pub fn egg_update_host(
                 moved,
                 confined,
                 cell_skip,
-                active,
                 ..
             } = s;
             Some((
-                *active,
+                skip_active,
                 &cell_skip[..],
                 ScatterWriter::new(moved),
                 ScatterWriter::new(confined),
@@ -605,10 +677,15 @@ pub fn egg_update_host(
     let (lane_sin, lane_cos, lane_coords) = (grid.lane_sin(), grid.lane_cos(), grid.lane_coords());
     let writer = ScatterWriter::new(next);
     let writer = &writer;
-    exec.map_ranges_into(n, POINT_CHUNK, chunk_stats, |range| {
+    let slot_base = slots.start;
+    exec.map_ranges_into(slots.len(), POINT_CHUNK, chunk_stats, |range| {
         let mut all_local = true;
         let mut counters = UpdateCounters::default();
-        for entry in range {
+        for off in range {
+            // chunking is over the processed window, so the chunk layout
+            // (hence the reduction order) matches an unsharded pass over
+            // the same points; `entry` stays the grid-sorted slot index
+            let entry = slot_base + off;
             let p_idx = order[entry] as usize;
             let c_cell = grid.point_cell()[p_idx] as usize;
             let p = &coords[p_idx * dim..(p_idx + 1) * dim];
@@ -1012,7 +1089,7 @@ mod tests {
         let mut next = vec![0.0; coords.len()];
         let mut stats = Vec::new();
         let (first_term, _) = egg_update_host(
-            &exec, &grid, coords, &mut next, eps, options, &mut stats, None,
+            &exec, &grid, coords, &mut next, eps, options, &mut stats, None, None,
         );
         (next, first_term)
     }
@@ -1100,6 +1177,7 @@ mod tests {
             UpdateOptions::default(),
             &mut stats,
             None,
+            None,
         );
         assert_eq!(host, device);
     }
@@ -1162,6 +1240,7 @@ mod tests {
                 UpdateOptions::default(),
                 &mut chunk_stats,
                 Some(&mut state),
+                None,
             );
             host_total.merge(&counters);
             state.finish_pass(&geo, &host_cur, &host_next);

@@ -68,8 +68,23 @@ impl GridGeometry {
     pub fn new(dim: usize, epsilon: f64, n: usize, variant: GridVariant) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
         assert!(epsilon > 0.0, "epsilon must be positive");
+        assert!(epsilon.is_finite(), "epsilon must be finite");
         let cell_width = epsilon / (2.0 * (dim as f64).sqrt());
-        let width = (1.0 / cell_width).ceil() as usize;
+        // Degenerate-domain guard: a non-finite or absurdly small ε would
+        // truncate `w = ⌈1/c_w⌉` to 0 (every cell_coord clamp then panics
+        // deep in the kernels) or saturate it past any allocatable
+        // directory. Normalized data collapses zero-extent dimensions to
+        // the constant 0.0, which is fine — every point lands in cell 0 of
+        // that dimension and `w` stays 1-or-more — so the only way to a
+        // zero- or overflow-width grid is a broken ε; reject it here with
+        // a message naming the parameter instead of panicking mid-kernel.
+        let width_f = (1.0 / cell_width).ceil();
+        assert!(
+            width_f >= 1.0 && width_f <= u32::MAX as f64,
+            "epsilon {epsilon} yields a degenerate grid ({width_f} cells \
+             per dimension on the unit domain); expected 1..=u32::MAX"
+        );
+        let width = width_f as usize;
         let reach = ((epsilon + delta(epsilon)) / cell_width).ceil() as usize;
 
         // Auto's directory budget is the paper's `w^{d'} ≤ n·d`, clamped to
@@ -284,6 +299,105 @@ impl GridGeometry {
     }
 }
 
+/// Partition of the leading cell dimension into `S` contiguous shard
+/// regions with ε-halo ghost zones — the domain decomposition behind
+/// `UpdateOptions::num_shards`.
+///
+/// Shard `s` **owns** leading cell coordinates `[s·w/S, (s+1)·w/S)`
+/// (integer fenceposts, so owned ranges tile `0..w` exactly and every
+/// cell has one owner). Its **resident** (member) range widens by
+/// `reach` cells on each side — precisely the leading-coordinate radius
+/// the update kernel's reach walk can touch from an owned cell, so a
+/// shard grid built over its residents sees bit-identical neighborhoods
+/// for every owned point.
+///
+/// The requested shard count is clamped to `[1, w]`: with at most one
+/// shard per leading slab every owned range is non-empty, and a
+/// degenerate domain (all points sharing their leading coordinate, or a
+/// huge ε collapsing the dimension to a single cell) degrades to the
+/// single-grid path instead of manufacturing empty shards.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Effective shard count after clamping.
+    count: usize,
+    /// Cells per dimension of the underlying geometry.
+    width: usize,
+    /// ε+δ cell reach of the underlying geometry.
+    reach: usize,
+    /// `count + 1` ownership fenceposts: shard `s` owns `bounds[s]..bounds[s+1]`.
+    bounds: Vec<u64>,
+}
+
+impl ShardPlan {
+    /// Plan `requested` shards over `geometry`'s leading dimension.
+    pub fn new(geometry: &GridGeometry, requested: usize) -> Self {
+        let count = requested.clamp(1, geometry.width);
+        let bounds = (0..=count)
+            .map(|s| (s * geometry.width / count) as u64)
+            .collect();
+        Self {
+            count,
+            width: geometry.width,
+            reach: geometry.reach,
+            bounds,
+        }
+    }
+
+    /// Effective shard count (requested count clamped to the grid width).
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Leading-coordinate range owned by shard `s`, half-open.
+    #[inline]
+    pub fn owned(&self, s: usize) -> std::ops::Range<u64> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// Resident (owned + ε-halo) leading-coordinate range of shard `s`.
+    ///
+    /// The halo is `reach + 1` cells wide, not `reach`: `reach` covers
+    /// every cell the update's surround walk visits, but the sequential
+    /// variant's termination scan walks *all* cells and prunes on
+    /// `min_dist > ε+δ` — a cell exactly `reach + 1` steps out can sit at
+    /// box distance exactly `ε+δ` when `c_w` divides `ε+δ`, surviving the
+    /// strict prune. One guard cell keeps every cell the single-grid scan
+    /// can touch resident; at `reach + 2` steps the minimum distance
+    /// exceeds `ε+δ` by a full cell width, beyond any rounding slack.
+    #[inline]
+    pub fn resident(&self, s: usize) -> std::ops::Range<u64> {
+        let halo = self.reach as u64 + 1;
+        let lo = self.bounds[s].saturating_sub(halo);
+        let hi = (self.bounds[s + 1] + halo).min(self.width as u64);
+        lo..hi
+    }
+
+    /// Whether leading coordinate `c0` lies in shard `s`'s resident range.
+    #[inline]
+    pub fn is_resident(&self, s: usize, c0: u64) -> bool {
+        self.resident(s).contains(&c0)
+    }
+
+    /// The shard owning leading coordinate `c0`.
+    #[inline]
+    pub fn owner_of(&self, c0: u64) -> usize {
+        debug_assert!(c0 < self.width as u64);
+        // bounds is sorted; the owner is the last fencepost at or below c0.
+        self.bounds[1..self.count].partition_point(|&b| b <= c0)
+    }
+
+    /// Invoke `f` for every shard whose resident range contains `c0`.
+    #[inline]
+    pub fn for_each_resident_shard(&self, c0: u64, mut f: impl FnMut(usize)) {
+        for s in 0..self.count {
+            if self.is_resident(s, c0) {
+                f(s);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +531,79 @@ mod tests {
             GridGeometry::min_sq_dist_to_bounds(&[3.5 * cw, 4.5 * cw], &lo, &hi),
             0.0
         );
+    }
+
+    #[test]
+    fn huge_epsilon_collapses_to_a_single_cell_without_division_blowups() {
+        // ε far above the unit-domain diagonal: the whole domain is one
+        // cell per dimension; cell_coord must stay well-defined.
+        let g = GridGeometry::new(3, 10.0, 1000, GridVariant::Auto);
+        assert_eq!(g.width, 1);
+        assert_eq!(g.cell_coord(0.0), 0);
+        assert_eq!(g.cell_coord(1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_epsilon_is_rejected() {
+        GridGeometry::new(2, f64::INFINITY, 1000, GridVariant::Auto);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate grid")]
+    fn vanishing_epsilon_is_rejected_before_width_saturates() {
+        GridGeometry::new(2, 1e-12, 1000, GridVariant::Auto);
+    }
+
+    #[test]
+    fn shard_plan_owned_ranges_tile_the_width() {
+        let g = GridGeometry::new(2, 0.05, 10_000, GridVariant::Auto);
+        for s_count in [1, 2, 3, 4, 7, 8] {
+            let plan = ShardPlan::new(&g, s_count);
+            assert_eq!(plan.count(), s_count.min(g.width));
+            let mut next = 0u64;
+            for s in 0..plan.count() {
+                let owned = plan.owned(s);
+                assert_eq!(owned.start, next, "gap before shard {s}");
+                assert!(!owned.is_empty(), "empty shard {s}");
+                for c0 in owned.clone() {
+                    assert_eq!(plan.owner_of(c0), s);
+                }
+                next = owned.end;
+            }
+            assert_eq!(next, g.width as u64);
+        }
+    }
+
+    #[test]
+    fn shard_plan_resident_range_is_owned_plus_reach() {
+        let g = GridGeometry::new(2, 0.05, 10_000, GridVariant::Auto);
+        let plan = ShardPlan::new(&g, 4);
+        for s in 0..plan.count() {
+            let owned = plan.owned(s);
+            let resident = plan.resident(s);
+            let halo = g.reach as u64 + 1;
+            assert_eq!(resident.start, owned.start.saturating_sub(halo));
+            assert_eq!(resident.end, (owned.end + halo).min(g.width as u64));
+            // residency query and enumeration agree
+            for c0 in 0..g.width as u64 {
+                let mut hit = false;
+                plan.for_each_resident_shard(c0, |rs| hit |= rs == s);
+                assert_eq!(hit, plan.is_resident(s, c0));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_plan_clamps_to_degenerate_single_cell_domains() {
+        // ε so large the leading dimension has one cell: 8 requested
+        // shards clamp to 1 and the single shard owns everything.
+        let g = GridGeometry::new(2, 10.0, 1000, GridVariant::Auto);
+        let plan = ShardPlan::new(&g, 8);
+        assert_eq!(plan.count(), 1);
+        assert_eq!(plan.owned(0), 0..1);
+        assert_eq!(plan.resident(0), 0..1);
+        assert_eq!(plan.owner_of(0), 0);
     }
 
     #[test]

@@ -1001,6 +1001,41 @@ impl CellGrid {
         self.cell_starts[c] as usize..self.cell_starts[c + 1] as usize
     }
 
+    /// Compacted-cell range whose *leading* cell coordinate lies in
+    /// `c0_range`, half-open. Contiguous by construction: the grid's
+    /// total cell order is (outer id, full key lex), the outer id is
+    /// row-major with dimension 0 most significant, and the key
+    /// comparison starts at dimension 0 — so compacted cells are sorted
+    /// primarily by their leading coordinate under **every** variant,
+    /// including `d' = 0`. This is the lookup the sharded engine uses to
+    /// find a shard's owned cells inside its resident grid.
+    pub fn cells_with_leading_coord(
+        &self,
+        c0_range: std::ops::Range<u64>,
+    ) -> std::ops::Range<usize> {
+        self.leading_coord_lower_bound(c0_range.start)..self.leading_coord_lower_bound(c0_range.end)
+    }
+
+    /// First compacted cell whose leading coordinate is ≥ `bound`.
+    fn leading_coord_lower_bound(&self, bound: u64) -> usize {
+        let (mut lo, mut hi) = (0usize, self.num_cells());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.cell_key(mid)[0] < bound {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Grid-sorted slot range covered by a contiguous compacted-cell
+    /// range — the owned-slot window the sharded update pass iterates.
+    pub fn slots_of_cells(&self, cells: std::ops::Range<usize>) -> std::ops::Range<usize> {
+        self.cell_starts[cells.start] as usize..self.cell_starts[cells.end] as usize
+    }
+
     /// Per-dimension `sin` of the raw coordinates of the point in
     /// grid-sorted slot `s` (i.e. of point `point_order()[s]`), from the
     /// iteration's trig table.

@@ -26,5 +26,5 @@ mod geometry;
 mod host;
 
 pub use device::{DeviceGrid, DeviceRefreshStats, GridWorkspace, PreGrid};
-pub use geometry::{GridGeometry, GridVariant, MAX_OUTER_CELLS, MAX_SURROUND_ENUM};
+pub use geometry::{GridGeometry, GridVariant, ShardPlan, MAX_OUTER_CELLS, MAX_SURROUND_ENUM};
 pub use host::{CellGrid, GridRefreshStats, HostGrid};

@@ -10,7 +10,8 @@ use std::time::Instant;
 
 use serde::Serialize;
 
-/// The six pipeline stages of Table 1.
+/// The six pipeline stages of Table 1, plus the sharded-execution halo
+/// stage (zero whenever `num_shards == 1`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum Stage {
     /// Device/host buffer allocation.
@@ -25,17 +26,22 @@ pub enum Stage {
     Clustering,
     /// Releasing memory.
     FreeMemory,
+    /// Sharded execution only: mirroring global state into per-shard
+    /// locals, scattering owned results back, and the halo-mover
+    /// membership exchange between iterations.
+    HaloExchange,
 }
 
 impl Stage {
-    /// All stages, in Table 1 column order.
-    pub const ALL: [Stage; 6] = [
+    /// All stages: Table 1 column order, then the sharding extras.
+    pub const ALL: [Stage; 7] = [
         Stage::Allocating,
         Stage::BuildStructure,
         Stage::Update,
         Stage::ExtraCheck,
         Stage::Clustering,
         Stage::FreeMemory,
+        Stage::HaloExchange,
     ];
 
     /// Column header as printed in Table 1.
@@ -47,6 +53,7 @@ impl Stage {
             Stage::ExtraCheck => "Extra check",
             Stage::Clustering => "Clustering",
             Stage::FreeMemory => "Free Memory",
+            Stage::HaloExchange => "Halo exchange",
         }
     }
 }
@@ -54,7 +61,7 @@ impl Stage {
 /// Accumulated seconds per stage.
 #[derive(Debug, Clone, Copy, Default, Serialize)]
 pub struct StageTimings {
-    seconds: [f64; 6],
+    seconds: [f64; 7],
 }
 
 impl StageTimings {
@@ -110,6 +117,18 @@ pub struct UpdateCounters {
     /// cell's last block that fall beyond its size and are masked off.
     /// High values mean many tiny cells and little lane utilization.
     pub simd_remainder_lanes: u64,
+    /// Effective shard count of the run (0 on paths that predate
+    /// sharding: the device backend and the unsharded host fast path).
+    /// Merging takes the maximum, so per-shard counter merges inside a
+    /// sharded run don't sum the constant.
+    pub shard_count: u64,
+    /// Halo movers exchanged between iterations: membership insertions
+    /// plus removals applied to shard member lists because a point's
+    /// updated position entered or left a shard's ε-halo region.
+    pub halo_movers: u64,
+    /// Ghost (halo) cells resident across all shards, accumulated per
+    /// iteration — the memory overhead sharding pays for locality.
+    pub halo_cells: u64,
 }
 
 impl UpdateCounters {
@@ -123,6 +142,9 @@ impl UpdateCounters {
         self.cells_skipped += other.cells_skipped;
         self.simd_lanes += other.simd_lanes;
         self.simd_remainder_lanes += other.simd_remainder_lanes;
+        self.shard_count = self.shard_count.max(other.shard_count);
+        self.halo_movers += other.halo_movers;
+        self.halo_cells += other.halo_cells;
     }
 }
 
@@ -149,8 +171,15 @@ pub struct RunTrace {
     /// Per-iteration records, in order.
     pub iterations: Vec<IterationRecord>,
     /// Peak bytes used by auxiliary structures (index/grid, buffers),
-    /// excluding the input data itself — Figure 3h's series.
+    /// excluding the input data itself — Figure 3h's series. Under
+    /// sharded execution this is the sum over all resident shard grids.
     pub peak_structure_bytes: usize,
+    /// Peak bytes of the single largest resident grid structure: equals
+    /// `peak_structure_bytes` on the unsharded host path, and the
+    /// largest per-shard grid under sharded execution — the number that
+    /// must drop ~1/S for sharding to unlock beyond-RAM scale. Zero on
+    /// paths that don't track it (device backend, non-grid algorithms).
+    pub peak_shard_structure_bytes: usize,
     /// Total host wall-clock seconds for the run.
     pub total_seconds: f64,
     /// Total simulated GPU seconds (GPU-backed algorithms only).
@@ -167,6 +196,11 @@ impl RunTrace {
     /// Record a candidate peak for structure memory.
     pub fn observe_structure_bytes(&mut self, bytes: usize) {
         self.peak_structure_bytes = self.peak_structure_bytes.max(bytes);
+    }
+
+    /// Record a candidate peak for the largest single resident grid.
+    pub fn observe_shard_structure_bytes(&mut self, bytes: usize) {
+        self.peak_shard_structure_bytes = self.peak_shard_structure_bytes.max(bytes);
     }
 }
 
@@ -195,7 +229,11 @@ mod tests {
     #[test]
     fn stage_names_match_table1() {
         assert_eq!(Stage::BuildStructure.name(), "Build structure");
-        assert_eq!(Stage::ALL.len(), 6);
+        assert_eq!(Stage::ALL.len(), 7);
+        // The first six are Table 1's columns; HaloExchange is the
+        // sharding extra tacked onto the end.
+        assert_eq!(Stage::ALL[6], Stage::HaloExchange);
+        assert_eq!(Stage::HaloExchange.name(), "Halo exchange");
     }
 
     #[test]
@@ -219,6 +257,9 @@ mod tests {
             cells_skipped: 1,
             simd_lanes: 16,
             simd_remainder_lanes: 6,
+            shard_count: 4,
+            halo_movers: 9,
+            halo_cells: 12,
         };
         a.merge(&UpdateCounters {
             summary_cells: 1,
@@ -229,6 +270,9 @@ mod tests {
             cells_skipped: 5,
             simd_lanes: 8,
             simd_remainder_lanes: 1,
+            shard_count: 2,
+            halo_movers: 1,
+            halo_cells: 3,
         });
         assert_eq!(a.summary_cells, 4);
         assert_eq!(a.point_pairs, 15);
@@ -238,6 +282,10 @@ mod tests {
         assert_eq!(a.cells_skipped, 6);
         assert_eq!(a.simd_lanes, 24);
         assert_eq!(a.simd_remainder_lanes, 7);
+        // shard_count merges by max (a run-wide constant, not a sum)
+        assert_eq!(a.shard_count, 4);
+        assert_eq!(a.halo_movers, 10);
+        assert_eq!(a.halo_cells, 15);
     }
 
     #[test]

@@ -77,6 +77,7 @@ fn steady_state_iterations_do_not_allocate() {
             UpdateOptions::default(),
             &mut chunk_stats,
             None,
+            None,
         );
         if first_term {
             second_term_holds_host(&exec, &grid, coords_cur, eps, None, true);
@@ -128,6 +129,7 @@ fn incremental_steady_state_does_not_allocate() {
             UpdateOptions::default(),
             &mut chunk_stats,
             Some(&mut state),
+            None,
         );
         if first_term {
             second_term_holds_host(&exec, &grid, coords_cur, eps, state.confined_flags(), true);
@@ -152,5 +154,51 @@ fn incremental_steady_state_does_not_allocate() {
         after - before,
         0,
         "incremental steady-state iterations must not touch the heap"
+    );
+}
+
+#[test]
+fn sharded_steady_state_does_not_allocate() {
+    // the sharding contract's steady-state clause: once converged, member
+    // lists are stable, the exchange buffer stays empty, and a full
+    // synchronized iteration across all shards is allocation-free
+    use egg_sync_core::egg::shard::ShardedEngine;
+    use egg_sync_core::grid::ShardPlan;
+    use egg_sync_core::instrument::StageTimings;
+
+    let (n, dim, eps) = (3000, 2, 0.05);
+    let exec = Executor::sequential();
+    let geometry = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+    let plan = ShardPlan::new(&geometry, 4);
+    assert_eq!(plan.count(), 4, "domain must be wide enough for 4 shards");
+
+    let coords = cloud(n, dim);
+    let mut engine = ShardedEngine::new(geometry, plan, eps, UpdateOptions::default(), &coords);
+    let mut stages = StageTimings::default();
+
+    // run to convergence: every buffer reaches its steady size no later
+    // than the converged pass (member lists stop changing strictly before)
+    let mut converged = false;
+    for _ in 0..10_000 {
+        if engine.iterate(&exec, &mut stages).done {
+            converged = true;
+            break;
+        }
+    }
+    assert!(
+        converged,
+        "run must converge before the steady-state window"
+    );
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..5 {
+        engine.iterate(&exec, &mut stages);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "sharded steady-state iterations must not touch the heap"
     );
 }

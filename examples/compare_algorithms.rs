@@ -40,13 +40,14 @@ fn resolve_dataset(which: &str, n: usize) -> (Dataset, String) {
         .0;
         return (data, "synthetic".to_owned());
     }
-    let ds = UciDataset::ALL
-        .iter()
-        .find(|d| d.slug() == which)
-        .unwrap_or_else(|| {
-            let slugs: Vec<_> = UciDataset::ALL.iter().map(|d| d.slug()).collect();
-            panic!("unknown dataset '{which}': use synthetic or one of {slugs:?}")
-        });
+    let Some(ds) = UciDataset::ALL.iter().find(|d| d.slug() == which) else {
+        // a CLI typo is a usage error, not a bug: report and exit cleanly
+        // instead of panicking with a backtrace
+        let slugs: Vec<_> = UciDataset::ALL.iter().map(|d| d.slug()).collect();
+        eprintln!("error: unknown dataset '{which}'");
+        eprintln!("valid choices: synthetic, {}", slugs.join(", "));
+        std::process::exit(2);
+    };
     let (data, real) = ds.load(n);
     if real && data.len() >= n {
         return (data, format!("{} (loaded)", ds.name()));

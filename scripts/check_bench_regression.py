@@ -39,6 +39,7 @@ TRACKED_STAGES = (
     "extra_check",
     "clustering",
     "free_memory",
+    "halo_exchange",
 )
 MIN_STAGE_NS = 1_000_000  # ignore sub-millisecond stages: pure noise on CI
 

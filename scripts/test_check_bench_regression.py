@@ -150,6 +150,28 @@ class MainTests(unittest.TestCase):
         bad["stages_ns"]["renamed_stage"] = 5_000_000
         self.assertEqual(self.run_main([bad]), 1)
 
+    def test_halo_exchange_is_a_tracked_stage(self):
+        # rows from sharded runs carry the halo-exchange stage; the schema
+        # whitelist must accept it and the gate must diff it
+        ok = row(50_000_000)
+        ok["stages_ns"]["halo_exchange"] = 5_000_000
+        self.assertEqual(self.run_main([ok]), 0)
+
+    def test_halo_exchange_regression_is_caught(self):
+        before = row(50_000_000, ts=1)
+        before["stages_ns"]["halo_exchange"] = 10_000_000
+        after = row(50_000_000, ts=2)
+        after["stages_ns"]["halo_exchange"] = 20_000_000
+        self.assertEqual(self.run_main([before, after], "--fail-over", "0.40"), 1)
+
+    def test_absent_halo_exchange_stays_valid(self):
+        # pre-sharding rows have no halo_exchange key: the gate must not
+        # flag them (absent keys read as 0, below the noise floor)
+        before = row(50_000_000, ts=1)
+        after = row(52_000_000, ts=2)
+        after["stages_ns"]["halo_exchange"] = 5_000_000
+        self.assertEqual(self.run_main([before, after]), 0)
+
     def test_non_array_ledger_fails(self):
         self.assertEqual(self.run_main({"rows": []}), 1)
 

@@ -99,6 +99,7 @@ fn every_optimization_toggle_is_exact() {
             use_incremental: bits & 8 != 0,
             use_simd: bits & 16 != 0,
             use_cell_bounds: bits & 32 != 0,
+            ..UpdateOptions::default()
         };
         let mut algo = EggSync::new(0.05);
         algo.options = options;

@@ -262,12 +262,12 @@ proptest! {
             let (first_direct, _) = egg_update_host(
                 &exec, &grid, &coords, &mut direct, eps,
                 UpdateOptions { use_trig_tables: false, ..UpdateOptions::default() },
-                &mut stats, None,
+                &mut stats, None, None,
             );
             let mut tabled = vec![0.0; coords.len()];
             let (first_tabled, _) = egg_update_host(
                 &exec, &grid, &coords, &mut tabled, eps,
-                UpdateOptions::default(), &mut stats, None,
+                UpdateOptions::default(), &mut stats, None, None,
             );
             prop_assert_eq!(first_tabled, first_direct, "{:?}", variant);
             for (i, (t, d)) in tabled.iter().zip(&direct).enumerate() {
@@ -300,7 +300,7 @@ proptest! {
             let mut stats = Vec::new();
             egg_update_host(
                 &exec, &grid, &coords, &mut next, eps,
-                UpdateOptions::default(), &mut stats, None,
+                UpdateOptions::default(), &mut stats, None, None,
             );
             next.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
         };
@@ -348,13 +348,13 @@ proptest! {
             let (first_scalar, counters_scalar) = egg_update_host(
                 &exec, &grid, &coords, &mut scalar, eps,
                 UpdateOptions { use_simd: false, ..UpdateOptions::default() },
-                &mut stats, None,
+                &mut stats, None, None,
             );
             let mut simd = vec![0.0; coords.len()];
             let (first_simd, counters_simd) = egg_update_host(
                 &exec, &grid, &coords, &mut simd, eps,
                 UpdateOptions { use_simd: true, ..UpdateOptions::default() },
-                &mut stats, None,
+                &mut stats, None, None,
             );
             // exact lane distances: identical neighborhoods, hence an
             // identical first-term verdict and identical work counters
@@ -398,7 +398,7 @@ proptest! {
             egg_update_host(
                 &exec, &grid, &coords, &mut next, eps,
                 UpdateOptions { use_simd: true, ..UpdateOptions::default() },
-                &mut stats, None,
+                &mut stats, None, None,
             );
             next.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
         };
@@ -516,7 +516,7 @@ proptest! {
                     egg_update_host(
                         &exec, &grid, &cur, &mut next, eps,
                         UpdateOptions::default(), &mut chunk_stats,
-                        Some(&mut state),
+                        Some(&mut state), None,
                     );
                     state.finish_pass(&geo, &cur, &next);
                     std::mem::swap(&mut cur, &mut next);
@@ -584,6 +584,89 @@ proptest! {
                 bits(run_off.final_coords.coords()),
                 "workers {}", workers
             );
+        }
+    }
+}
+
+proptest! {
+    // sharded multi-grid execution (6 end-to-end cases, 28 runs each)
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sharded_execution_is_shard_and_worker_count_invariant(
+        raw in prop::collection::vec(0.0f64..=1.0, 48..=240),
+        dim in 2usize..=6,
+        variant_pick in 0usize..=3,
+    ) {
+        // the sharding contract: for any shard count, any worker count,
+        // any grid variant and the incremental machinery on or off, the
+        // output is bitwise identical to the single-grid oracle — labels,
+        // iteration count, final coordinates, and every size-based
+        // counter (dirty_cells legitimately differs: halo cells are
+        // refreshed once per resident shard, not once globally)
+        use egg_sync::core::egg::update::UpdateOptions;
+        use egg_sync::core::grid::{ShardPlan, MAX_OUTER_CELLS};
+        let coords: Vec<f64> = raw[..raw.len() / dim * dim].to_vec();
+        let n = coords.len() / dim;
+        prop_assume!(n > 0);
+        let eps = 0.12 * (dim as f64).sqrt();
+        let mut variant = match variant_pick {
+            0 => GridVariant::Auto,
+            1 => GridVariant::Sequential,
+            2 => GridVariant::Mixed(1),
+            _ => GridVariant::RandomAccess,
+        };
+        let width = GridGeometry::new(dim, eps, n, GridVariant::Sequential).width;
+        if variant == GridVariant::RandomAccess
+            && width.checked_pow(dim as u32).is_none_or(|m| m > MAX_OUTER_CELLS)
+        {
+            variant = GridVariant::Auto; // dense directory infeasible
+        }
+        let data = Dataset::from_coords(coords, dim);
+        let geo = GridGeometry::new(dim, eps, n, variant);
+        for inc in [true, false] {
+            let run_with = |shards: usize, workers: usize| {
+                let mut algo = EggSync::host(eps, Some(workers));
+                algo.variant = variant;
+                algo.options = UpdateOptions {
+                    use_incremental: inc,
+                    num_shards: shards,
+                    ..UpdateOptions::default()
+                };
+                algo.cluster(&data)
+            };
+            let oracle = run_with(1, 1);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            for shards in [2usize, 3, 4] {
+                for workers in [1usize, 4] {
+                    let run = run_with(shards, workers);
+                    let ctx = format!("S={shards} workers={workers} inc={inc} {variant:?}");
+                    prop_assert_eq!(&run.labels, &oracle.labels, "labels {}", &ctx);
+                    prop_assert_eq!(run.iterations, oracle.iterations, "iterations {}", &ctx);
+                    prop_assert_eq!(
+                        bits(run.final_coords.coords()),
+                        bits(oracle.final_coords.coords()),
+                        "coords {}", &ctx
+                    );
+                    // size-based counters are exact across shard counts
+                    let (a, b) = (&run.trace.update_counters, &oracle.trace.update_counters);
+                    prop_assert_eq!(a.point_pairs, b.point_pairs, "point_pairs {}", &ctx);
+                    prop_assert_eq!(a.summary_cells, b.summary_cells, "summary_cells {}", &ctx);
+                    prop_assert_eq!(
+                        a.sin_calls_avoided, b.sin_calls_avoided,
+                        "sin_calls_avoided {}", &ctx
+                    );
+                    prop_assert_eq!(a.moved_points, b.moved_points, "moved_points {}", &ctx);
+                    prop_assert_eq!(a.cells_skipped, b.cells_skipped, "cells_skipped {}", &ctx);
+                    prop_assert_eq!(a.simd_lanes, b.simd_lanes, "simd_lanes {}", &ctx);
+                    prop_assert_eq!(
+                        a.simd_remainder_lanes, b.simd_remainder_lanes,
+                        "simd_remainder_lanes {}", &ctx
+                    );
+                    let expected_shards = ShardPlan::new(&geo, shards).count() as u64;
+                    prop_assert_eq!(a.shard_count, expected_shards, "shard_count {}", &ctx);
+                }
+            }
         }
     }
 }
