@@ -10,7 +10,7 @@
 //! Set `EGG_BENCH_SCALE` (e.g. `0.25`) for the CI quick mode.
 
 use egg_bench::{
-    append_bench_ledger, bench_ledger_row, default_synthetic, measure, scaled, Experiment,
+    append_bench_ledger, bench_ledger_row_for, default_synthetic, measure, scaled, Experiment,
 };
 use egg_sync_core::{EggSync, FSync, GpuSync, MpSync, Sync};
 
@@ -43,19 +43,7 @@ fn main() {
     let ledger_rows: Vec<_> = exp
         .rows()
         .iter()
-        .map(|m| {
-            bench_ledger_row(
-                "fig3a_scalability",
-                &m.algorithm,
-                m.x as usize,
-                2,
-                m.engine_threads.unwrap_or(1),
-                m.iterations,
-                m.wall_seconds,
-                &m.stages,
-                &m.counters,
-            )
-        })
+        .map(|m| bench_ledger_row_for("fig3a_scalability", m, 2))
         .collect();
     match append_bench_ledger(&ledger_rows) {
         Ok(ledger) => println!("(ledger appended to {})", ledger.display()),

@@ -1,78 +1,199 @@
-//! Figure 3b — EGG-SynC's speedup over SynC and GPU-SynC as n grows.
+//! Figure 3b — EGG-SynC's speedup over SynC and FSynC as n grows, on the
+//! paper's doubling envelope (n = 2 000 → 1 024 000).
 //!
-//! Paper shape: both speedup curves increase with n (the summarized cells
-//! absorb ever more of the neighborhood as density grows). Wall-clock
-//! speedups on this host carry the CPU-side comparison; for GPU-SynC the
-//! simulated-GPU times are also compared, which restores the device-side
-//! shape.
+//! Paper shape: EGG-SynC is the fastest method and both speedup curves
+//! *grow* with n (the summarized cells absorb ever more of the
+//! neighborhood as density grows). EGG-SynC runs the full envelope on the
+//! simulated device and is compared by its simulated-device time — the
+//! number that carries the paper's RTX 3090 shape. The O(n²) baselines
+//! are measured up to a cap and extrapolated quadratically beyond it
+//! (per-iteration cost is Θ(n²) while iteration counts stay flat);
+//! extrapolated cells are marked `~` in the table and never enter the
+//! BENCH_egg.json ledger.
+//!
+//! A fused-pipeline evidence cell (n = 100 000, d = 4) runs the device
+//! backend with `use_fused_kernels` on and off: the fused, lane-blocked
+//! pipeline must launch fewer kernels, move fewer memory words and spend
+//! less simulated time in build+update per iteration, while producing the
+//! same clustering. Its per-stage simulated times and kernel totals are
+//! appended to the ledger as d = 4 rows.
 
-use egg_bench::{default_synthetic, measure, scaled, Experiment};
-use egg_sync_core::{EggSync, GpuSync, Sync};
+use egg_bench::{
+    append_bench_ledger, bench_ledger_row_for, default_synthetic, measure, scaled, Experiment,
+    Measurement,
+};
+use egg_sync_core::instrument::Stage;
+use egg_sync_core::{EggSync, FSync, Sync};
 
-/// Host-engine thread counts swept for the engine-scaling rows.
-const HOST_THREADS: [usize; 2] = [1, 4];
+/// One sweep cell: baseline seconds plus whether they were measured
+/// (`true`) or extrapolated from the last measured anchor (`false`).
+struct SpeedupRow {
+    n: usize,
+    egg_sim: f64,
+    sync_secs: (f64, bool),
+    fsync_secs: (f64, bool),
+}
 
 fn main() {
     let mut exp = Experiment::new("fig3b_speedup", "n");
-    let mut speedups: Vec<(usize, f64, f64, Option<f64>)> = Vec::new();
-    let mut engine_rows: Vec<(usize, f64, f64)> = Vec::new();
-    for &raw_n in &[1_000usize, 2_000, 4_000] {
+    // the paper's doubling sweep, 2 000 → 1 024 000
+    let sweep = [
+        2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 128_000, 256_000, 512_000, 1_024_000,
+    ];
+    let brute_cap = scaled(8_000);
+    let mut rows: Vec<SpeedupRow> = Vec::new();
+    // last measured (n, wall) of each O(n²) baseline: the extrapolation
+    // anchor for the envelope beyond the cap
+    let mut sync_anchor: Option<(usize, f64)> = None;
+    let mut fsync_anchor: Option<(usize, f64)> = None;
+    let mut last_n = 0usize;
+    for &raw_n in &sweep {
         let n = scaled(raw_n);
-        let data = default_synthetic(n);
-        let sync = measure(&Sync::new(0.05), &data, n as f64);
-        let gpu = measure(&GpuSync::new(0.05), &data, n as f64);
-        let egg = measure(&EggSync::new(0.05), &data, n as f64);
-        let vs_sync = sync.wall_seconds / egg.wall_seconds;
-        let vs_gpu_wall = gpu.wall_seconds / egg.wall_seconds;
-        let vs_gpu_sim = match (gpu.sim_seconds, egg.sim_seconds) {
-            (Some(g), Some(e)) if e > 0.0 => Some(g / e),
-            _ => None,
-        };
-        speedups.push((n, vs_sync, vs_gpu_wall, vs_gpu_sim));
-        exp.push(sync);
-        exp.push(gpu);
-        exp.push(egg);
-        // host execution engine: same algorithm, swept over thread counts
-        let mut host_runs = Vec::new();
-        for threads in HOST_THREADS {
-            let mut m = measure(&EggSync::host(0.05, Some(threads)), &data, n as f64);
-            m.algorithm = format!("EGG-host/t{threads}");
-            host_runs.push((m.wall_seconds, m.iterations, m.clusters));
-            exp.push(m);
+        if n == last_n {
+            continue; // deep downscale collapsed onto the 64-point floor
         }
-        let (_, iters0, clusters0) = host_runs[0];
-        assert!(
-            host_runs
-                .iter()
-                .all(|&(_, i, c)| (i, c) == (iters0, clusters0)),
-            "engine determinism violated at n={n}: {host_runs:?}"
-        );
-        engine_rows.push((n, host_runs[0].0, host_runs[host_runs.len() - 1].0));
-    }
-    println!("\nEGG-SynC speedup:");
-    println!(
-        "{:>8} {:>12} {:>16} {:>18}",
-        "n", "vs SynC", "vs GPU-SynC", "vs GPU-SynC (sim)"
-    );
-    for (n, s, g, gs) in &speedups {
-        println!(
-            "{:>8} {:>11.1}x {:>15.1}x {:>17}",
+        last_n = n;
+        let data = default_synthetic(n);
+        let brute = |algo: &dyn egg_sync_core::ClusterAlgorithm,
+                     anchor: &mut Option<(usize, f64)>,
+                     exp: &mut Experiment| {
+            if n <= brute_cap {
+                let m = measure(algo, &data, n as f64);
+                let wall = m.wall_seconds;
+                *anchor = Some((n, wall));
+                exp.push(m);
+                (wall, true)
+            } else {
+                let (n0, w0) = anchor.expect("anchor measured before the cap");
+                (w0 * (n as f64 / n0 as f64).powi(2), false)
+            }
+        };
+        let sync_secs = brute(&Sync::new(0.05), &mut sync_anchor, &mut exp);
+        let fsync_secs = brute(&FSync::new(0.05), &mut fsync_anchor, &mut exp);
+        let egg = measure(&EggSync::new(0.05), &data, n as f64);
+        let egg_sim = egg.sim_seconds.expect("device backend records sim time");
+        exp.push(egg);
+        rows.push(SpeedupRow {
             n,
-            s,
-            g,
-            gs.map_or_else(|| "-".to_owned(), |v| format!("{v:.1}x"))
+            egg_sim,
+            sync_secs,
+            fsync_secs,
+        });
+    }
+
+    let fmt = |(secs, measured): (f64, bool), egg_sim: f64| {
+        let mark = if measured { "" } else { "~" };
+        format!("{mark}{:.1}x", secs / egg_sim)
+    };
+    println!("\nEGG-SynC simulated-device speedup (~ = extrapolated baseline):");
+    println!(
+        "{:>9} {:>13} {:>12} {:>12}",
+        "n", "EGG sim", "vs SynC", "vs FSynC"
+    );
+    for r in &rows {
+        println!(
+            "{:>9} {:>12.6}s {:>12} {:>12}",
+            r.n,
+            r.egg_sim,
+            fmt(r.sync_secs, r.egg_sim),
+            fmt(r.fsync_secs, r.egg_sim),
         );
     }
-    println!("\nHost engine scaling (identical output at every width):");
-    println!(
-        "{:>8} {:>12} {:>12} {:>10}",
-        "n",
-        format!("t{} wall", HOST_THREADS[0]),
-        format!("t{} wall", HOST_THREADS[HOST_THREADS.len() - 1]),
-        "speedup"
+    // the paper's relative ordering: EGG-SynC is fastest at scale and its
+    // advantage over both O(n²) baselines grows with n
+    let (first, last) = (
+        rows.first().expect("sweep ran"),
+        rows.last().expect("sweep ran"),
     );
-    for (n, w1, wk) in &engine_rows {
-        println!("{:>8} {:>11.3}s {:>11.3}s {:>9.2}x", n, w1, wk, w1 / wk);
+    assert!(
+        last.sync_secs.0 / last.egg_sim > 1.0 && last.fsync_secs.0 / last.egg_sim > 1.0,
+        "EGG-SynC must be fastest at n={}",
+        last.n
+    );
+    assert!(
+        last.sync_secs.0 / last.egg_sim > first.sync_secs.0 / first.egg_sim
+            && last.fsync_secs.0 / last.egg_sim > first.fsync_secs.0 / first.egg_sim,
+        "speedup must grow with n"
+    );
+
+    // sweep rows (all 2-D) enter the ledger before the d = 4 evidence cell
+    let mut ledger_rows: Vec<_> = exp
+        .rows()
+        .iter()
+        .map(|m| bench_ledger_row_for("fig3b_speedup", m, 2))
+        .collect();
+
+    // --- fused-pipeline evidence cell: n = 100 000, d = 4 ---------------
+    let n4 = scaled(100_000);
+    let data4 = egg_data::generator::GaussianSpec {
+        n: n4,
+        dim: 4,
+        ..egg_data::generator::GaussianSpec::default()
+    }
+    .generate_normalized()
+    .0;
+    let run = |fused: bool| -> Measurement {
+        let mut algo = EggSync::new(0.25);
+        algo.options.use_fused_kernels = fused;
+        let mut m = measure(&algo, &data4, n4 as f64);
+        m.algorithm = if fused {
+            "EGG-fused".to_owned()
+        } else {
+            "EGG-unfused".to_owned()
+        };
+        m
+    };
+    let fused = run(true);
+    let unfused = run(false);
+    let per_iter = |m: &Measurement| {
+        let k = m.kernel.expect("device kernels recorded");
+        let sim = m.sim_stages.expect("sim stages recorded");
+        let iters = m.iterations.max(1) as f64;
+        (
+            k.launches as f64 / iters,
+            k.mem_words as f64 / iters,
+            k.coalesced_fraction(),
+            (sim.get(Stage::BuildStructure) + sim.get(Stage::Update)) / iters,
+        )
+    };
+    let (fl, fw, ff, ft) = per_iter(&fused);
+    let (ul, uw, uf, ut) = per_iter(&unfused);
+    println!("\nFused vs unfused device pipeline (n={n4}, d=4, per iteration):");
+    println!(
+        "{:>10} {:>10} {:>14} {:>10} {:>16}",
+        "", "launches", "mem words", "coalesced", "sim build+upd"
+    );
+    for (name, l, w, f, t) in [("fused", fl, fw, ff, ft), ("unfused", ul, uw, uf, ut)] {
+        println!(
+            "{name:>10} {l:>10.1} {w:>14.0} {f:>9.1}% {t:>15.6}s",
+            f = f * 100.0
+        );
+    }
+    assert_eq!(
+        fused.clusters, unfused.clusters,
+        "fusion changed the clustering"
+    );
+    assert!(
+        fl < ul,
+        "fused pipeline must launch fewer kernels ({fl} vs {ul})"
+    );
+    assert!(
+        fw < uw,
+        "fused pipeline must move fewer words ({fw} vs {uw})"
+    );
+    assert!(ff > uf, "lane-blocking must raise the coalesced fraction");
+    assert!(
+        ft < ut,
+        "fused build+update must be cheaper in simulated time ({ft} vs {ut})"
+    );
+    ledger_rows.push(bench_ledger_row_for("fig3b_speedup", &fused, 4));
+    ledger_rows.push(bench_ledger_row_for("fig3b_speedup", &unfused, 4));
+    exp.push(fused);
+    exp.push(unfused);
+
+    match append_bench_ledger(&ledger_rows) {
+        Ok(ledger) => println!("(ledger appended to {})", ledger.display()),
+        Err(e) => eprintln!("warning: could not append BENCH_egg.json: {e}"),
     }
     exp.finish();
 }

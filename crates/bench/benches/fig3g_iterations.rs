@@ -36,6 +36,8 @@ fn main() {
                 clusters: clustering.num_clusters,
                 structure_bytes: clustering.trace.peak_structure_bytes,
                 stages: clustering.trace.stages,
+                sim_stages: clustering.trace.sim_stages,
+                kernel: clustering.trace.kernel_summary,
                 engine_threads: clustering.trace.engine_threads,
                 counters: clustering.trace.update_counters,
             });

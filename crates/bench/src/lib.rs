@@ -19,7 +19,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use egg_data::Dataset;
-use egg_sync_core::instrument::{Stage, StageTimings, UpdateCounters};
+use egg_sync_core::instrument::{KernelSummary, Stage, StageTimings, UpdateCounters};
 use egg_sync_core::{ClusterAlgorithm, Clustering};
 use serde::Serialize;
 
@@ -42,6 +42,10 @@ pub struct Measurement {
     pub structure_bytes: usize,
     /// Per-stage host wall-clock breakdown of the run.
     pub stages: StageTimings,
+    /// Per-stage simulated-GPU breakdown (GPU-backed algorithms only).
+    pub sim_stages: Option<StageTimings>,
+    /// Kernel launch/word totals (GPU-backed algorithms only).
+    pub kernel: Option<KernelSummary>,
     /// Host execution-engine worker threads, when the engine ran.
     pub engine_threads: Option<usize>,
     /// EGG-update work counters (zero for non-EGG algorithms).
@@ -67,6 +71,8 @@ pub fn measurement_from(name: &str, x: f64, wall: f64, result: &Clustering) -> M
         clusters: result.num_clusters,
         structure_bytes: result.trace.peak_structure_bytes,
         stages: result.trace.stages,
+        sim_stages: result.trace.sim_stages,
+        kernel: result.trace.kernel_summary,
         engine_threads: result.trace.engine_threads,
         counters: result.trace.update_counters,
     }
@@ -133,6 +139,57 @@ pub fn bench_ledger_row(
         "stages_ns": stages_ns,
         "counters": counters_json,
     })
+}
+
+/// Ledger row built from a [`Measurement`]: the base
+/// [`bench_ledger_row`] plus, for GPU-backed runs, the deterministic
+/// simulated-time stage breakdown (`sim_*` keys inside `stages_ns` —
+/// tracked by `scripts/check_bench_regression.py` like the host stages,
+/// but noise-free because the cost model is a pure function of the
+/// kernels' operation counts) and the kernel-level launch/word totals
+/// the fused-pipeline benches diff across variants.
+pub fn bench_ledger_row_for(experiment: &str, m: &Measurement, d: usize) -> serde_json::Value {
+    let mut row = bench_ledger_row(
+        experiment,
+        &m.algorithm,
+        m.x as usize,
+        d,
+        m.engine_threads.unwrap_or(1),
+        m.iterations,
+        m.wall_seconds,
+        &m.stages,
+        &m.counters,
+    );
+    let serde_json::Value::Object(entries) = &mut row else {
+        return row;
+    };
+    if let Some(sim) = &m.sim_stages {
+        if let Some((_, serde_json::Value::Object(stages))) =
+            entries.iter_mut().find(|(k, _)| k == "stages_ns")
+        {
+            for (key, stage) in [
+                ("sim_allocating", Stage::Allocating),
+                ("sim_build_structure", Stage::BuildStructure),
+                ("sim_update", Stage::Update),
+                ("sim_extra_check", Stage::ExtraCheck),
+                ("sim_clustering", Stage::Clustering),
+            ] {
+                let ns = secs_to_ns(sim.get(stage));
+                stages.push((key.to_owned(), serde_json::to_value(&ns)));
+            }
+        }
+    }
+    if let Some(k) = &m.kernel {
+        for (key, v) in [
+            ("kernel_launches", k.launches),
+            ("kernel_mem_words", k.mem_words),
+            ("kernel_coalesced_words", k.coalesced_words),
+            ("kernel_atomics", k.atomics),
+        ] {
+            entries.push((key.to_owned(), serde_json::to_value(&v)));
+        }
+    }
+    row
 }
 
 /// Append ledger rows to the JSON array at `path`, creating the file if
@@ -343,6 +400,29 @@ mod tests {
             assert!(text.contains(m), "missing row {m}");
         }
         assert!(text.contains("\"wall_ns\":500000000"));
+    }
+
+    #[test]
+    fn measurement_row_carries_sim_stages_and_kernel_totals() {
+        let data = default_synthetic(150);
+        let gpu = measure(&EggSync::new(0.05), &data, 150.0);
+        let text = serde_json::to_string(&bench_ledger_row_for("unit", &gpu, 2)).unwrap();
+        for key in [
+            "\"sim_build_structure\":",
+            "\"sim_update\":",
+            "\"sim_extra_check\":",
+            "\"kernel_launches\":",
+            "\"kernel_mem_words\":",
+            "\"kernel_coalesced_words\":",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+        // host runs carry neither a simulated clock nor kernels
+        let host = measure(&EggSync::host(0.05, Some(1)), &data, 150.0);
+        let htext = serde_json::to_string(&bench_ledger_row_for("unit", &host, 2)).unwrap();
+        assert!(!htext.contains("sim_update"));
+        assert!(!htext.contains("kernel_launches"));
+        assert!(htext.contains("\"update\":"));
     }
 
     #[test]

@@ -129,11 +129,14 @@ impl ClusterAlgorithm for GpuSync {
                     let mut sums = [0.0f64; MAX_DIM];
                     let mut count = 0usize;
                     let mut rc_acc = 0.0;
+                    // every thread in the warp scans the same q at each
+                    // step, so these reads are a broadcast served by one
+                    // transaction — charged at peak bandwidth
                     for q_idx in 0..n {
                         let mut dist_sq = 0.0;
                         let mut q = [0.0f64; MAX_DIM];
                         for i in 0..dim {
-                            q[i] = cur.load(q_idx * dim + i);
+                            q[i] = cur.load_coalesced(q_idx * dim + i);
                             let d = q[i] - p[i];
                             dist_sq += d * d;
                         }
@@ -142,8 +145,8 @@ impl ClusterAlgorithm for GpuSync {
                             rc_acc += (-dist_sq.sqrt()).exp();
                             // sin(q−p) = sin q · cos p − cos q · sin p
                             for i in 0..dim {
-                                sums[i] += sin_t.load(q_idx * dim + i) * cos_p[i]
-                                    - cos_t.load(q_idx * dim + i) * sin_p[i];
+                                sums[i] += sin_t.load_coalesced(q_idx * dim + i) * cos_p[i]
+                                    - cos_t.load_coalesced(q_idx * dim + i) * sin_p[i];
                             }
                         }
                     }
@@ -184,6 +187,9 @@ impl ClusterAlgorithm for GpuSync {
 
         let final_coords = Dataset::from_coords(coords_cur.to_vec(), dim);
         trace.observe_structure_bytes(device.memory_used() as usize);
+        trace.kernel_summary = Some(crate::instrument::KernelSummary::from_report(
+            &device.report(),
+        ));
         let (_, free_secs) = timed(|| drop(device));
         trace.stages.add(Stage::FreeMemory, free_secs);
         trace.total_seconds = trace.stages.total();
@@ -223,14 +229,15 @@ pub(crate) fn gpu_gather_labels(
                 p[i] = coords.load(p_idx * dim + i);
             }
             let mut my = labels.load(p_idx);
+            // q-side reads are a warp-wide broadcast, as in the update scan
             for q_idx in 0..n {
                 let mut dist_sq = 0.0;
                 for i in 0..dim {
-                    let d = coords.load(q_idx * dim + i) - p[i];
+                    let d = coords.load_coalesced(q_idx * dim + i) - p[i];
                     dist_sq += d * d;
                 }
                 if dist_sq <= gamma_sq {
-                    let lq = labels.load(q_idx);
+                    let lq = labels.load_coalesced(q_idx);
                     if lq < my {
                         my = lq;
                     }

@@ -274,6 +274,7 @@ impl EggSync {
         trace.stages.add(Stage::Allocating, alloc_secs);
         take_sim(&device, &mut sim_stages, Stage::Allocating);
         trace.observe_structure_bytes(device.memory_used() as usize);
+        workspace.set_fused(self.options.use_fused_kernels);
 
         let mut iterations = 0usize;
         let mut converged = false;
@@ -371,6 +372,9 @@ impl EggSync {
 
         let final_coords = Dataset::from_coords(coords_cur.to_vec(), dim);
         trace.update_counters = counters_from_device(&counters);
+        trace.kernel_summary = Some(crate::instrument::KernelSummary::from_report(
+            &device.report(),
+        ));
         trace.observe_structure_bytes(device.memory_used() as usize);
         let (_, free_secs) = timed(|| {
             drop(workspace);
@@ -461,7 +465,7 @@ mod tests {
     fn ablation_toggles_do_not_change_results() {
         let (data, _) = blobs(150, 3, 19);
         let reference = EggSync::new(0.05).cluster(&data);
-        for bits in 0u8..64 {
+        for bits in 0u8..128 {
             let options = UpdateOptions {
                 use_summaries: bits & 1 != 0,
                 use_pregrid: bits & 2 != 0,
@@ -469,6 +473,7 @@ mod tests {
                 use_incremental: bits & 8 != 0,
                 use_simd: bits & 16 != 0,
                 use_cell_bounds: bits & 32 != 0,
+                use_fused_kernels: bits & 64 != 0,
                 ..UpdateOptions::default()
             };
             let mut algo = EggSync::new(0.05);

@@ -12,7 +12,7 @@ use egg_gpu_sim::{grid_for, Device, DeviceBuffer};
 
 use crate::algorithms::gpu_sync::{BLOCK, MAX_DIM};
 use crate::exec::{Executor, POINT_CHUNK};
-use crate::grid::device::seg_start;
+use crate::grid::device::{seg_start, LaneTables};
 use crate::grid::{CellGrid, DeviceGrid, GridGeometry, PreGrid};
 use crate::kernels::{distance_sq_lanes, LANES};
 use crate::model::delta;
@@ -84,10 +84,24 @@ pub fn second_term_holds(
                         let q1_idx = grid.i_points.load(e) as usize;
                         let mut q1 = [0.0f64; MAX_DIM];
                         let mut d_sq = 0.0;
-                        for i in 0..dim {
-                            q1[i] = coords.load(q1_idx * dim + i);
-                            let d = q1[i] - p[i];
-                            d_sq += d * d;
+                        // fused pipeline: shell candidates through the
+                        // coalesced lane-blocked coordinate table (bitwise
+                        // copies of the point-major rows)
+                        match &grid.lanes {
+                            Some(l) => {
+                                for i in 0..dim {
+                                    q1[i] = l.coords.load_coalesced(LaneTables::at(e, dim, i));
+                                    let d = q1[i] - p[i];
+                                    d_sq += d * d;
+                                }
+                            }
+                            None => {
+                                for i in 0..dim {
+                                    q1[i] = coords.load(q1_idx * dim + i);
+                                    let d = q1[i] - p[i];
+                                    d_sq += d * d;
+                                }
+                            }
                         }
                         if d_sq <= eps_sq || d_sq > shell_sq {
                             continue;
@@ -102,10 +116,21 @@ pub fn second_term_holds(
                                 let lo1 = grid.cell_start(c1) as usize;
                                 let hi1 = grid.i_ends.load(c1) as usize;
                                 (lo1..hi1).any(|e2| {
-                                    let q2_idx = grid.i_points.load(e2) as usize;
                                     let mut q2 = [0.0f64; MAX_DIM];
-                                    for i in 0..dim {
-                                        q2[i] = coords.load(q2_idx * dim + i);
+                                    match &grid.lanes {
+                                        Some(l) => {
+                                            for i in 0..dim {
+                                                q2[i] = l
+                                                    .coords
+                                                    .load_coalesced(LaneTables::at(e2, dim, i));
+                                            }
+                                        }
+                                        None => {
+                                            let q2_idx = grid.i_points.load(e2) as usize;
+                                            for i in 0..dim {
+                                                q2[i] = coords.load(q2_idx * dim + i);
+                                            }
+                                        }
                                     }
                                     pair_drags(&p[..dim], &q1[..dim], &q2[..dim], eps_sq, half_sq)
                                 })
@@ -216,10 +241,19 @@ fn shell_pair_reaches(
             let pts_lo = grid.cell_start(c) as usize;
             let pts_hi = grid.i_ends.load(c) as usize;
             for e in pts_lo..pts_hi {
-                let q2_idx = grid.i_points.load(e) as usize;
                 let mut q2 = [0.0f64; MAX_DIM];
-                for i in 0..dim {
-                    q2[i] = coords.load(q2_idx * dim + i);
+                match &grid.lanes {
+                    Some(l) => {
+                        for i in 0..dim {
+                            q2[i] = l.coords.load_coalesced(LaneTables::at(e, dim, i));
+                        }
+                    }
+                    None => {
+                        let q2_idx = grid.i_points.load(e) as usize;
+                        for i in 0..dim {
+                            q2[i] = coords.load(q2_idx * dim + i);
+                        }
+                    }
                 }
                 if pair_drags(p, q1, &q2[..dim], eps_sq, half_sq) {
                     return true;
@@ -403,16 +437,25 @@ mod tests {
     use crate::model::criterion_term2_met;
     use egg_gpu_sim::DeviceConfig;
 
+    /// Evaluate the device second-term kernel on BOTH the fused (lane
+    /// tables) and the unfused pipeline, assert their verdicts agree, and
+    /// return the shared verdict — so every device test below covers both.
     fn device_second_term(coords: &[f64], dim: usize, eps: f64) -> bool {
-        let n = coords.len() / dim;
-        let device = Device::new(DeviceConfig::default());
-        let geo = GridGeometry::new(dim, eps, n, GridVariant::Auto);
-        let mut ws = GridWorkspace::new(&device, geo, n);
-        let buf = device.alloc_from_slice(coords);
-        let grid = ws.construct(&buf);
-        let pre = ws.build_pregrid(&grid);
-        let flag = device.alloc::<u64>(1);
-        second_term_holds(&device, &grid, &pre, &buf, &flag, n, eps, None)
+        let run = |fused: bool| {
+            let n = coords.len() / dim;
+            let device = Device::new(DeviceConfig::default());
+            let geo = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+            let mut ws = GridWorkspace::new(&device, geo, n);
+            ws.set_fused(fused);
+            let buf = device.alloc_from_slice(coords);
+            let grid = ws.construct(&buf);
+            let pre = ws.build_pregrid(&grid);
+            let flag = device.alloc::<u64>(1);
+            second_term_holds(&device, &grid, &pre, &buf, &flag, n, eps, None)
+        };
+        let (fused, unfused) = (run(true), run(false));
+        assert_eq!(fused, unfused, "fused/unfused termination verdicts");
+        fused
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::grid::{CellGrid, DeviceGrid, GridGeometry, PreGrid};
 use crate::instrument::UpdateCounters;
 use crate::kernels::{avx2_available, pair_term_cell, F64x4, LANES};
 
-use super::super::grid::device::seg_start;
+use super::super::grid::device::{seg_start, LaneTables};
 
 /// Number of `u64` slots in the device-side update-counter buffer consumed
 /// by [`egg_update`] and the grid refresh: `[summary_cells, point_pairs,
@@ -113,6 +113,18 @@ pub struct UpdateOptions {
     /// backend. Defaults to the `EGG_NUM_SHARDS` environment variable
     /// when set (the CI leg that exercises sharding end to end).
     pub num_shards: usize,
+    /// Run the device backend's fused kernel pipeline: grid construction
+    /// computes trig tables, lane-blocked slot-major tables, Σsin/Σcos
+    /// summaries and cell MBRs in ONE per-cell launch (and refreshes them
+    /// in one per-dirty-cell launch), and the update/termination kernels
+    /// consume the lane tables through the simulator's coalesced access
+    /// path. Every lane entry is a bitwise copy of the point-major value
+    /// and every accumulation chain is preserved, so results are bitwise
+    /// identical to the unfused multi-pass oracle; only kernel launches,
+    /// memory traffic and simulated time change. Ignored by the host
+    /// engine (whose lane tables are always on). Defaults to on unless
+    /// the `EGG_FORCE_UNFUSED` environment variable is set.
+    pub use_fused_kernels: bool,
 }
 
 /// Process-wide default for [`UpdateOptions::use_simd`]: on, unless the
@@ -138,6 +150,16 @@ fn shards_default() -> usize {
     })
 }
 
+/// Process-wide default for [`UpdateOptions::use_fused_kernels`] — and for
+/// [`crate::grid::GridWorkspace`]'s pipeline selection: on, unless the
+/// `EGG_FORCE_UNFUSED` environment variable is set (the CI leg that
+/// exercises the unfused oracle end to end). Cached like [`simd_default`]
+/// so defaults stay allocation-free.
+pub fn fused_default() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("EGG_FORCE_UNFUSED").is_none())
+}
+
 impl Default for UpdateOptions {
     fn default() -> Self {
         Self {
@@ -148,6 +170,7 @@ impl Default for UpdateOptions {
             use_simd: simd_default(),
             use_cell_bounds: true,
             num_shards: shards_default(),
+            use_fused_kernels: fused_default(),
         }
     }
 }
@@ -346,6 +369,11 @@ pub fn egg_update(
     let geo = grid.geometry;
     let dim = geo.dim;
     let eps_sq = epsilon * epsilon;
+    // fused pipeline: read trig/coordinates through the lane-blocked
+    // slot-major tables (coalesced — warp-contiguous by construction of the
+    // grid-sorted order); every entry is a bitwise copy of the point-major
+    // value, so the arithmetic is unchanged
+    let lanes = grid.lanes.as_ref();
     device.launch("egg_update", grid_for(n, BLOCK), BLOCK, |t| {
         let entry = t.global_id();
         if entry >= n {
@@ -355,8 +383,17 @@ pub fn egg_update(
         let p_idx = grid.i_points.load(entry) as usize;
         let c_cell = grid.point_cell.load(p_idx) as usize;
         let mut p = [0.0f64; MAX_DIM];
-        for i in 0..dim {
-            p[i] = coords.load(p_idx * dim + i);
+        match lanes {
+            Some(l) => {
+                for i in 0..dim {
+                    p[i] = l.coords.load_coalesced(LaneTables::at(entry, dim, i));
+                }
+            }
+            None => {
+                for i in 0..dim {
+                    p[i] = coords.load(p_idx * dim + i);
+                }
+            }
         }
         if let Some(s) = inc {
             if s.active && s.cell_skip.load(c_cell) == 1 {
@@ -378,9 +415,20 @@ pub fn egg_update(
         let (mut sin_p, mut cos_p) = ([0.0f64; MAX_DIM], [0.0f64; MAX_DIM]);
         if options.use_trig_tables {
             // same coordinates the table was built from — identical bits
-            for i in 0..dim {
-                sin_p[i] = grid.trig_sin.load(p_idx * dim + i);
-                cos_p[i] = grid.trig_cos.load(p_idx * dim + i);
+            match lanes {
+                Some(l) => {
+                    for i in 0..dim {
+                        let at = LaneTables::at(entry, dim, i);
+                        sin_p[i] = l.sin.load_coalesced(at);
+                        cos_p[i] = l.cos.load_coalesced(at);
+                    }
+                }
+                None => {
+                    for i in 0..dim {
+                        sin_p[i] = grid.trig_sin.load(p_idx * dim + i);
+                        cos_p[i] = grid.trig_cos.load(p_idx * dim + i);
+                    }
+                }
             }
         } else {
             for i in 0..dim {
@@ -451,27 +499,58 @@ pub fn egg_update(
                         local.simd_lanes += lanes;
                         local.simd_remainder_lanes += lanes - len as u64;
                     }
-                    for e in pts_lo..pts_hi {
-                        let q_idx = grid.i_points.load(e) as usize;
-                        let mut q = [0.0f64; MAX_DIM];
-                        let mut dist_sq = 0.0;
-                        for i in 0..dim {
-                            q[i] = coords.load(q_idx * dim + i);
-                            let d = q[i] - p[i];
-                            dist_sq += d * d;
-                        }
-                        if dist_sq <= eps_sq {
-                            neighbors += 1;
-                            if options.use_trig_tables {
-                                // sin(q−p) = sin q · cos p − cos q · sin p
-                                for i in 0..dim {
-                                    sums[i] += grid.trig_sin.load(q_idx * dim + i) * cos_p[i]
-                                        - grid.trig_cos.load(q_idx * dim + i) * sin_p[i];
+                    if let Some(l) = lanes {
+                        // fused path: partners are addressed by grid-sorted
+                        // slot through the lane-blocked tables — coalesced,
+                        // and with no `i_points` indirection at all
+                        for e in pts_lo..pts_hi {
+                            let mut q = [0.0f64; MAX_DIM];
+                            let mut dist_sq = 0.0;
+                            for i in 0..dim {
+                                q[i] = l.coords.load_coalesced(LaneTables::at(e, dim, i));
+                                let d = q[i] - p[i];
+                                dist_sq += d * d;
+                            }
+                            if dist_sq <= eps_sq {
+                                neighbors += 1;
+                                if options.use_trig_tables {
+                                    // sin(q−p) = sin q · cos p − cos q · sin p
+                                    for i in 0..dim {
+                                        let at = LaneTables::at(e, dim, i);
+                                        sums[i] += l.sin.load_coalesced(at) * cos_p[i]
+                                            - l.cos.load_coalesced(at) * sin_p[i];
+                                    }
+                                    local.sin_calls_avoided += dim as u64;
+                                } else {
+                                    for i in 0..dim {
+                                        sums[i] += (q[i] - p[i]).sin();
+                                    }
                                 }
-                                local.sin_calls_avoided += dim as u64;
-                            } else {
-                                for i in 0..dim {
-                                    sums[i] += (q[i] - p[i]).sin();
+                            }
+                        }
+                    } else {
+                        for e in pts_lo..pts_hi {
+                            let q_idx = grid.i_points.load(e) as usize;
+                            let mut q = [0.0f64; MAX_DIM];
+                            let mut dist_sq = 0.0;
+                            for i in 0..dim {
+                                q[i] = coords.load(q_idx * dim + i);
+                                let d = q[i] - p[i];
+                                dist_sq += d * d;
+                            }
+                            if dist_sq <= eps_sq {
+                                neighbors += 1;
+                                if options.use_trig_tables {
+                                    // sin(q−p) = sin q · cos p − cos q · sin p
+                                    for i in 0..dim {
+                                        sums[i] += grid.trig_sin.load(q_idx * dim + i) * cos_p[i]
+                                            - grid.trig_cos.load(q_idx * dim + i) * sin_p[i];
+                                    }
+                                    local.sin_calls_avoided += dim as u64;
+                                } else {
+                                    for i in 0..dim {
+                                        sums[i] += (q[i] - p[i]).sin();
+                                    }
                                 }
                             }
                         }
@@ -886,6 +965,7 @@ mod tests {
         let device = Device::new(DeviceConfig::default());
         let geo = GridGeometry::new(dim, eps, n, variant);
         let mut ws = GridWorkspace::new(&device, geo, n);
+        ws.set_fused(options.use_fused_kernels);
         let buf = device.alloc_from_slice(coords);
         let next = device.alloc::<f64>(coords.len());
         let flag = device.alloc::<u64>(1);
@@ -1156,13 +1236,6 @@ mod tests {
     #[test]
     fn host_counters_match_device_counters() {
         let coords = cloud(300, 2);
-        let (_, _, device) = run_update_counting(
-            &coords,
-            2,
-            0.08,
-            GridVariant::Auto,
-            UpdateOptions::default(),
-        );
         let exec = Executor::new(Some(4));
         let geo = GridGeometry::new(2, 0.08, 150, GridVariant::Auto);
         let grid = CellGrid::build(&exec, geo, &coords);
@@ -1179,7 +1252,68 @@ mod tests {
             None,
             None,
         );
-        assert_eq!(host, device);
+        // fused and unfused device pipelines must both report exactly the
+        // host engine's work counters
+        for fused in [true, false] {
+            let (_, _, device) = run_update_counting(
+                &coords,
+                2,
+                0.08,
+                GridVariant::Auto,
+                UpdateOptions {
+                    use_fused_kernels: fused,
+                    ..UpdateOptions::default()
+                },
+            );
+            assert_eq!(host, device, "fused = {fused}");
+        }
+    }
+
+    /// The fused pipeline (lane-blocked tables consumed through coalesced
+    /// loads, one-launch construct tail) must reproduce the unfused oracle
+    /// bit for bit on a fixed-order simulator — next positions, first-term
+    /// flag and all work counters — across dims and grid variants.
+    #[test]
+    fn fused_update_is_bitwise_identical_to_unfused() {
+        for &(n, dim, eps) in &[(300usize, 2usize, 0.08f64), (200, 4, 0.25), (120, 8, 0.4)] {
+            let coords = cloud(n, dim);
+            let run = |fused: bool| {
+                let device = Device::new(DeviceConfig {
+                    host_threads: Some(1),
+                    ..DeviceConfig::default()
+                });
+                let geo = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+                let mut ws = GridWorkspace::new(&device, geo, n);
+                ws.set_fused(fused);
+                let buf = device.alloc_from_slice(&coords);
+                let next = device.alloc::<f64>(coords.len());
+                let flag = device.alloc::<u64>(1);
+                flag.store(0, 1);
+                let counters = device.alloc::<u64>(COUNTER_SLOTS);
+                let grid = ws.construct(&buf);
+                let pre = ws.build_pregrid(&grid);
+                let options = UpdateOptions {
+                    use_fused_kernels: fused,
+                    ..UpdateOptions::default()
+                };
+                egg_update(
+                    &device, &grid, &pre, &buf, &next, &flag, &counters, n, eps, options, None,
+                );
+                (
+                    next.to_vec()
+                        .iter()
+                        .map(|x| x.to_bits())
+                        .collect::<Vec<_>>(),
+                    flag.load(0),
+                    counters_from_device(&counters),
+                )
+            };
+            let (next_f, flag_f, counters_f) = run(true);
+            let (next_u, flag_u, counters_u) = run(false);
+            assert_eq!(next_f, next_u, "dim {dim}: next positions");
+            assert_eq!(flag_f, flag_u, "dim {dim}: first-term flag");
+            assert_eq!(counters_f, counters_u, "dim {dim}: counters");
+        }
     }
 
     #[test]
@@ -1247,44 +1381,53 @@ mod tests {
             std::mem::swap(&mut host_cur, &mut host_next);
         }
 
-        // --- device: same pipeline on the single-threaded simulator -----
-        let device = Device::new(DeviceConfig {
-            host_threads: Some(1),
-            ..DeviceConfig::default()
-        });
-        let mut ws = GridWorkspace::new(&device, geo, n);
-        let mut inc = DeviceIncrementalState::new(&device, &geo, n);
-        let dev_cur = device.alloc_from_slice(&coords);
-        let dev_next = device.alloc::<f64>(coords.len());
-        let flag = device.alloc::<u64>(1);
-        let counters = device.alloc::<u64>(COUNTER_SLOTS);
-        for _ in 0..passes {
-            let (dgrid, pre, stats) = ws.refresh(&dev_cur, inc.moved_flags());
-            counters.atomic_add(4, stats.dirty_cells);
-            flag.store(0, 1);
-            inc.mark_skips(&device, &dgrid);
-            egg_update(
-                &device,
-                &dgrid,
-                &pre,
-                &dev_cur,
-                &dev_next,
-                &flag,
-                &counters,
-                n,
-                eps,
-                UpdateOptions::default(),
-                Some(&inc),
-            );
-            inc.finish_pass(&device, &geo, &dev_cur, &dev_next, n);
-            primitives::copy(&device, &dev_next, &dev_cur, coords.len());
-        }
-        let device_total = counters_from_device(&counters);
-
         // the scenario must actually exercise the machinery
         assert!(host_total.moved_points > 0, "pair should keep moving");
         assert!(host_total.cells_skipped > 0, "clumps should be skipped");
         assert!(host_total.dirty_cells > 0);
-        assert_eq!(host_total, device_total);
+
+        // --- device: same pipeline on the single-threaded simulator, on
+        // both the fused and the unfused kernel pipeline — the counters
+        // (cells_skipped, dirty_cells, simd lanes, summary cells, ...) must
+        // match the host engine exactly either way
+        for fused in [true, false] {
+            let device = Device::new(DeviceConfig {
+                host_threads: Some(1),
+                ..DeviceConfig::default()
+            });
+            let mut ws = GridWorkspace::new(&device, geo, n);
+            ws.set_fused(fused);
+            let mut inc = DeviceIncrementalState::new(&device, &geo, n);
+            let dev_cur = device.alloc_from_slice(&coords);
+            let dev_next = device.alloc::<f64>(coords.len());
+            let flag = device.alloc::<u64>(1);
+            let counters = device.alloc::<u64>(COUNTER_SLOTS);
+            for _ in 0..passes {
+                let (dgrid, pre, stats) = ws.refresh(&dev_cur, inc.moved_flags());
+                counters.atomic_add(4, stats.dirty_cells);
+                flag.store(0, 1);
+                inc.mark_skips(&device, &dgrid);
+                egg_update(
+                    &device,
+                    &dgrid,
+                    &pre,
+                    &dev_cur,
+                    &dev_next,
+                    &flag,
+                    &counters,
+                    n,
+                    eps,
+                    UpdateOptions {
+                        use_fused_kernels: fused,
+                        ..UpdateOptions::default()
+                    },
+                    Some(&inc),
+                );
+                inc.finish_pass(&device, &geo, &dev_cur, &dev_next, n);
+                primitives::copy(&device, &dev_next, &dev_cur, coords.len());
+            }
+            let device_total = counters_from_device(&counters);
+            assert_eq!(host_total, device_total, "fused = {fused}");
+        }
     }
 }

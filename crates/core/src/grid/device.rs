@@ -24,6 +24,7 @@ use egg_gpu_sim::{grid_for, primitives, Device, DeviceBuffer};
 
 use super::geometry::GridGeometry;
 use crate::algorithms::gpu_sync::{BLOCK, MAX_DIM};
+use crate::kernels::{lane_pad, LANES};
 
 /// Read `getStart(ends, i)` — 0 for the first list, else the previous end.
 #[inline]
@@ -32,6 +33,33 @@ pub(crate) fn seg_start(ends: &DeviceBuffer<u64>, i: usize) -> u64 {
         0
     } else {
         ends.load(i - 1)
+    }
+}
+
+/// Lane-blocked device tables mirroring [`super::CellGrid`]'s host lane
+/// layout (`rebuild_lane_tables`): for grid-sorted slot `s = 4b + j`,
+/// dimension `i` lives at `(b·dim + i)·LANES + j`. Four consecutive slots
+/// of one cell therefore occupy four *adjacent* words per dimension — the
+/// warp-contiguous pattern the simulator's coalesced access path models at
+/// full bandwidth. Every entry is a bitwise copy of the point-major
+/// trig/coordinate value, so consumers may read either layout and produce
+/// identical results. Padding lanes past `n` are never written and stay
+/// zero, exactly like the host tables.
+#[derive(Clone)]
+pub struct LaneTables {
+    /// Lane-blocked `sin(pᵢ)` per grid-sorted slot.
+    pub sin: DeviceBuffer<f64>,
+    /// Lane-blocked `cos(pᵢ)` per grid-sorted slot.
+    pub cos: DeviceBuffer<f64>,
+    /// Lane-blocked coordinates per grid-sorted slot.
+    pub coords: DeviceBuffer<f64>,
+}
+
+impl LaneTables {
+    /// Word index of dimension `i` of grid-sorted slot `s` (kernel-safe).
+    #[inline]
+    pub fn at(s: usize, dim: usize, i: usize) -> usize {
+        (s / LANES * dim + i) * LANES + s % LANES
     }
 }
 
@@ -67,6 +95,11 @@ pub struct DeviceGrid {
     /// (`[lo_0.. lo_{d-1}, hi_0.. hi_{d-1}]`) — the tight bounds the
     /// update kernel classifies cells with (exact: points ⊆ MBR ⊆ box).
     pub c_bounds: DeviceBuffer<f64>,
+    /// Lane-blocked trig/coordinate tables, populated by the fused kernel
+    /// pipeline (`None` on the unfused oracle path). Consumers switch to
+    /// coalesced lane reads when present; values are bitwise copies of the
+    /// point-major tables, so the results are identical either way.
+    pub lanes: Option<LaneTables>,
     /// Number of compacted non-empty inner cells.
     pub num_inner: usize,
 }
@@ -126,6 +159,9 @@ pub struct GridWorkspace {
     cos_sums: DeviceBuffer<f64>,
     trig_sin: DeviceBuffer<f64>,
     trig_cos: DeviceBuffer<f64>,
+    lane_sin: DeviceBuffer<f64>,
+    lane_cos: DeviceBuffer<f64>,
+    lane_coords: DeviceBuffer<f64>,
     c_bounds: DeviceBuffer<f64>,
     pre_list: DeviceBuffer<u64>,
     pre_index: DeviceBuffer<u64>,
@@ -140,6 +176,16 @@ pub struct GridWorkspace {
     pre_empty: DeviceBuffer<u64>,
     /// Single-slot change/count scratch for the refresh kernels.
     chg_flag: DeviceBuffer<u64>,
+    /// Block-sum levels for every per-iteration prefix scan, sized for
+    /// `max(n, outer_cells)` once at allocation time so the steady-state
+    /// construct/refresh path never touches the heap.
+    scan_scratch: primitives::ScanScratch,
+    /// Scanned-flag positions for the occupied-list compaction.
+    compact_pos: DeviceBuffer<u64>,
+    /// Whether construction runs the fused kernel pipeline (one per-cell
+    /// launch for trig/lane tables, summaries and MBRs) or the multi-pass
+    /// unfused oracle. Toggled via [`Self::set_fused`].
+    fused: bool,
     /// Whether the snapshots describe a previously constructed grid.
     state_valid: bool,
     /// Compacted cell count of the last construct (the fast path reuses
@@ -195,10 +241,16 @@ impl GridWorkspace {
             // and summary storage; the padding is zero-initialized and
             // never written, so kernels and bitwise comparisons see the
             // same `dim`-stride rows as before
-            sin_sums: device.alloc(crate::kernels::lane_pad(nd)),
-            cos_sums: device.alloc(crate::kernels::lane_pad(nd)),
-            trig_sin: device.alloc(crate::kernels::lane_pad(nd)),
-            trig_cos: device.alloc(crate::kernels::lane_pad(nd)),
+            sin_sums: device.alloc(lane_pad(nd)),
+            cos_sums: device.alloc(lane_pad(nd)),
+            trig_sin: device.alloc(lane_pad(nd)),
+            trig_cos: device.alloc(lane_pad(nd)),
+            // lane-blocked slot-major tables, sized like the host grid's
+            // lane tables (`lane_pad(n)` slots × dim); allocated
+            // unconditionally so toggling the fused path never allocates
+            lane_sin: device.alloc(lane_pad(n) * geometry.dim),
+            lane_cos: device.alloc(lane_pad(n) * geometry.dim),
+            lane_coords: device.alloc(lane_pad(n) * geometry.dim),
             c_bounds: device.alloc(2 * nd),
             pre_list: device.alloc(m.max(1)),
             pre_index: device.alloc(m),
@@ -208,6 +260,9 @@ impl GridWorkspace {
             point_keys: device.alloc(nd),
             pre_empty: device.alloc(m),
             chg_flag: device.alloc(1),
+            scan_scratch: primitives::ScanScratch::new(device, n.max(m)),
+            compact_pos: device.alloc(m.max(1)),
+            fused: crate::egg::update::fused_default(),
             state_valid: false,
             last_num_inner: 0,
             last_pre_count: 0,
@@ -236,6 +291,9 @@ impl GridWorkspace {
             self.cos_sums.len(),
             self.trig_sin.len(),
             self.trig_cos.len(),
+            self.lane_sin.len(),
+            self.lane_cos.len(),
+            self.lane_coords.len(),
             self.c_bounds.len(),
             self.pre_list.len(),
             self.pre_index.len(),
@@ -245,10 +303,29 @@ impl GridWorkspace {
             self.point_keys.len(),
             self.pre_empty.len(),
             self.chg_flag.len(),
+            self.scan_scratch.words(),
+            self.compact_pos.len(),
         ]
         .iter()
         .sum::<usize>()
             * 8
+    }
+
+    /// Select the fused kernel pipeline (default per
+    /// [`crate::egg::update::fused_default`], i.e. on unless
+    /// `EGG_FORCE_UNFUSED` is set). Changing the setting invalidates the
+    /// incremental snapshots: the two pipelines populate different table
+    /// sets, so the next refresh must rebuild from scratch.
+    pub fn set_fused(&mut self, fused: bool) {
+        if self.fused != fused {
+            self.fused = fused;
+            self.state_valid = false;
+        }
+    }
+
+    /// Whether construction runs the fused kernel pipeline.
+    pub fn fused(&self) -> bool {
+        self.fused
     }
 
     /// Run Algorithm 2 over `coords` (`n × dim`, device-resident), then
@@ -279,7 +356,7 @@ impl GridWorkspace {
         }
 
         // -- 2: outer end offsets ----------------------------------------
-        primitives::inclusive_scan(&dev, &self.o_sizes, &self.o_ends, m);
+        self.scan_scratch.scan(&dev, &self.o_sizes, &self.o_ends, m);
 
         // -- 3: scatter cell ids into outer buckets (with duplicates) ----
         primitives::fill(&dev, &self.o_fill, 0u64);
@@ -346,8 +423,8 @@ impl GridWorkspace {
         }
 
         // -- 5 & 6: compaction indices and point end offsets --------------
-        primitives::inclusive_scan(&dev, &self.i_incl, &self.i_idxs, n);
-        primitives::inclusive_scan(&dev, &self.i_sizes, &self.i_ends, n);
+        self.scan_scratch.scan(&dev, &self.i_incl, &self.i_idxs, n);
+        self.scan_scratch.scan(&dev, &self.i_sizes, &self.i_ends, n);
         let num_inner = if n == 0 {
             0
         } else {
@@ -419,53 +496,117 @@ impl GridWorkspace {
         std::mem::swap(&mut self.i_ends, &mut self.i_ends2);
         std::mem::swap(&mut self.o_ends, &mut self.o_ends2);
 
-        // -- trig tables: per-point sin/cos of every coordinate, computed
-        // once per iteration and reused by the summaries below and by the
-        // update kernel's angle-addition fast path
-        {
-            let (trig_sin, trig_cos) = (&self.trig_sin, &self.trig_cos);
-            dev.launch("trig_tables", grid_for(n, BLOCK), BLOCK, |t| {
-                let p = t.global_id();
-                if p >= n {
-                    return;
-                }
-                for i in 0..dim {
-                    let x = coords.load(p * dim + i);
-                    trig_sin.store(p * dim + i, x.sin());
-                    trig_cos.store(p * dim + i, x.cos());
-                }
-            });
-        }
-
-        // -- summaries (§4.3.1), accumulated from the trig tables ---------
-        primitives::fill(&dev, &self.sin_sums, 0.0f64);
-        primitives::fill(&dev, &self.cos_sums, 0.0f64);
-        {
-            let (point_cell, sin_sums, cos_sums, trig_sin, trig_cos) = (
-                &self.point_cell,
+        if self.fused {
+            // -- fused tail: ONE per-cell launch computes the point-major
+            // trig tables, the lane-blocked slot-major tables, the Σsin/Σcos
+            // summaries and the point MBRs — replacing five launches (trig
+            // tables, two summary zero-fills, the atomic summary scatter and
+            // the MBR pass) with zero atomics and a single coordinate read
+            // per point. The per-cell slot walk visits points in the same
+            // order as the unfused atomic chain under a single-threaded
+            // simulator (grid_populate claims slots in ascending point id),
+            // so every summary, trig entry and MBR row is bitwise identical
+            // to the unfused oracle.
+            let (i_ends, i_points, sin_sums, cos_sums, trig_sin, trig_cos, c_bounds) = (
+                &self.i_ends,
+                &self.i_points,
                 &self.sin_sums,
                 &self.cos_sums,
                 &self.trig_sin,
                 &self.trig_cos,
+                &self.c_bounds,
             );
-            dev.launch("grid_summaries", grid_for(n, BLOCK), BLOCK, |t| {
-                let p = t.global_id();
-                if p >= n {
-                    return;
-                }
-                let c = point_cell.load(p) as usize;
-                for i in 0..dim {
-                    sin_sums.atomic_add(c * dim + i, trig_sin.load(p * dim + i));
-                    cos_sums.atomic_add(c * dim + i, trig_cos.load(p * dim + i));
-                }
-            });
-        }
+            let (lane_sin, lane_cos, lane_coords) =
+                (&self.lane_sin, &self.lane_cos, &self.lane_coords);
+            dev.launch(
+                "fused_cell_tables",
+                grid_for(num_inner, BLOCK),
+                BLOCK,
+                |t| {
+                    let c = t.global_id();
+                    if c >= num_inner {
+                        return;
+                    }
+                    let lo = seg_start(i_ends, c) as usize;
+                    let hi = i_ends.load(c) as usize;
+                    let mut acc_sin = [0.0f64; MAX_DIM];
+                    let mut acc_cos = [0.0f64; MAX_DIM];
+                    let mut b_lo = [f64::INFINITY; MAX_DIM];
+                    let mut b_hi = [f64::NEG_INFINITY; MAX_DIM];
+                    for s in lo..hi {
+                        let p = i_points.load(s) as usize;
+                        for i in 0..dim {
+                            let x = coords.load(p * dim + i);
+                            let (sn, cs) = (x.sin(), x.cos());
+                            trig_sin.store(p * dim + i, sn);
+                            trig_cos.store(p * dim + i, cs);
+                            let at = LaneTables::at(s, dim, i);
+                            lane_sin.store_coalesced(at, sn);
+                            lane_cos.store_coalesced(at, cs);
+                            lane_coords.store_coalesced(at, x);
+                            acc_sin[i] += sn;
+                            acc_cos[i] += cs;
+                            b_lo[i] = b_lo[i].min(x);
+                            b_hi[i] = b_hi[i].max(x);
+                        }
+                    }
+                    for i in 0..dim {
+                        sin_sums.store(c * dim + i, acc_sin[i]);
+                        cos_sums.store(c * dim + i, acc_cos[i]);
+                        c_bounds.store(c * 2 * dim + i, b_lo[i]);
+                        c_bounds.store(c * 2 * dim + dim + i, b_hi[i]);
+                    }
+                },
+            );
+        } else {
+            // -- trig tables: per-point sin/cos of every coordinate, computed
+            // once per iteration and reused by the summaries below and by the
+            // update kernel's angle-addition fast path
+            {
+                let (trig_sin, trig_cos) = (&self.trig_sin, &self.trig_cos);
+                dev.launch("trig_tables", grid_for(n, BLOCK), BLOCK, |t| {
+                    let p = t.global_id();
+                    if p >= n {
+                        return;
+                    }
+                    for i in 0..dim {
+                        let x = coords.load(p * dim + i);
+                        trig_sin.store(p * dim + i, x.sin());
+                        trig_cos.store(p * dim + i, x.cos());
+                    }
+                });
+            }
 
-        // -- per-cell point MBRs, for the update kernel's tight cell
-        // classification: one thread per compacted cell walks its own
-        // contiguous grid-sorted slot range — a pure function of the CSR
-        // layout and the coordinates
-        self.compute_cell_bounds(coords, num_inner, None);
+            // -- summaries (§4.3.1), accumulated from the trig tables -----
+            primitives::fill(&dev, &self.sin_sums, 0.0f64);
+            primitives::fill(&dev, &self.cos_sums, 0.0f64);
+            {
+                let (point_cell, sin_sums, cos_sums, trig_sin, trig_cos) = (
+                    &self.point_cell,
+                    &self.sin_sums,
+                    &self.cos_sums,
+                    &self.trig_sin,
+                    &self.trig_cos,
+                );
+                dev.launch("grid_summaries", grid_for(n, BLOCK), BLOCK, |t| {
+                    let p = t.global_id();
+                    if p >= n {
+                        return;
+                    }
+                    let c = point_cell.load(p) as usize;
+                    for i in 0..dim {
+                        sin_sums.atomic_add(c * dim + i, trig_sin.load(p * dim + i));
+                        cos_sums.atomic_add(c * dim + i, trig_cos.load(p * dim + i));
+                    }
+                });
+            }
+
+            // -- per-cell point MBRs, for the update kernel's tight cell
+            // classification: one thread per compacted cell walks its own
+            // contiguous grid-sorted slot range — a pure function of the CSR
+            // layout and the coordinates
+            self.compute_cell_bounds(coords, num_inner, None);
+        }
 
         DeviceGrid {
             geometry: geo,
@@ -480,8 +621,19 @@ impl GridWorkspace {
             trig_sin: self.trig_sin.clone(),
             trig_cos: self.trig_cos.clone(),
             c_bounds: self.c_bounds.clone(),
+            lanes: self.lane_views(),
             num_inner,
         }
+    }
+
+    /// Handle views of the lane tables when the fused pipeline maintains
+    /// them, `None` on the unfused oracle path.
+    fn lane_views(&self) -> Option<LaneTables> {
+        self.fused.then(|| LaneTables {
+            sin: self.lane_sin.clone(),
+            cos: self.lane_cos.clone(),
+            coords: self.lane_coords.clone(),
+        })
     }
 
     /// Recompute the per-cell point MBRs (`c_bounds`) for every cell — or,
@@ -546,7 +698,14 @@ impl GridWorkspace {
             });
         }
         let list = &self.pre_list;
-        let count = primitives::compact_indices(&dev, flags, list, m);
+        let count = primitives::compact_indices_with(
+            &dev,
+            flags,
+            list,
+            m,
+            &self.compact_pos,
+            &self.scan_scratch,
+        );
 
         // dense id → list index
         let index_of = &self.pre_index;
@@ -580,7 +739,7 @@ impl GridWorkspace {
             });
         }
         let ends = &self.pre_ends;
-        primitives::inclusive_scan(&dev, sizes, ends, count);
+        self.scan_scratch.scan(&dev, sizes, ends, count);
         let total = if count == 0 {
             0
         } else {
@@ -668,6 +827,7 @@ impl GridWorkspace {
             trig_sin: self.trig_sin.clone(),
             trig_cos: self.trig_cos.clone(),
             c_bounds: self.c_bounds.clone(),
+            lanes: self.lane_views(),
             num_inner: self.last_num_inner,
         }
     }
@@ -787,23 +947,7 @@ impl GridWorkspace {
         }
 
         // -- fast path: layout and preGrid reused as-is ------------------
-        // 1: refresh the movers' trig-table rows
-        {
-            let (trig_sin, trig_cos) = (&self.trig_sin, &self.trig_cos);
-            dev.launch("grid_refresh_trig", grid_for(n, BLOCK), BLOCK, |t| {
-                let p = t.global_id();
-                if p >= n || moved.load(p) == 0 {
-                    return;
-                }
-                for i in 0..dim {
-                    let x = coords.load(p * dim + i);
-                    trig_sin.store(p * dim + i, x.sin());
-                    trig_cos.store(p * dim + i, x.cos());
-                }
-            });
-        }
-
-        // 2: mark cells containing a mover as dirty
+        // mark cells containing a mover as dirty
         primitives::fill(&dev, &self.cell_fill, 0u64);
         {
             let (point_cell, cell_fill) = (&self.point_cell, &self.cell_fill);
@@ -815,18 +959,34 @@ impl GridWorkspace {
             });
         }
 
-        // 3: zero the dirty cells' summary rows, counting them
         let num_inner = self.last_num_inner;
         self.chg_flag.store(0, 0);
-        {
-            let (cell_fill, sin_sums, cos_sums, chg_flag) = (
+        if self.fused {
+            // -- fused fast path: ONE per-dirty-cell launch recomputes the
+            // movers' trig rows, rewrites the lane-blocked tables and
+            // re-derives the cell's summaries and MBR — replacing four
+            // launches (mover trig refresh, dirty zero-fill, the atomic
+            // summary re-scatter, the MBR pass) with zero f64 atomics.
+            // Stayers are re-read through the coalesced lane tables (bitwise
+            // copies of their trig rows), so the accumulation chain matches
+            // the fused construct — and hence the unfused oracle — exactly.
+            let (i_ends, i_points, cell_fill, chg_flag) = (
+                &self.i_ends,
+                &self.i_points,
                 &self.cell_fill,
-                &self.sin_sums,
-                &self.cos_sums,
                 &self.chg_flag,
             );
+            let (sin_sums, cos_sums, trig_sin, trig_cos, c_bounds) = (
+                &self.sin_sums,
+                &self.cos_sums,
+                &self.trig_sin,
+                &self.trig_cos,
+                &self.c_bounds,
+            );
+            let (lane_sin, lane_cos, lane_coords) =
+                (&self.lane_sin, &self.lane_cos, &self.lane_coords);
             dev.launch(
-                "grid_zero_dirty_sums",
+                "fused_refresh_cells",
                 grid_for(num_inner, BLOCK),
                 BLOCK,
                 |t| {
@@ -835,46 +995,123 @@ impl GridWorkspace {
                         return;
                     }
                     chg_flag.atomic_add(0, 1);
+                    let lo = seg_start(i_ends, c) as usize;
+                    let hi = i_ends.load(c) as usize;
+                    let mut acc_sin = [0.0f64; MAX_DIM];
+                    let mut acc_cos = [0.0f64; MAX_DIM];
+                    let mut b_lo = [f64::INFINITY; MAX_DIM];
+                    let mut b_hi = [f64::NEG_INFINITY; MAX_DIM];
+                    for s in lo..hi {
+                        let p = i_points.load(s) as usize;
+                        let mover = moved.load(p) == 1;
+                        for i in 0..dim {
+                            let at = LaneTables::at(s, dim, i);
+                            let (x, sn, cs) = if mover {
+                                let x = coords.load(p * dim + i);
+                                let (sn, cs) = (x.sin(), x.cos());
+                                trig_sin.store(p * dim + i, sn);
+                                trig_cos.store(p * dim + i, cs);
+                                lane_sin.store_coalesced(at, sn);
+                                lane_cos.store_coalesced(at, cs);
+                                lane_coords.store_coalesced(at, x);
+                                (x, sn, cs)
+                            } else {
+                                (
+                                    lane_coords.load_coalesced(at),
+                                    lane_sin.load_coalesced(at),
+                                    lane_cos.load_coalesced(at),
+                                )
+                            };
+                            acc_sin[i] += sn;
+                            acc_cos[i] += cs;
+                            b_lo[i] = b_lo[i].min(x);
+                            b_hi[i] = b_hi[i].max(x);
+                        }
+                    }
                     for i in 0..dim {
-                        sin_sums.store(c * dim + i, 0.0);
-                        cos_sums.store(c * dim + i, 0.0);
+                        sin_sums.store(c * dim + i, acc_sin[i]);
+                        cos_sums.store(c * dim + i, acc_cos[i]);
+                        c_bounds.store(c * 2 * dim + i, b_lo[i]);
+                        c_bounds.store(c * 2 * dim + dim + i, b_hi[i]);
                     }
                 },
             );
-        }
+        } else {
+            // 1: refresh the movers' trig-table rows
+            {
+                let (trig_sin, trig_cos) = (&self.trig_sin, &self.trig_cos);
+                dev.launch("grid_refresh_trig", grid_for(n, BLOCK), BLOCK, |t| {
+                    let p = t.global_id();
+                    if p >= n || moved.load(p) == 0 {
+                        return;
+                    }
+                    for i in 0..dim {
+                        let x = coords.load(p * dim + i);
+                        trig_sin.store(p * dim + i, x.sin());
+                        trig_cos.store(p * dim + i, x.cos());
+                    }
+                });
+            }
 
-        // 4: re-accumulate dirty summaries from their *full* membership, in
-        // the same point order as `construct`'s grid_summaries kernel —
-        // recompute, never subtract/add, so the result is bitwise identical
-        // to a fresh build
-        {
-            let (point_cell, cell_fill, sin_sums, cos_sums, trig_sin, trig_cos) = (
-                &self.point_cell,
-                &self.cell_fill,
-                &self.sin_sums,
-                &self.cos_sums,
-                &self.trig_sin,
-                &self.trig_cos,
-            );
-            dev.launch("grid_refresh_sums", grid_for(n, BLOCK), BLOCK, |t| {
-                let p = t.global_id();
-                if p >= n {
-                    return;
-                }
-                let c = point_cell.load(p) as usize;
-                if cell_fill.load(c) == 0 {
-                    return;
-                }
-                for i in 0..dim {
-                    sin_sums.atomic_add(c * dim + i, trig_sin.load(p * dim + i));
-                    cos_sums.atomic_add(c * dim + i, trig_cos.load(p * dim + i));
-                }
-            });
-        }
+            // 2: zero the dirty cells' summary rows, counting them
+            {
+                let (cell_fill, sin_sums, cos_sums, chg_flag) = (
+                    &self.cell_fill,
+                    &self.sin_sums,
+                    &self.cos_sums,
+                    &self.chg_flag,
+                );
+                dev.launch(
+                    "grid_zero_dirty_sums",
+                    grid_for(num_inner, BLOCK),
+                    BLOCK,
+                    |t| {
+                        let c = t.global_id();
+                        if c >= num_inner || cell_fill.load(c) == 0 {
+                            return;
+                        }
+                        chg_flag.atomic_add(0, 1);
+                        for i in 0..dim {
+                            sin_sums.store(c * dim + i, 0.0);
+                            cos_sums.store(c * dim + i, 0.0);
+                        }
+                    },
+                );
+            }
 
-        // 5: refresh the MBRs of the dirty cells (clean cells hold no
-        // mover, so their rows are already current)
-        self.compute_cell_bounds(coords, num_inner, Some(&self.cell_fill));
+            // 3: re-accumulate dirty summaries from their *full* membership,
+            // in the same point order as `construct`'s grid_summaries kernel
+            // — recompute, never subtract/add, so the result is bitwise
+            // identical to a fresh build
+            {
+                let (point_cell, cell_fill, sin_sums, cos_sums, trig_sin, trig_cos) = (
+                    &self.point_cell,
+                    &self.cell_fill,
+                    &self.sin_sums,
+                    &self.cos_sums,
+                    &self.trig_sin,
+                    &self.trig_cos,
+                );
+                dev.launch("grid_refresh_sums", grid_for(n, BLOCK), BLOCK, |t| {
+                    let p = t.global_id();
+                    if p >= n {
+                        return;
+                    }
+                    let c = point_cell.load(p) as usize;
+                    if cell_fill.load(c) == 0 {
+                        return;
+                    }
+                    for i in 0..dim {
+                        sin_sums.atomic_add(c * dim + i, trig_sin.load(p * dim + i));
+                        cos_sums.atomic_add(c * dim + i, trig_cos.load(p * dim + i));
+                    }
+                });
+            }
+
+            // 4: refresh the MBRs of the dirty cells (clean cells hold no
+            // mover, so their rows are already current)
+            self.compute_cell_bounds(coords, num_inner, Some(&self.cell_fill));
+        }
 
         // no mover crossed a boundary, so `point_keys` is already current
         let stats = DeviceRefreshStats {
@@ -1091,6 +1328,8 @@ mod tests {
         let n = coords.len() / dim;
         let device = Device::new(single_threaded());
         let mut ws = GridWorkspace::new(&device, geo, n);
+        // mirror the pipeline the grid under test was built with
+        ws.set_fused(grid.lanes.is_some());
         let buf = device.alloc_from_slice(coords);
         let fresh = ws.construct(&buf);
         let fresh_pre = ws.build_pregrid(&fresh);
@@ -1148,6 +1387,32 @@ mod tests {
             bits(fresh.trig_cos.to_vec()),
             "{tag}: trig cos table"
         );
+        assert_eq!(
+            bits(grid.c_bounds.to_vec())[..ni * 2 * dim],
+            bits(fresh.c_bounds.to_vec())[..ni * 2 * dim],
+            "{tag}: cell bounds"
+        );
+        match (&grid.lanes, &fresh.lanes) {
+            (Some(a), Some(b)) => {
+                assert_eq!(
+                    bits(a.sin.to_vec()),
+                    bits(b.sin.to_vec()),
+                    "{tag}: lane sin"
+                );
+                assert_eq!(
+                    bits(a.cos.to_vec()),
+                    bits(b.cos.to_vec()),
+                    "{tag}: lane cos"
+                );
+                assert_eq!(
+                    bits(a.coords.to_vec()),
+                    bits(b.coords.to_vec()),
+                    "{tag}: lane coords"
+                );
+            }
+            (None, None) => {}
+            _ => panic!("{tag}: lane-table presence mismatch"),
+        }
 
         assert_eq!(pre.count, fresh_pre.count, "{tag}: preGrid count");
         assert_eq!(
@@ -1222,6 +1487,185 @@ mod tests {
             }
             assert!(stats.dirty_cells <= grid.num_inner as u64, "round {round}");
             assert_refresh_equals_fresh(&format!("fast round {round}"), geo, &coords, &grid, &pre);
+        }
+    }
+
+    /// Fused construct must reproduce the unfused oracle bit for bit —
+    /// summaries, trig tables and MBRs — and additionally populate the
+    /// lane-blocked tables as bitwise copies of the point-major values.
+    #[test]
+    fn fused_construct_is_bitwise_identical_to_unfused() {
+        for &(n, dim, eps, variant) in &[
+            (300usize, 2usize, 0.07f64, GridVariant::Auto),
+            (150, 2, 0.07, GridVariant::Sequential),
+            (200, 2, 0.1, GridVariant::RandomAccess),
+            (200, 5, 0.3, GridVariant::Auto),
+            (150, 8, 0.5, GridVariant::Auto),
+        ] {
+            let coords = cloud(n, dim);
+            let device = Device::new(single_threaded());
+            let geo = GridGeometry::new(dim, eps, n, variant);
+            let buf = device.alloc_from_slice(&coords);
+            let mut ws_f = GridWorkspace::new(&device, geo, n);
+            ws_f.set_fused(true);
+            let mut ws_u = GridWorkspace::new(&device, geo, n);
+            ws_u.set_fused(false);
+            let gf = ws_f.construct(&buf);
+            let gu = ws_u.construct(&buf);
+            assert!(gu.lanes.is_none(), "unfused grid must not carry lanes");
+            let bits = |v: Vec<f64>| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            let ni = gu.num_inner;
+            let tag = format!("n={n} dim={dim} {variant:?}");
+            assert_eq!(gf.num_inner, ni, "{tag}: cell count");
+            assert_eq!(gf.i_points.to_vec(), gu.i_points.to_vec(), "{tag}: order");
+            assert_eq!(
+                bits(gf.sin_sums.to_vec())[..ni * dim],
+                bits(gu.sin_sums.to_vec())[..ni * dim],
+                "{tag}: sin summaries"
+            );
+            assert_eq!(
+                bits(gf.cos_sums.to_vec())[..ni * dim],
+                bits(gu.cos_sums.to_vec())[..ni * dim],
+                "{tag}: cos summaries"
+            );
+            assert_eq!(
+                bits(gf.trig_sin.to_vec()),
+                bits(gu.trig_sin.to_vec()),
+                "{tag}: trig sin"
+            );
+            assert_eq!(
+                bits(gf.trig_cos.to_vec()),
+                bits(gu.trig_cos.to_vec()),
+                "{tag}: trig cos"
+            );
+            assert_eq!(
+                bits(gf.c_bounds.to_vec())[..ni * 2 * dim],
+                bits(gu.c_bounds.to_vec())[..ni * 2 * dim],
+                "{tag}: cell bounds"
+            );
+            // lane entries are bitwise copies of the point-major tables,
+            // addressed by grid-sorted slot
+            let lanes = gf.lanes.as_ref().expect("fused grid carries lanes");
+            let i_points = gf.i_points.to_vec();
+            let (ls, lc, lx) = (
+                lanes.sin.to_vec(),
+                lanes.cos.to_vec(),
+                lanes.coords.to_vec(),
+            );
+            let (ts, tc) = (gf.trig_sin.to_vec(), gf.trig_cos.to_vec());
+            for s in 0..n {
+                let p = i_points[s] as usize;
+                for i in 0..dim {
+                    let at = LaneTables::at(s, dim, i);
+                    assert_eq!(ls[at].to_bits(), ts[p * dim + i].to_bits(), "{tag}: sin");
+                    assert_eq!(lc[at].to_bits(), tc[p * dim + i].to_bits(), "{tag}: cos");
+                    assert_eq!(
+                        lx[at].to_bits(),
+                        coords[p * dim + i].to_bits(),
+                        "{tag}: coords"
+                    );
+                }
+            }
+            // padding lanes past n are never written and stay zero
+            for s in n..lane_pad(n) {
+                for i in 0..dim {
+                    assert_eq!(ls[LaneTables::at(s, dim, i)], 0.0, "{tag}: padding");
+                }
+            }
+        }
+    }
+
+    /// Step a fused and an unfused workspace through identical movement
+    /// rounds — alternating the incremental fast path and full rebinning
+    /// rebuilds — and assert every derived table stays bitwise identical.
+    #[test]
+    fn fused_refresh_matches_unfused_across_rounds() {
+        let (n, dim, eps) = (240, 3, 0.12);
+        let mut coords = cloud(n, dim);
+        let device = Device::new(single_threaded());
+        let geo = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+        let mut ws_f = GridWorkspace::new(&device, geo, n);
+        ws_f.set_fused(true);
+        let mut ws_u = GridWorkspace::new(&device, geo, n);
+        ws_u.set_fused(false);
+        let buf = device.alloc_from_slice(&coords);
+        let moved_buf = device.alloc::<u64>(n);
+        ws_f.refresh(&buf, None);
+        ws_u.refresh(&buf, None);
+
+        for round in 0..6u64 {
+            let mut moved = vec![0u64; n];
+            let big = round % 2 == 1; // odd rounds force a layout rebuild
+            for p in 0..n {
+                let h =
+                    (p as u64 ^ round.wrapping_mul(0x9e3779b97f4a7c15)).wrapping_mul(2654435761);
+                if !h.is_multiple_of(4) {
+                    continue;
+                }
+                let old: Vec<f64> = coords[p * dim..(p + 1) * dim].to_vec();
+                let mut crossed = false;
+                for i in 0..dim {
+                    let x = &mut coords[p * dim + i];
+                    let next = (*x + if big { 0.13 } else { 2e-4 }).fract();
+                    if geo.cell_coord(next) != geo.cell_coord(*x) {
+                        crossed = true;
+                    }
+                    *x = next;
+                }
+                if crossed && !big {
+                    coords[p * dim..(p + 1) * dim].copy_from_slice(&old);
+                } else {
+                    moved[p] = 1;
+                }
+            }
+            buf.copy_from_slice(&coords);
+            moved_buf.copy_from_slice(&moved);
+            let (gf, _, sf) = ws_f.refresh(&buf, Some(&moved_buf));
+            let (gu, _, su) = ws_u.refresh(&buf, Some(&moved_buf));
+            assert_eq!(sf.dirty_cells, su.dirty_cells, "round {round}: dirty");
+            assert_eq!(sf.layout_rebuilt, su.layout_rebuilt, "round {round}");
+            let bits = |v: Vec<f64>| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            let ni = gu.num_inner;
+            assert_eq!(gf.num_inner, ni, "round {round}: cell count");
+            assert_eq!(
+                gf.i_points.to_vec(),
+                gu.i_points.to_vec(),
+                "round {round}: order"
+            );
+            assert_eq!(
+                bits(gf.sin_sums.to_vec())[..ni * dim],
+                bits(gu.sin_sums.to_vec())[..ni * dim],
+                "round {round}: sin summaries"
+            );
+            assert_eq!(
+                bits(gf.cos_sums.to_vec())[..ni * dim],
+                bits(gu.cos_sums.to_vec())[..ni * dim],
+                "round {round}: cos summaries"
+            );
+            assert_eq!(
+                bits(gf.trig_sin.to_vec()),
+                bits(gu.trig_sin.to_vec()),
+                "round {round}: trig sin"
+            );
+            assert_eq!(
+                bits(gf.trig_cos.to_vec()),
+                bits(gu.trig_cos.to_vec()),
+                "round {round}: trig cos"
+            );
+            assert_eq!(
+                bits(gf.c_bounds.to_vec())[..ni * 2 * dim],
+                bits(gu.c_bounds.to_vec())[..ni * 2 * dim],
+                "round {round}: cell bounds"
+            );
+            // the refreshed lane tables must match what a fresh fused
+            // construct of the same coordinates would produce
+            assert_refresh_equals_fresh(
+                &format!("fused round {round}"),
+                geo,
+                &coords,
+                &gf,
+                &ws_f.build_pregrid(&gf),
+            );
         }
     }
 

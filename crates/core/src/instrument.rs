@@ -148,6 +148,45 @@ impl UpdateCounters {
     }
 }
 
+/// Kernel-level totals of a simulated-device run: how many kernels were
+/// launched and how many global-memory words they moved, split into the
+/// coalesced subset (lane-blocked / broadcast access charged at peak
+/// bandwidth by the cost model) and the rest. The fused-pipeline benches
+/// diff these across variants: fusion shows up as fewer launches and
+/// fewer words, lane-blocking as a higher coalesced fraction.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct KernelSummary {
+    /// Kernels launched over the whole run.
+    pub launches: u64,
+    /// Global-memory words read + written by all kernels.
+    pub mem_words: u64,
+    /// The subset of `mem_words` issued through the coalesced path.
+    pub coalesced_words: u64,
+    /// Atomic read-modify-write operations across all kernels.
+    pub atomics: u64,
+}
+
+impl KernelSummary {
+    /// Summarize a device performance report.
+    pub fn from_report(report: &egg_gpu_sim::PerfReport) -> Self {
+        Self {
+            launches: report.kernels.len() as u64,
+            mem_words: report.total_mem_words(),
+            coalesced_words: report.total_coalesced_reads + report.total_coalesced_writes,
+            atomics: report.total_atomics,
+        }
+    }
+
+    /// Fraction of memory words that went through the coalesced path.
+    pub fn coalesced_fraction(&self) -> f64 {
+        if self.mem_words == 0 {
+            0.0
+        } else {
+            self.coalesced_words as f64 / self.mem_words as f64
+        }
+    }
+}
+
 /// One iteration's timing record (Figure 3g's series).
 #[derive(Debug, Clone, Serialize)]
 pub struct IterationRecord {
@@ -190,6 +229,8 @@ pub struct RunTrace {
     /// EGG-update work counters summed over all iterations (EGG paths
     /// only; zero elsewhere).
     pub update_counters: UpdateCounters,
+    /// Kernel-level launch/word totals (simulated-GPU backends only).
+    pub kernel_summary: Option<KernelSummary>,
 }
 
 impl RunTrace {
@@ -286,6 +327,18 @@ mod tests {
         assert_eq!(a.shard_count, 4);
         assert_eq!(a.halo_movers, 10);
         assert_eq!(a.halo_cells, 15);
+    }
+
+    #[test]
+    fn kernel_summary_fraction() {
+        let s = KernelSummary {
+            launches: 3,
+            mem_words: 200,
+            coalesced_words: 50,
+            atomics: 7,
+        };
+        assert_eq!(s.coalesced_fraction(), 0.25);
+        assert_eq!(KernelSummary::default().coalesced_fraction(), 0.0);
     }
 
     #[test]

@@ -158,6 +158,71 @@ fn incremental_steady_state_does_not_allocate() {
 }
 
 #[test]
+fn device_steady_state_does_not_allocate() {
+    // same contract for the simulated-GPU backend, in both pipeline
+    // shapes: the fused per-cell kernels must reuse the workspace's lane
+    // and summary buffers rather than staging through fresh allocations,
+    // and the unfused oracle must stay allocation-free too. The device
+    // runs single-threaded (the bitwise-deterministic simulator config),
+    // so no `thread::scope` spawns dilute the measurement, and the kernel
+    // log is reserved ahead of the measured window.
+    use egg_gpu_sim::{Device, DeviceBuffer, DeviceConfig};
+    use egg_sync_core::egg::termination::second_term_holds;
+    use egg_sync_core::egg::update::{egg_update, COUNTER_SLOTS};
+    use egg_sync_core::grid::GridWorkspace;
+
+    for fused in [true, false] {
+        let (n, dim, eps) = (2000, 2, 0.05);
+        let device = Device::new(DeviceConfig {
+            host_threads: Some(1),
+            ..DeviceConfig::default()
+        });
+        let geometry = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+        let options = UpdateOptions {
+            use_fused_kernels: fused,
+            ..UpdateOptions::default()
+        };
+
+        let mut coords_cur = device.alloc_from_slice::<f64>(&cloud(n, dim));
+        let mut coords_next = device.alloc::<f64>(n * dim);
+        let sync_flag = device.alloc::<u64>(1);
+        let counters = device.alloc::<u64>(COUNTER_SLOTS);
+        let mut workspace = GridWorkspace::new(&device, geometry, n);
+        workspace.set_fused(fused);
+
+        let mut iterate = |cur: &mut DeviceBuffer<f64>, nxt: &mut DeviceBuffer<f64>| {
+            let (grid, pre, _stats) = workspace.refresh(cur, None);
+            sync_flag.store(0, 1);
+            egg_update(
+                &device, &grid, &pre, cur, nxt, &sync_flag, &counters, n, eps, options, None,
+            );
+            if sync_flag.load(0) == 1 {
+                second_term_holds(&device, &grid, &pre, cur, &sync_flag, n, eps, None);
+            }
+            std::mem::swap(cur, nxt);
+        };
+
+        // warm-up: size every device buffer and scratch list
+        for _ in 0..2 {
+            iterate(&mut coords_cur, &mut coords_next);
+        }
+        device.reserve_kernel_log(4096);
+
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..5 {
+            iterate(&mut coords_cur, &mut coords_next);
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+        assert_eq!(
+            after - before,
+            0,
+            "device steady-state iterations must not touch the heap (fused = {fused})"
+        );
+    }
+}
+
+#[test]
 fn sharded_steady_state_does_not_allocate() {
     // the sharding contract's steady-state clause: once converged, member
     // lists are stable, the exchange buffer stays empty, and a full

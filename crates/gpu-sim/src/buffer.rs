@@ -87,6 +87,36 @@ impl<T: DeviceWord> DeviceBuffer<T> {
         self.inner.words[i].store(value.to_bits(), Ordering::Relaxed);
     }
 
+    /// Load the element at `i` through the coalesced access path.
+    ///
+    /// Semantically identical to [`DeviceBuffer::load`]; the only difference
+    /// is accounting. A kernel declares that this access is part of a
+    /// warp-contiguous pattern (consecutive lanes touch consecutive words,
+    /// as in the lane-blocked trig tables), and the cost model then charges
+    /// the word at full memory bandwidth instead of the coalescing-derated
+    /// rate. Counted both as a regular read and as a coalesced read.
+    #[inline]
+    pub fn load_coalesced(&self, i: usize) -> T {
+        self.inner.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .coalesced_reads
+            .fetch_add(1, Ordering::Relaxed);
+        T::from_bits(self.inner.words[i].load(Ordering::Relaxed))
+    }
+
+    /// Store `value` at `i` through the coalesced access path. See
+    /// [`DeviceBuffer::load_coalesced`] for the accounting contract.
+    #[inline]
+    pub fn store_coalesced(&self, i: usize, value: T) {
+        self.inner.counters.writes.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .coalesced_writes
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner.words[i].store(value.to_bits(), Ordering::Relaxed);
+    }
+
     /// Atomically `mem[i] += value`, returning the previous value.
     ///
     /// Implemented as a compare-exchange loop so it is exact for both

@@ -48,9 +48,13 @@ impl SimulatedTime {
 pub struct CostModel {
     /// Aggregate arithmetic throughput in simple operations per second.
     pub compute_ops_per_sec: f64,
-    /// Global-memory throughput in 8-byte words per second, after the
-    /// coalescing-efficiency derating.
-    pub mem_words_per_sec: f64,
+    /// Global-memory throughput in 8-byte words per second at *peak*, i.e.
+    /// for fully coalesced access. Words issued through the plain
+    /// (uncoalesced) access path are derated by `coalescing_efficiency`.
+    pub peak_mem_words_per_sec: f64,
+    /// Fraction of peak bandwidth achieved by uncoalesced access patterns
+    /// (scattered per-thread loads); coalesced words run at full rate.
+    pub coalescing_efficiency: f64,
     /// Device-wide atomic read-modify-write throughput per second.
     pub atomic_ops_per_sec: f64,
     /// Fixed overhead charged per kernel launch, nanoseconds.
@@ -74,7 +78,8 @@ impl CostModel {
             // one simple op per core per cycle, derated by a CPI of ~4 for
             // mixed integer/fp/special-function workloads
             compute_ops_per_sec: cores * clock_hz / 4.0,
-            mem_words_per_sec: cfg.mem_bandwidth_gbps * 1e9 / 8.0 * cfg.coalescing_efficiency,
+            peak_mem_words_per_sec: cfg.mem_bandwidth_gbps * 1e9 / 8.0,
+            coalescing_efficiency: cfg.coalescing_efficiency.clamp(f64::MIN_POSITIVE, 1.0),
             atomic_ops_per_sec: cfg.atomic_throughput_gops * 1e9,
             launch_overhead_nanos: cfg.launch_overhead_us * 1e3,
             pcie_words_per_sec: cfg.pcie_bandwidth_gbps * 1e9 / 8.0,
@@ -84,19 +89,28 @@ impl CostModel {
     }
 
     /// Estimate the simulated device time for one kernel's operation counts.
+    ///
+    /// `coalesced_words` is the subset of `reads + writes` issued through the
+    /// coalesced access path
+    /// ([`crate::DeviceBuffer::load_coalesced`]/`store_coalesced`); those
+    /// words run at peak bandwidth while the rest pay the coalescing
+    /// derating. Passing 0 reproduces the fully-derated legacy model.
     pub fn kernel_time(
         &self,
         threads: u64,
         reads: u64,
         writes: u64,
         atomics: u64,
+        coalesced_words: u64,
     ) -> SimulatedTime {
         let mem_ops = (reads + writes) as f64;
+        let coalesced = (coalesced_words.min(reads + writes)) as f64;
         let instrs = mem_ops * self.instrs_per_memop
             + threads as f64 * self.instrs_per_thread
             + atomics as f64 * self.instrs_per_memop;
         let t_compute = instrs / self.compute_ops_per_sec;
-        let t_mem = mem_ops / self.mem_words_per_sec;
+        let t_mem = coalesced / self.peak_mem_words_per_sec
+            + (mem_ops - coalesced) / (self.peak_mem_words_per_sec * self.coalescing_efficiency);
         let t_atomic = atomics as f64 / self.atomic_ops_per_sec;
         let busy = t_compute.max(t_mem).max(t_atomic);
         SimulatedTime::from_nanos((self.launch_overhead_nanos + busy * 1e9).round() as u64)
@@ -126,15 +140,15 @@ mod tests {
     #[test]
     fn empty_kernel_costs_launch_overhead() {
         let m = model();
-        let t = m.kernel_time(0, 0, 0, 0);
+        let t = m.kernel_time(0, 0, 0, 0, 0);
         assert_eq!(t.nanos as f64, m.launch_overhead_nanos);
     }
 
     #[test]
     fn time_monotone_in_work() {
         let m = model();
-        let small = m.kernel_time(1_000, 10_000, 1_000, 0);
-        let big = m.kernel_time(1_000_000, 10_000_000, 1_000_000, 0);
+        let small = m.kernel_time(1_000, 10_000, 1_000, 0, 0);
+        let big = m.kernel_time(1_000_000, 10_000_000, 1_000_000, 0, 0);
         assert!(big > small);
     }
 
@@ -142,9 +156,44 @@ mod tests {
     fn atomic_heavy_kernel_is_atomic_bound() {
         let m = model();
         let atomics = 1_000_000_000u64;
-        let t = m.kernel_time(1024, 0, 0, atomics);
+        let t = m.kernel_time(1024, 0, 0, atomics, 0);
         let expected = atomics as f64 / m.atomic_ops_per_sec;
         assert!((t.as_secs_f64() - expected).abs() / expected < 0.05);
+    }
+
+    #[test]
+    fn coalesced_words_run_at_peak_bandwidth() {
+        let m = model();
+        // memory-bound kernel: enough words that t_mem dominates
+        let words = 10_000_000_000u64;
+        let derated = m.kernel_time(1024, words, 0, 0, 0);
+        let peak = m.kernel_time(1024, words, 0, 0, words);
+        let ratio = derated.as_secs_f64() / peak.as_secs_f64();
+        // default coalescing_efficiency is 0.5 → full coalescing is ~2× faster
+        let expected = 1.0 / m.coalescing_efficiency;
+        assert!(
+            (ratio - expected).abs() / expected < 0.05,
+            "expected ~{expected}× speedup from coalescing, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn coalesced_words_clamped_to_total() {
+        let m = model();
+        // over-reported coalesced words must not produce negative memory time
+        let exact = m.kernel_time(1024, 1_000_000, 0, 0, 1_000_000);
+        let over = m.kernel_time(1024, 1_000_000, 0, 0, 2_000_000);
+        assert_eq!(exact, over);
+    }
+
+    #[test]
+    fn partial_coalescing_lands_between_extremes() {
+        let m = model();
+        let words = 10_000_000_000u64;
+        let none = m.kernel_time(0, words, 0, 0, 0);
+        let half = m.kernel_time(0, words, 0, 0, words / 2);
+        let full = m.kernel_time(0, words, 0, 0, words);
+        assert!(full < half && half < none);
     }
 
     #[test]

@@ -17,6 +17,8 @@ use serde::Serialize;
 pub(crate) struct GlobalCounters {
     pub(crate) reads: AtomicU64,
     pub(crate) writes: AtomicU64,
+    pub(crate) coalesced_reads: AtomicU64,
+    pub(crate) coalesced_writes: AtomicU64,
     pub(crate) atomics: AtomicU64,
     pub(crate) h2d_words: AtomicU64,
     pub(crate) d2h_words: AtomicU64,
@@ -27,6 +29,8 @@ pub(crate) struct GlobalCounters {
 pub(crate) struct CounterSnapshot {
     pub(crate) reads: u64,
     pub(crate) writes: u64,
+    pub(crate) coalesced_reads: u64,
+    pub(crate) coalesced_writes: u64,
     pub(crate) atomics: u64,
     pub(crate) h2d_words: u64,
     pub(crate) d2h_words: u64,
@@ -37,6 +41,8 @@ impl GlobalCounters {
         CounterSnapshot {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            coalesced_reads: self.coalesced_reads.load(Ordering::Relaxed),
+            coalesced_writes: self.coalesced_writes.load(Ordering::Relaxed),
             atomics: self.atomics.load(Ordering::Relaxed),
             h2d_words: self.h2d_words.load(Ordering::Relaxed),
             d2h_words: self.d2h_words.load(Ordering::Relaxed),
@@ -49,8 +55,9 @@ impl GlobalCounters {
 /// GPU time.
 #[derive(Debug, Clone, Serialize)]
 pub struct KernelStats {
-    /// Kernel name as passed to `launch`.
-    pub name: String,
+    /// Kernel name as passed to `launch`. Static so that logging a kernel
+    /// never touches the heap (the steady-state iterate is allocation-free).
+    pub name: &'static str,
     /// Number of blocks in the launch.
     pub grid_dim: usize,
     /// Threads per block.
@@ -61,6 +68,12 @@ pub struct KernelStats {
     pub reads: u64,
     /// Global-memory word stores performed by the kernel.
     pub writes: u64,
+    /// Subset of `reads` issued through the coalesced access path
+    /// (warp-contiguous lane-blocked layouts); charged at full bandwidth by
+    /// the cost model.
+    pub coalesced_reads: u64,
+    /// Subset of `writes` issued through the coalesced access path.
+    pub coalesced_writes: u64,
     /// Atomic read-modify-write operations performed by the kernel.
     pub atomics: u64,
     /// Host wall-clock nanoseconds spent simulating the kernel.
@@ -81,6 +94,10 @@ pub struct PerfReport {
     pub total_reads: u64,
     /// Sum of global-memory word stores.
     pub total_writes: u64,
+    /// Sum of coalesced global-memory word loads (subset of `total_reads`).
+    pub total_coalesced_reads: u64,
+    /// Sum of coalesced global-memory word stores (subset of `total_writes`).
+    pub total_coalesced_writes: u64,
     /// Sum of atomic operations.
     pub total_atomics: u64,
     /// Host-to-device transferred words (outside kernels).
@@ -109,6 +126,21 @@ impl PerfReport {
     pub fn launches(&self) -> usize {
         self.kernels.len()
     }
+
+    /// Total global-memory words moved by kernels (loads + stores).
+    pub fn total_mem_words(&self) -> u64 {
+        self.total_reads + self.total_writes
+    }
+
+    /// Fraction of kernel memory words that went through the coalesced
+    /// access path, in `[0, 1]`. Returns 0 when no words moved.
+    pub fn coalesced_fraction(&self) -> f64 {
+        let total = self.total_mem_words();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.total_coalesced_reads + self.total_coalesced_writes) as f64 / total as f64
+    }
 }
 
 #[cfg(test)]
@@ -120,10 +152,13 @@ mod tests {
         let c = GlobalCounters::default();
         c.reads.fetch_add(3, Ordering::Relaxed);
         c.atomics.fetch_add(2, Ordering::Relaxed);
+        c.coalesced_reads.fetch_add(1, Ordering::Relaxed);
         let s = c.snapshot();
         assert_eq!(s.reads, 3);
         assert_eq!(s.writes, 0);
         assert_eq!(s.atomics, 2);
+        assert_eq!(s.coalesced_reads, 1);
+        assert_eq!(s.coalesced_writes, 0);
     }
 
     #[test]
@@ -136,5 +171,19 @@ mod tests {
         assert!((r.sim_seconds() - 2.5).abs() < 1e-12);
         assert!((r.host_seconds() - 1.0).abs() < 1e-12);
         assert_eq!(r.launches(), 0);
+        assert_eq!(r.coalesced_fraction(), 0.0);
+    }
+
+    #[test]
+    fn coalesced_fraction_counts_both_directions() {
+        let r = PerfReport {
+            total_reads: 60,
+            total_writes: 40,
+            total_coalesced_reads: 30,
+            total_coalesced_writes: 20,
+            ..Default::default()
+        };
+        assert_eq!(r.total_mem_words(), 100);
+        assert!((r.coalesced_fraction() - 0.5).abs() < 1e-12);
     }
 }

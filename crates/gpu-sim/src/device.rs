@@ -191,7 +191,7 @@ impl Device {
     /// This is the analogue of `kernel<<<grid_dim, block_dim>>>(…)`. The
     /// closure must bounds-check its global id against the problem size, as
     /// CUDA kernels do, because the launch is rounded up to whole blocks.
-    pub fn launch<F>(&self, name: &str, grid_dim: usize, block_dim: usize, f: F)
+    pub fn launch<F>(&self, name: &'static str, grid_dim: usize, block_dim: usize, f: F)
     where
         F: Fn(&ThreadCtx) + Sync,
     {
@@ -214,7 +214,7 @@ impl Device {
     /// its threads in barrier-delimited phases via
     /// [`BlockCtx::for_each_thread`]. Use this for kernels that need
     /// simulated shared memory / `__syncthreads()`.
-    pub fn launch_blocks<F>(&self, name: &str, grid_dim: usize, block_dim: usize, f: F)
+    pub fn launch_blocks<F>(&self, name: &'static str, grid_dim: usize, block_dim: usize, f: F)
     where
         F: Fn(&BlockCtx) + Sync,
     {
@@ -265,7 +265,7 @@ impl Device {
         });
     }
 
-    fn timed(&self, name: &str, grid_dim: usize, block_dim: usize, body: impl FnOnce()) {
+    fn timed(&self, name: &'static str, grid_dim: usize, block_dim: usize, body: impl FnOnce()) {
         let before = self.inner.counters.snapshot();
         let start = Instant::now();
         body();
@@ -274,19 +274,39 @@ impl Device {
         let threads = (grid_dim * block_dim) as u64;
         let reads = after.reads - before.reads;
         let writes = after.writes - before.writes;
+        let coalesced_reads = after.coalesced_reads - before.coalesced_reads;
+        let coalesced_writes = after.coalesced_writes - before.coalesced_writes;
         let atomics = after.atomics - before.atomics;
-        let sim = self.inner.cost.kernel_time(threads, reads, writes, atomics);
+        let sim = self.inner.cost.kernel_time(
+            threads,
+            reads,
+            writes,
+            atomics,
+            coalesced_reads + coalesced_writes,
+        );
         self.inner.kernel_log.lock().unwrap().push(KernelStats {
-            name: name.to_owned(),
+            name,
             grid_dim,
             block_dim,
             threads,
             reads,
             writes,
+            coalesced_reads,
+            coalesced_writes,
             atomics,
             host_nanos,
             sim_nanos: sim.nanos,
         });
+    }
+
+    /// Reserve capacity for `additional` further kernel-log entries.
+    ///
+    /// Logging a kernel is otherwise allocation-free (`KernelStats` holds a
+    /// static name), but a `Vec` push can still reallocate; callers with an
+    /// allocation-free steady-state contract reserve ahead of the measured
+    /// window.
+    pub fn reserve_kernel_log(&self, additional: usize) {
+        self.inner.kernel_log.lock().unwrap().reserve(additional);
     }
 
     /// Produce a report over all kernels since the last [`Device::reset`],
@@ -298,6 +318,8 @@ impl Device {
             total_threads: kernels.iter().map(|k| k.threads).sum(),
             total_reads: kernels.iter().map(|k| k.reads).sum(),
             total_writes: kernels.iter().map(|k| k.writes).sum(),
+            total_coalesced_reads: kernels.iter().map(|k| k.coalesced_reads).sum(),
+            total_coalesced_writes: kernels.iter().map(|k| k.coalesced_writes).sum(),
             total_atomics: kernels.iter().map(|k| k.atomics).sum(),
             h2d_words: snap.h2d_words,
             d2h_words: snap.d2h_words,
@@ -334,6 +356,8 @@ impl Device {
         let c = &self.inner.counters;
         c.reads.store(0, Ordering::Relaxed);
         c.writes.store(0, Ordering::Relaxed);
+        c.coalesced_reads.store(0, Ordering::Relaxed);
+        c.coalesced_writes.store(0, Ordering::Relaxed);
         c.atomics.store(0, Ordering::Relaxed);
         c.h2d_words.store(0, Ordering::Relaxed);
         c.d2h_words.store(0, Ordering::Relaxed);
@@ -386,7 +410,66 @@ mod tests {
         assert_eq!(k.threads, 256);
         assert_eq!(k.writes, 256);
         assert_eq!(k.reads, 0);
+        assert_eq!(k.coalesced_writes, 0);
         assert!(k.sim_nanos > 0);
+    }
+
+    #[test]
+    fn coalesced_accesses_feed_both_channels() {
+        let d = dev();
+        let buf = d.alloc::<f64>(256);
+        d.reset();
+        d.launch("coalesced-touch", 2, 128, |t| {
+            let i = t.global_id();
+            buf.store_coalesced(i, 1.0);
+            let _ = buf.load_coalesced(i);
+            let _ = buf.load(i);
+        });
+        let r = d.report();
+        let k = &r.kernels[0];
+        assert_eq!(k.writes, 256);
+        assert_eq!(k.coalesced_writes, 256);
+        assert_eq!(k.reads, 512);
+        assert_eq!(k.coalesced_reads, 256);
+        assert_eq!(r.total_coalesced_reads, 256);
+        assert_eq!(r.total_coalesced_writes, 256);
+        assert!((r.coalesced_fraction() - 512.0 / 768.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coalesced_layout_is_cheaper_in_simulated_time() {
+        // same logical traffic, one kernel through the coalesced path — the
+        // cost model must reward the layout (memory-bound kernel)
+        let d = dev();
+        let n = 1 << 16;
+        let buf = d.alloc::<f64>(n);
+        d.reset();
+        d.launch("scattered", crate::grid_for(n, 128), 128, |t| {
+            let i = t.global_id();
+            if i < n {
+                for _ in 0..64 {
+                    let _ = buf.load(i);
+                }
+            }
+        });
+        d.launch("blocked", crate::grid_for(n, 128), 128, |t| {
+            let i = t.global_id();
+            if i < n {
+                for _ in 0..64 {
+                    let _ = buf.load_coalesced(i);
+                }
+            }
+        });
+        let r = d.report();
+        let scattered = r.kernels.iter().find(|k| k.name == "scattered").unwrap();
+        let blocked = r.kernels.iter().find(|k| k.name == "blocked").unwrap();
+        assert_eq!(scattered.reads, blocked.reads);
+        assert!(
+            blocked.sim_nanos < scattered.sim_nanos,
+            "coalesced kernel must be cheaper: {} vs {}",
+            blocked.sim_nanos,
+            scattered.sim_nanos
+        );
     }
 
     #[test]

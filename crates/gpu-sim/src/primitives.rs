@@ -49,12 +49,73 @@ pub fn copy<T: DeviceWord>(
     });
 }
 
+/// Reusable scratch for the recursive three-phase scan: one pair of
+/// per-level block-sum buffers, sized for a fixed element capacity.
+///
+/// [`inclusive_scan`] allocates this scratch per call, which is fine for
+/// one-shot uses but violates the allocation-free steady-state contract
+/// of the iteration workspaces — those construct a `ScanScratch` once at
+/// workspace-allocation time and run every per-iteration scan through
+/// [`ScanScratch::scan`].
+pub struct ScanScratch {
+    /// `(block_sums, scanned_sums)` per recursion level, outermost first.
+    levels: Vec<(DeviceBuffer<u64>, DeviceBuffer<u64>)>,
+    capacity: usize,
+}
+
+impl ScanScratch {
+    /// Scratch able to scan up to `capacity` elements.
+    pub fn new(device: &Device, capacity: usize) -> Self {
+        let mut levels = Vec::new();
+        let mut len = capacity.max(1);
+        loop {
+            let nb = len.div_ceil(SCAN_BLOCK);
+            levels.push((device.alloc::<u64>(nb), device.alloc::<u64>(nb)));
+            if nb == 1 {
+                break;
+            }
+            len = nb;
+        }
+        Self {
+            levels,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Device words held by the scratch buffers.
+    pub fn words(&self) -> usize {
+        self.levels.iter().map(|(a, b)| a.len() + b.len()).sum()
+    }
+
+    /// Inclusive scan of `input[0..n]` into `output[0..n]` using this
+    /// scratch, allocation-free.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the constructed capacity or either buffer is
+    /// shorter than `n`.
+    pub fn scan(
+        &self,
+        device: &Device,
+        input: &DeviceBuffer<u64>,
+        output: &DeviceBuffer<u64>,
+        n: usize,
+    ) {
+        assert!(
+            n <= self.capacity,
+            "scan length {n} exceeds scratch capacity {}",
+            self.capacity
+        );
+        scan_with_levels(device, input, output, n, &self.levels);
+    }
+}
+
 /// Inclusive prefix sum of `input[0..n]` into `output[0..n]`
 /// (`output[i] = input[0] + … + input[i]`), the paper's `ends` array.
 ///
 /// Implemented as the classic three-phase device scan: block-local scans
 /// producing per-block totals, a recursive scan of the totals, and a uniform
-/// add of the scanned totals back onto each block.
+/// add of the scanned totals back onto each block. Allocates its scratch;
+/// steady-state callers use a persistent [`ScanScratch`] instead.
 ///
 /// # Panics
 /// Panics if `output.len() < n` or `input.len() < n`.
@@ -64,6 +125,19 @@ pub fn inclusive_scan(
     output: &DeviceBuffer<u64>,
     n: usize,
 ) {
+    if n == 0 {
+        return;
+    }
+    ScanScratch::new(device, n).scan(device, input, output, n);
+}
+
+fn scan_with_levels(
+    device: &Device,
+    input: &DeviceBuffer<u64>,
+    output: &DeviceBuffer<u64>,
+    n: usize,
+    levels: &[(DeviceBuffer<u64>, DeviceBuffer<u64>)],
+) {
     assert!(
         input.len() >= n && output.len() >= n,
         "scan range out of bounds"
@@ -72,7 +146,7 @@ pub fn inclusive_scan(
         return;
     }
     let num_blocks = n.div_ceil(SCAN_BLOCK);
-    let block_sums = device.alloc::<u64>(num_blocks);
+    let (block_sums, scanned) = &levels[0];
 
     // Hillis–Steele inclusive scan per block: `shared` plays the role of
     // shared memory, each `for_each_thread` phase is barrier-delimited,
@@ -114,8 +188,7 @@ pub fn inclusive_scan(
     });
 
     if num_blocks > 1 {
-        let scanned = device.alloc::<u64>(num_blocks);
-        inclusive_scan(device, &block_sums, &scanned, num_blocks);
+        scan_with_levels(device, block_sums, scanned, num_blocks, &levels[1..]);
         device.launch("scan_add_offsets", crate::grid_for(n, 256), 256, |t| {
             for i in t.grid_stride(n) {
                 let block = i / SCAN_BLOCK;
@@ -194,15 +267,33 @@ pub fn compact_indices(
     out: &DeviceBuffer<u64>,
     n: usize,
 ) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let positions = device.alloc::<u64>(n);
+    let scratch = ScanScratch::new(device, n);
+    compact_indices_with(device, flags, out, n, &positions, &scratch)
+}
+
+/// [`compact_indices`] through caller-owned scratch: `positions` holds the
+/// scanned flag prefix (len ≥ `n`) and `scratch` carries the scan's
+/// block-sum levels. Allocation-free — the steady-state variant.
+pub fn compact_indices_with(
+    device: &Device,
+    flags: &DeviceBuffer<u64>,
+    out: &DeviceBuffer<u64>,
+    n: usize,
+    positions: &DeviceBuffer<u64>,
+    scratch: &ScanScratch,
+) -> usize {
     assert!(
-        flags.len() >= n && out.len() >= n,
+        flags.len() >= n && out.len() >= n && positions.len() >= n,
         "compact range out of bounds"
     );
     if n == 0 {
         return 0;
     }
-    let positions = device.alloc::<u64>(n);
-    inclusive_scan(device, flags, &positions, n);
+    scratch.scan(device, flags, positions, n);
     device.launch("compact_scatter", crate::grid_for(n, 256), 256, |t| {
         for i in t.grid_stride(n) {
             if flags.load(i) != 0 {
@@ -300,6 +391,52 @@ mod tests {
         let d = dev();
         let b = d.alloc::<u64>(4);
         assert_eq!(reduce_sum(&d, &b, 0), 0);
+    }
+
+    #[test]
+    fn scan_scratch_reuses_across_lengths() {
+        // one scratch sized for the max length serves every shorter scan,
+        // matching the allocating path bit for bit
+        let d = dev();
+        let scratch = ScanScratch::new(&d, 70_000);
+        assert!(scratch.words() > 0);
+        for n in [1usize, 255, 256, 257, 65_536, 70_000] {
+            let data: Vec<u64> = (0..n as u64).map(|i| i % 7).collect();
+            let input = d.alloc_from_slice::<u64>(&data);
+            let fresh = d.alloc::<u64>(n);
+            let reused = d.alloc::<u64>(n);
+            inclusive_scan(&d, &input, &fresh, n);
+            scratch.scan(&d, &input, &reused, n);
+            assert_eq!(fresh.to_vec(), reused.to_vec(), "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds scratch capacity")]
+    fn scan_scratch_rejects_overflow() {
+        let d = dev();
+        let input = d.alloc::<u64>(100);
+        let output = d.alloc::<u64>(100);
+        ScanScratch::new(&d, 50).scan(&d, &input, &output, 100);
+    }
+
+    #[test]
+    fn compact_with_scratch_matches_fresh() {
+        let d = dev();
+        let n = 1000;
+        let flag_data: Vec<u64> = (0..n as u64).map(|i| (i * 31 % 3 == 0) as u64).collect();
+        let flags = d.alloc_from_slice::<u64>(&flag_data);
+        let fresh_out = d.alloc::<u64>(n);
+        let reused_out = d.alloc::<u64>(n);
+        let positions = d.alloc::<u64>(n);
+        let scratch = ScanScratch::new(&d, n);
+        let fresh_count = compact_indices(&d, &flags, &fresh_out, n);
+        let reused_count = compact_indices_with(&d, &flags, &reused_out, n, &positions, &scratch);
+        assert_eq!(fresh_count, reused_count);
+        assert_eq!(
+            fresh_out.to_vec()[..fresh_count],
+            reused_out.to_vec()[..reused_count]
+        );
     }
 
     #[test]

@@ -40,6 +40,15 @@ TRACKED_STAGES = (
     "clustering",
     "free_memory",
     "halo_exchange",
+    # simulated-device clock of the same stages (GPU-backed rows only).
+    # These are deterministic — the cost model is a pure function of the
+    # kernels' operation counts — so regressions on them are real perf
+    # changes (more launches, more words moved), never scheduler noise.
+    "sim_allocating",
+    "sim_build_structure",
+    "sim_update",
+    "sim_extra_check",
+    "sim_clustering",
 )
 MIN_STAGE_NS = 1_000_000  # ignore sub-millisecond stages: pure noise on CI
 

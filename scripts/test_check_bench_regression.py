@@ -175,6 +175,32 @@ class MainTests(unittest.TestCase):
     def test_non_array_ledger_fails(self):
         self.assertEqual(self.run_main({"rows": []}), 1)
 
+    def test_sim_stages_are_tracked(self):
+        # GPU-backed rows carry the simulated-device clock of each stage;
+        # the schema whitelist must accept all of them
+        ok = row(50_000_000)
+        for stage in ("sim_allocating", "sim_build_structure", "sim_update",
+                      "sim_extra_check", "sim_clustering"):
+            ok["stages_ns"][stage] = 5_000_000
+        self.assertEqual(self.run_main([ok]), 0)
+
+    def test_sim_update_regression_is_caught(self):
+        # the simulated clock is deterministic, so a jump means the kernel
+        # pipeline itself got more expensive — the gate must fail it
+        before = row(50_000_000, ts=1)
+        before["stages_ns"]["sim_update"] = 10_000_000
+        after = row(50_000_000, ts=2)
+        after["stages_ns"]["sim_update"] = 20_000_000
+        self.assertEqual(self.run_main([before, after], "--fail-over", "0.40"), 1)
+
+    def test_rows_without_sim_stages_stay_valid(self):
+        # host-backend rows have no sim_* keys: absent keys read as 0 and
+        # stay below the noise floor, so mixed ledgers diff cleanly
+        before = row(50_000_000, ts=1)
+        after = row(52_000_000, ts=2)
+        after["stages_ns"]["sim_update"] = 5_000_000
+        self.assertEqual(self.run_main([before, after]), 0)
+
 
 if __name__ == "__main__":
     unittest.main()
