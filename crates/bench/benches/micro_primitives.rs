@@ -7,6 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use egg_gpu_sim::{grid_for, primitives, Device, DeviceConfig};
+use egg_sync_core::exec::Executor;
 use egg_sync_core::kernels::{
     avx2_available, distance_sq_lanes, pair_term_block, pair_term_cell, F64x4, Mask4, LANES,
 };
@@ -49,6 +50,45 @@ fn bench_primitives(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    group.finish();
+}
+
+/// Per-call dispatch overhead of the execution engine: 1k tiny
+/// `map_ranges_into` fan-outs (32 near-empty chunks each) through the
+/// persistent worker pool against the scoped per-call-spawn fallback.
+/// The work per chunk is a trivial sum, so the measurement is almost
+/// pure dispatch machinery — exactly what a high-iteration run (hundreds
+/// of sub-millisecond passes) pays per iteration. The pool's condvar
+/// hand-off is expected to beat the 4-thread spawn+join by well over 5×.
+fn bench_dispatch_latency(c: &mut Criterion) {
+    const DISPATCHES: usize = 1_000;
+    const N: usize = 2_048; // 32 chunks of 64 — a real fan-out, tiny work
+    let mut out = vec![0usize; 32];
+
+    let mut group = c.benchmark_group("dispatch_latency_1k");
+    group.sample_size(10);
+    for (label, pooled) in [
+        ("pooled_1k_dispatches", true),
+        ("scoped_1k_dispatches", false),
+    ] {
+        let exec = Executor::with_mode(Some(4), pooled);
+        assert_eq!(exec.is_pooled(), pooled);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..DISPATCHES {
+                    exec.map_ranges_into(N, 64, &mut out, |r| r.sum::<usize>());
+                    acc = acc.wrapping_add(out[0]);
+                }
+                acc
+            })
+        });
+        println!(
+            "{label}: {} parallel dispatches, {:.1} us mean overhead",
+            exec.dispatch_count(),
+            exec.dispatch_overhead_seconds() * 1e6 / exec.dispatch_count().max(1) as f64
+        );
+    }
     group.finish();
 }
 
@@ -213,6 +253,7 @@ fn bench_lane_kernels(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_primitives,
+    bench_dispatch_latency,
     bench_pair_sin,
     bench_lane_kernels
 );

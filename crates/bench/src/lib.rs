@@ -109,6 +109,8 @@ pub fn bench_ledger_row(
         "clustering": secs_to_ns(stages.get(Stage::Clustering)),
         "free_memory": secs_to_ns(stages.get(Stage::FreeMemory)),
         "halo_exchange": secs_to_ns(stages.get(Stage::HaloExchange)),
+        "exec_dispatch": secs_to_ns(stages.get(Stage::ExecDispatch)),
+        "halo_overlap": secs_to_ns(stages.get(Stage::HaloOverlap)),
     });
     let counters_json = serde_json::json!({
         "summary_cells": counters.summary_cells,
@@ -122,6 +124,7 @@ pub fn bench_ledger_row(
         "shard_count": counters.shard_count,
         "halo_movers": counters.halo_movers,
         "halo_cells": counters.halo_cells,
+        "exec_dispatches": counters.exec_dispatches,
     });
     let timestamp_ms = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -438,6 +441,9 @@ mod tests {
         let row = bench_ledger_row("unit", "EGG-SynC", 1000, 4, 2, 7, 1.0, &stages, &counters);
         let text = serde_json::to_string(&row).unwrap();
         assert!(text.contains("\"update\":250000000"));
+        assert!(text.contains("\"exec_dispatch\":"));
+        assert!(text.contains("\"halo_overlap\":"));
+        assert!(text.contains("\"exec_dispatches\":"));
         assert!(text.contains("\"threads\":2"));
         assert!(text.contains("\"d\":4"));
         assert!(text.contains("\"moved_points\":9"));

@@ -102,7 +102,7 @@ impl EggSync {
     fn cluster_host(&self, data: &Dataset) -> Clustering {
         let dim = data.dim();
         let n = data.len();
-        let exec = Executor::new(self.threads);
+        let exec = Executor::with_mode(self.threads, self.options.use_pooled_exec);
         let mut trace = RunTrace {
             engine_threads: Some(exec.workers()),
             ..RunTrace::default()
@@ -230,6 +230,10 @@ impl EggSync {
             drop(coords_next);
         });
         trace.stages.add(Stage::FreeMemory, free_secs);
+        trace
+            .stages
+            .add(Stage::ExecDispatch, exec.dispatch_overhead_seconds());
+        trace.update_counters.exec_dispatches = exec.dispatch_count();
         trace.total_seconds = trace.stages.total();
         Clustering::from_labels(labels, iterations, converged, final_coords, trace)
     }
@@ -630,6 +634,67 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn pooled_and_pipelined_toggles_are_bitwise_invisible() {
+        let (data, _) = blobs(300, 3, 42);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        // oracle: scoped dispatch, serial shard schedule
+        let mut oracle = EggSync::host(0.05, Some(4));
+        oracle.options.num_shards = 4;
+        oracle.options.use_pooled_exec = false;
+        oracle.options.use_pipelined_shards = false;
+        let oracle = oracle.cluster(&data);
+        for (pooled, pipelined) in [(true, false), (false, true), (true, true)] {
+            let mut algo = EggSync::host(0.05, Some(4));
+            algo.options.num_shards = 4;
+            algo.options.use_pooled_exec = pooled;
+            algo.options.use_pipelined_shards = pipelined;
+            let run = algo.cluster(&data);
+            assert_eq!(
+                run.labels, oracle.labels,
+                "pooled={pooled} pipe={pipelined}"
+            );
+            assert_eq!(run.iterations, oracle.iterations);
+            assert_eq!(
+                bits(run.final_coords.coords()),
+                bits(oracle.final_coords.coords()),
+                "pooled={pooled} pipe={pipelined}"
+            );
+            // scheduling toggles must not perturb the work counters either
+            let (a, b) = (&run.trace.update_counters, &oracle.trace.update_counters);
+            assert_eq!(a.cells_skipped, b.cells_skipped);
+            assert_eq!(a.halo_movers, b.halo_movers);
+            assert_eq!(a.dirty_cells, b.dirty_cells);
+        }
+    }
+
+    #[test]
+    fn dispatch_instrumentation_reaches_the_trace() {
+        // large enough that the owned windows span several point chunks —
+        // sub-chunk inputs take the executor's inline path, which by
+        // design does not count as a dispatch
+        let (data, _) = blobs(5000, 3, 5);
+        let mut algo = EggSync::host(0.05, Some(4));
+        algo.options.num_shards = 2;
+        let run = algo.cluster(&data);
+        assert!(run.trace.update_counters.exec_dispatches > 0);
+        assert!(run.trace.stages.get(Stage::ExecDispatch) > 0.0);
+        // diagnostic stages must not inflate the wall-clock total
+        let wall: f64 = [
+            Stage::Allocating,
+            Stage::BuildStructure,
+            Stage::Update,
+            Stage::ExtraCheck,
+            Stage::Clustering,
+            Stage::FreeMemory,
+            Stage::HaloExchange,
+        ]
+        .iter()
+        .map(|&s| run.trace.stages.get(s))
+        .sum();
+        assert!((run.trace.total_seconds - wall).abs() < 1e-12);
     }
 
     #[test]

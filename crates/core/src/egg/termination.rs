@@ -323,6 +323,8 @@ pub fn second_term_holds_host_range(
     let half_sq = (epsilon / 2.0) * (epsilon / 2.0);
     let order = grid.point_order();
     let lane_coords = grid.lane_coords();
+    // slot s lives at lane index lane_phase + s (see CellGrid::set_lane_phase)
+    let lane_phase = grid.lane_phase();
     // q1 hovers in the shell: can one of its ε/2-neighbors drag it
     // towards p? (the per-shell-point partner scan, shared by both paths)
     let q1_dragged = |p: &[f64], q1_idx: usize| -> bool {
@@ -362,16 +364,16 @@ pub fn second_term_holds_host_range(
                 // four shell-membership distances per step; exact lanes, so
                 // the accepted slots match the scalar scan one for one
                 let slots = grid.cell_range(c);
-                for b in slots.start / LANES..=(slots.end - 1) / LANES {
+                let (lo, hi) = (lane_phase + slots.start, lane_phase + slots.end);
+                for b in lo / LANES..=(hi - 1) / LANES {
                     let at = b * dim * LANES;
                     let d_sq = distance_sq_lanes(&lane_coords[at..at + dim * LANES], p).to_array();
                     for (j, &d2) in d_sq.iter().enumerate() {
-                        let slot = b * LANES + j;
-                        if slot < slots.start || slot >= slots.end || d2 <= eps_sq || d2 > shell_sq
-                        {
+                        let lane = b * LANES + j;
+                        if lane < lo || lane >= hi || d2 <= eps_sq || d2 > shell_sq {
                             continue;
                         }
-                        if q1_dragged(p, order[slot] as usize) {
+                        if q1_dragged(p, order[lane - lane_phase] as usize) {
                             dragged = true;
                             return;
                         }

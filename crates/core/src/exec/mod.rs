@@ -3,30 +3,54 @@
 //! One [`Executor`] drives grid construction, the per-point update and the
 //! exact-termination check of the host EGG-SynC backend, as well as the
 //! MP-SynC baseline. Work is split into **fixed-size chunks** pulled from
-//! a shared queue by scoped `std::thread` workers.
+//! a shared claim counter by the executor's workers.
+//!
+//! ## Dispatch modes
+//!
+//! The executor has two dispatch backends behind one API:
+//!
+//! * **Pooled** (default): a fixed set of long-lived workers, spawned once
+//!   and parked on a condvar between dispatches. A dispatch publishes a
+//!   job generation (epoch) under the pool mutex, wakes the workers, and
+//!   the *calling thread participates* in the claim loop; the call returns
+//!   only after every woken worker has retired the job, so chunk closures
+//!   may borrow from the caller's stack. Steady-state dispatch performs
+//!   **zero heap allocations** — no thread spawns, no per-call result
+//!   `Mutex`es — which is what makes a hundreds-of-iterations run cheap:
+//!   the scoped backend pays a thread spawn per worker per stage per
+//!   iteration, tens of thousands of spawns per run.
+//! * **Scoped** (the oracle, `EGG_FORCE_SCOPED`): fresh `std::thread::scope`
+//!   workers per call, the pre-pool behavior, kept as the bitwise
+//!   reference and as the fallback exercised by CI.
 //!
 //! ## Determinism contract
 //!
 //! Every combinator here guarantees results that are *bit-for-bit
-//! identical regardless of the worker count*:
+//! identical regardless of the worker count or dispatch mode*:
 //!
 //! * chunk boundaries depend only on the problem size and the chunk
 //!   length, never on how many workers exist or which worker claims a
 //!   chunk;
-//! * per-chunk results are returned **in chunk order**, so floating-point
-//!   reductions over them are performed in a fixed association order;
+//! * per-chunk results land in a fixed slot per chunk and are consumed
+//!   **in chunk order**, so floating-point reductions over them are
+//!   performed in a fixed association order;
 //! * chunk closures must be pure with respect to scheduling (they receive
 //!   disjoint data and a deterministic index), which every call site in
 //!   this crate upholds.
 //!
 //! With one worker (or one chunk) the engine degenerates to an inline
-//! sequential loop with no thread spawn, so `threads: Some(1)` is the
+//! sequential loop with no dispatch at all, so `threads: Some(1)` is the
 //! zero-overhead reference execution.
 
 use std::marker::PhantomData;
+use std::mem::MaybeUninit;
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+mod sideline;
+pub use sideline::Sideline;
 
 /// A shared view over a mutable slice that lets parallel chunk closures
 /// scatter-write to caller-proven **disjoint** index ranges.
@@ -87,25 +111,285 @@ pub const POINT_CHUNK: usize = 1024;
 /// Default cells per work chunk for per-cell stages (summaries).
 pub const CELL_CHUNK: usize = 256;
 
-/// A fixed-width pool of scoped host workers with deterministic chunking.
-#[derive(Debug, Clone)]
+/// Process-wide default dispatch mode: pooled, unless the
+/// `EGG_FORCE_SCOPED` environment variable is set (the CI leg that
+/// exercises the scoped oracle end to end). Cached so repeated
+/// [`Executor::new`] calls stay allocation-free past the first.
+pub fn pooled_default() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("EGG_FORCE_SCOPED").is_none())
+}
+
+/// Parse an `EGG_THREADS`-style override: a positive integer, or `None`.
+fn parse_threads(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// Process-wide `EGG_THREADS` override consumed by `Executor::new(None)`
+/// (paralleling `EGG_NUM_SHARDS`): pins the default worker count without
+/// touching call sites. Explicit `Some(n)` requests always win.
+fn threads_default() -> Option<usize> {
+    static N: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("EGG_THREADS")
+            .ok()
+            .as_deref()
+            .and_then(parse_threads)
+    })
+}
+
+/// Lock a mutex, recovering the guard if another thread panicked while
+/// holding it — pool bookkeeping must survive a panicking job closure so
+/// the dispatching caller is never left waiting forever.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Dispatch instrumentation shared by all clones of an [`Executor`]:
+/// how many parallel dispatches were issued and how long the dispatch
+/// machinery itself took, summed on the calling thread.
+#[derive(Debug, Default)]
+struct ExecStats {
+    dispatches: AtomicU64,
+    overhead_nanos: AtomicU64,
+}
+
+/// Type-erased job body published to the pool workers. The raw pointer is
+/// only dereferenced between the epoch publish and the completion wait of
+/// the same [`Pool::run`] call, which outlives the borrow it erases.
+#[derive(Clone, Copy)]
+struct BodyPtr(*const (dyn Fn() + Sync));
+unsafe impl Send for BodyPtr {}
+
+struct PoolState {
+    /// Job generation; bumped once per dispatch so a worker never runs the
+    /// same job twice.
+    epoch: u64,
+    /// The published job, present only while a dispatch is in flight.
+    body: Option<BodyPtr>,
+    /// Workers still running the current job.
+    running: usize,
+    /// Live workers — the participant count of the next dispatch. Shrinks
+    /// if a job closure panics and unwinds a worker.
+    alive: usize,
+    /// A worker's job closure panicked during the current dispatch.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here between jobs.
+    work: Condvar,
+    /// The dispatching caller parks here until `running` drains to zero.
+    done: Condvar,
+}
+
+/// A pool of long-lived parked workers. Dispatch is epoch-based: the
+/// caller publishes a job body and a new generation under the mutex, wakes
+/// everyone, runs the body itself, then waits for the workers to retire
+/// the generation. Workers are joined on [`Drop`].
+struct Pool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                body: None,
+                running: 0,
+                alive: workers,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("egg-exec-{i}"))
+                    .spawn(move || Self::worker_loop(&shared))
+                    .expect("spawn executor pool worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    fn worker_loop(shared: &PoolShared) {
+        // decrement `alive` on every exit path — including an unwind out
+        // of a panicking job body — so future dispatches count only
+        // workers that will actually report completion
+        struct AliveGuard<'a>(&'a PoolShared);
+        impl Drop for AliveGuard<'_> {
+            fn drop(&mut self) {
+                lock(&self.0.state).alive -= 1;
+            }
+        }
+        let _alive = AliveGuard(shared);
+        let mut seen = 0u64;
+        loop {
+            let body = {
+                let mut st = lock(&shared.state);
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if let Some(ptr) = st.body {
+                        if st.epoch != seen {
+                            seen = st.epoch;
+                            break ptr;
+                        }
+                    }
+                    st = shared
+                        .work
+                        .wait(st)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+            };
+            // retire the job even if its body panics: the dispatching
+            // caller is blocked on `running` reaching zero
+            struct DoneGuard<'a>(&'a PoolShared);
+            impl Drop for DoneGuard<'_> {
+                fn drop(&mut self) {
+                    let mut st = lock(&self.0.state);
+                    if std::thread::panicking() {
+                        st.panicked = true;
+                    }
+                    st.running -= 1;
+                    if st.running == 0 {
+                        self.0.done.notify_all();
+                    }
+                }
+            }
+            let _done = DoneGuard(shared);
+            // SAFETY: the publishing `run` call waits for `running == 0`
+            // before returning, so the erased borrow is still live
+            unsafe { (*body.0)() };
+        }
+    }
+
+    /// Run `body` on the caller *and* every live pool worker; return once
+    /// all of them finished. Allocation-free.
+    fn run(&self, body: &(dyn Fn() + Sync), stats: &ExecStats) {
+        let t0 = Instant::now();
+        // SAFETY (lifetime erasure): this call does not return until every
+        // worker has retired the job, so `body`'s borrows outlive all uses
+        let body_static: &'static (dyn Fn() + Sync) = unsafe { std::mem::transmute(body) };
+        {
+            let mut st = lock(&self.shared.state);
+            debug_assert!(st.body.is_none() && st.running == 0);
+            st.epoch = st.epoch.wrapping_add(1);
+            st.body = Some(BodyPtr(body_static as *const _));
+            st.running = st.alive;
+        }
+        // only the synchronous publication cost (lock + epoch bump + body
+        // store) counts as overhead: the wake below can preempt straight
+        // into a woken worker's claim loop on an oversubscribed host, and
+        // the post-claim wait is other workers *working* — charging either
+        // here would let OS scheduling noise masquerade as dispatch cost
+        // in the ledger
+        stats
+            .overhead_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.shared.work.notify_all();
+        // the caller participates; a panic here must still wait for the
+        // workers (their claim loops borrow from this stack frame)
+        let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+        let mut st = lock(&self.shared.state);
+        while st.running > 0 {
+            st = self
+                .shared
+                .done
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        st.body = None;
+        let worker_panicked = std::mem::replace(&mut st.panicked, false);
+        drop(st);
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("executor pool worker panicked during parallel dispatch");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        lock(&self.shared.state).shutdown = true;
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A fixed-width executor with deterministic chunking, backed by either a
+/// persistent worker pool (default) or per-call scoped threads (the
+/// oracle; see the module docs). Clones share the pool and the dispatch
+/// instrumentation.
+#[derive(Clone)]
 pub struct Executor {
     workers: usize,
+    /// `Some` = pooled dispatch (`workers - 1` parked threads; the caller
+    /// is the remaining worker). `None` = scoped spawns, or `workers == 1`.
+    pool: Option<Arc<Pool>>,
+    stats: Arc<ExecStats>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.workers)
+            .field("pooled", &self.pool.is_some())
+            .finish()
+    }
 }
 
 impl Executor {
-    /// An executor with `threads` workers; `None` uses the host's
-    /// available parallelism. The count is clamped to at least 1.
+    /// An executor with `threads` workers; `None` uses the `EGG_THREADS`
+    /// environment override when set, else the host's available
+    /// parallelism. The count is clamped to at least 1. Dispatch is pooled
+    /// unless `EGG_FORCE_SCOPED` is set (see [`pooled_default`]).
     pub fn new(threads: Option<usize>) -> Self {
+        Self::with_mode(threads, pooled_default())
+    }
+
+    /// An executor with an explicit dispatch mode: `pooled: true` parks
+    /// `workers - 1` long-lived threads, `false` is the scoped-spawn
+    /// oracle. Worker-count resolution matches [`Executor::new`].
+    pub fn with_mode(threads: Option<usize>, pooled: bool) -> Self {
         let workers = threads
+            .or_else(threads_default)
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
             .max(1);
-        Self { workers }
+        let pool = (pooled && workers > 1).then(|| Arc::new(Pool::new(workers - 1)));
+        Self {
+            workers,
+            pool,
+            stats: Arc::new(ExecStats::default()),
+        }
+    }
+
+    /// The scoped-spawn oracle executor: identical output bits to the
+    /// pooled mode, with fresh `std::thread::scope` workers per dispatch.
+    pub fn scoped(threads: Option<usize>) -> Self {
+        Self::with_mode(threads, false)
     }
 
     /// A single-worker executor (inline sequential execution).
     pub fn sequential() -> Self {
-        Self { workers: 1 }
+        Self {
+            workers: 1,
+            pool: None,
+            stats: Arc::new(ExecStats::default()),
+        }
     }
 
     /// Number of worker threads this executor fans work over.
@@ -113,11 +397,58 @@ impl Executor {
         self.workers
     }
 
+    /// Whether dispatch goes through the persistent pool.
+    pub fn is_pooled(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Parallel dispatches issued so far (inline fast paths don't count).
+    pub fn dispatch_count(&self) -> u64 {
+        self.stats.dispatches.load(Ordering::Relaxed)
+    }
+
+    /// Seconds spent in dispatch machinery, summed over all dispatches,
+    /// as observed by the calling thread. Pooled: the synchronous job
+    /// publication (lock + epoch bump + body store). Scoped: the spawn
+    /// loop. Neither mode charges the wake or the join/straggler wait —
+    /// that time is other workers *working*, and counting it would let
+    /// scheduler noise pollute the diagnostic on oversubscribed hosts.
+    pub fn dispatch_overhead_seconds(&self) -> f64 {
+        self.stats.overhead_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Fan `body` over the workers: every participant runs the same claim
+    /// loop until the work is drained. `n_chunks` caps the scoped-mode
+    /// spawn count; the pool always wakes everyone (surplus workers find
+    /// the claim counter exhausted and retire immediately).
+    fn run_parallel(&self, n_chunks: usize, body: &(dyn Fn() + Sync)) {
+        self.stats.dispatches.fetch_add(1, Ordering::Relaxed);
+        match &self.pool {
+            Some(pool) => pool.run(body, &self.stats),
+            None => {
+                let t0 = Instant::now();
+                std::thread::scope(|scope| {
+                    for _ in 0..self.workers.min(n_chunks) {
+                        scope.spawn(body);
+                    }
+                    self.stats
+                        .overhead_nanos
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                });
+            }
+        }
+    }
+
     /// Map `f` over `0..n` split into `chunk_len`-sized index ranges,
     /// returning the per-chunk results **in chunk order**.
     ///
     /// `f` only gets shared access to captured state; use
     /// [`Executor::map_chunks_mut`] when the stage writes a buffer.
+    ///
+    /// The returned `Vec` is this call's only allocation in either
+    /// dispatch mode (results are scatter-written into fixed slots, one
+    /// per chunk); prefer [`Executor::map_ranges_into`] on steady-state
+    /// paths that can own the slot buffer.
     pub fn map_ranges<R, F>(&self, n: usize, chunk_len: usize, f: F) -> Vec<R>
     where
         R: Send,
@@ -129,35 +460,35 @@ impl Executor {
         if self.workers == 1 || n_chunks <= 1 {
             return (0..n_chunks).map(|c| f(ranges(c))).collect();
         }
-        let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..self.workers.min(n_chunks) {
-                scope.spawn(|| loop {
-                    let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= n_chunks {
-                        break;
-                    }
-                    let r = f(ranges(c));
-                    *results[c].lock().unwrap() = Some(r);
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .unwrap()
-                    .expect("every chunk produces a result")
-            })
-            .collect()
+        let mut results: Vec<MaybeUninit<R>> = Vec::with_capacity(n_chunks);
+        // SAFETY: length == capacity; every slot is written exactly once
+        // by its claiming chunk below before the vector is read
+        unsafe { results.set_len(n_chunks) };
+        {
+            let slots = ScatterWriter::new(&mut results[..]);
+            let (slots, f, next) = (&slots, &f, AtomicUsize::new(0));
+            self.run_parallel(n_chunks, &|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let r = f(ranges(c));
+                // chunk indices are unique, so slots never overlap
+                unsafe { slots.row_mut(c, 1)[0] = MaybeUninit::new(r) };
+            });
+        }
+        // SAFETY: the claim counter visited every chunk index and each
+        // wrote its slot; a panicking chunk propagates out of run_parallel
+        // before this point (initialized slots then leak, which is safe)
+        unsafe { assume_init_vec(results) }
     }
 
     /// Like [`Executor::map_ranges`], but write the per-chunk results into
     /// the caller-provided `out` slice (one slot per chunk, in chunk order)
     /// instead of collecting a fresh `Vec`. Returns the number of chunks
-    /// written. With a workspace-owned `out` this makes steady-state
-    /// iteration loops allocation-free.
+    /// written. With a workspace-owned `out`, pooled steady-state dispatch
+    /// performs **zero heap allocations** (pinned by the
+    /// `zero_alloc` integration test).
     ///
     /// # Panics
     /// Panics if `out` holds fewer slots than there are chunks.
@@ -180,20 +511,16 @@ impl Executor {
             }
             return n_chunks;
         }
-        let next = AtomicUsize::new(0);
         let slots = ScatterWriter::new(&mut out[..n_chunks]);
-        std::thread::scope(|scope| {
-            for _ in 0..self.workers.min(n_chunks) {
-                scope.spawn(|| loop {
-                    let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= n_chunks {
-                        break;
-                    }
-                    let r = f(ranges(c));
-                    // chunk indices are unique, so slots never overlap
-                    unsafe { slots.row_mut(c, 1)[0] = r };
-                });
+        let (slots, f, next) = (&slots, &f, AtomicUsize::new(0));
+        self.run_parallel(n_chunks, &|| loop {
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= n_chunks {
+                break;
             }
+            let r = f(ranges(c));
+            // chunk indices are unique, so slots never overlap
+            unsafe { slots.row_mut(c, 1)[0] = r };
         });
         n_chunks
     }
@@ -202,9 +529,9 @@ impl Executor {
     /// returning the per-chunk results **in chunk order**. `f` receives
     /// each chunk's element offset into `data` alongside the chunk.
     ///
-    /// The chunking is `data.chunks_mut(chunk_len)` — when `data` holds
-    /// `dim` elements per logical row, pass a multiple of `dim` so chunks
-    /// align to row boundaries.
+    /// The chunking matches `data.chunks_mut(chunk_len)` — when `data`
+    /// holds `dim` elements per logical row, pass a multiple of `dim` so
+    /// chunks align to row boundaries.
     pub fn map_chunks_mut<T, R, F>(&self, data: &mut [T], chunk_len: usize, f: F) -> Vec<R>
     where
         T: Send,
@@ -212,7 +539,8 @@ impl Executor {
         F: Fn(usize, &mut [T]) -> R + Sync,
     {
         let chunk_len = chunk_len.max(1);
-        let n_chunks = data.len().div_ceil(chunk_len);
+        let data_len = data.len();
+        let n_chunks = data_len.div_ceil(chunk_len);
         if self.workers == 1 || n_chunks <= 1 {
             return data
                 .chunks_mut(chunk_len)
@@ -220,29 +548,29 @@ impl Executor {
                 .map(|(c, chunk)| f(c * chunk_len, chunk))
                 .collect();
         }
-        // Work queue of (chunk index, offset, chunk); popped back-to-front,
-        // so push in reverse to hand chunks out in ascending order.
-        let queue: Mutex<Vec<(usize, &mut [T])>> =
-            Mutex::new(data.chunks_mut(chunk_len).enumerate().rev().collect());
-        let results: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..self.workers.min(n_chunks) {
-                scope.spawn(|| loop {
-                    let item = queue.lock().unwrap().pop();
-                    let Some((c, chunk)) = item else { break };
-                    let r = f(c * chunk_len, chunk);
-                    *results[c].lock().unwrap() = Some(r);
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .unwrap()
-                    .expect("every chunk produces a result")
-            })
-            .collect()
+        let mut results: Vec<MaybeUninit<R>> = Vec::with_capacity(n_chunks);
+        // SAFETY: length == capacity; every slot is written exactly once
+        unsafe { results.set_len(n_chunks) };
+        {
+            let chunks = ScatterWriter::new(data);
+            let slots = ScatterWriter::new(&mut results[..]);
+            let (chunks, slots, f, next) = (&chunks, &slots, &f, AtomicUsize::new(0));
+            self.run_parallel(n_chunks, &|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let start = c * chunk_len;
+                let len = chunk_len.min(data_len - start);
+                // chunk element ranges and result slots are disjoint by
+                // construction: each chunk index is claimed exactly once
+                let chunk = unsafe { chunks.row_mut(start, len) };
+                let r = f(start, chunk);
+                unsafe { slots.row_mut(c, 1)[0] = MaybeUninit::new(r) };
+            });
+        }
+        // SAFETY: every chunk wrote its slot (see map_ranges)
+        unsafe { assume_init_vec(results) }
     }
 
     /// Evaluate the pure predicate over every index in `0..n`, returning
@@ -259,111 +587,132 @@ impl Executor {
         if self.workers == 1 || n_chunks <= 1 {
             return (0..n).all(pred);
         }
-        let next = AtomicUsize::new(0);
         let ok = AtomicBool::new(true);
-        std::thread::scope(|scope| {
-            for _ in 0..self.workers.min(n_chunks) {
-                scope.spawn(|| {
-                    while ok.load(Ordering::Relaxed) {
-                        let c = next.fetch_add(1, Ordering::Relaxed);
-                        if c >= n_chunks {
-                            break;
-                        }
-                        for i in c * chunk_len..((c + 1) * chunk_len).min(n) {
-                            if !pred(i) {
-                                ok.store(false, Ordering::Relaxed);
-                                break;
-                            }
-                        }
+        let (ok_ref, pred, next) = (&ok, &pred, AtomicUsize::new(0));
+        self.run_parallel(n_chunks, &|| {
+            while ok_ref.load(Ordering::Relaxed) {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                for i in c * chunk_len..((c + 1) * chunk_len).min(n) {
+                    if !pred(i) {
+                        ok_ref.store(false, Ordering::Relaxed);
+                        break;
                     }
-                });
+                }
             }
         });
         ok.load(Ordering::Relaxed)
     }
 }
 
+/// Reinterpret a fully initialized `Vec<MaybeUninit<R>>` as `Vec<R>`.
+///
+/// # Safety
+/// Every element must have been initialized.
+unsafe fn assume_init_vec<R>(v: Vec<MaybeUninit<R>>) -> Vec<R> {
+    let mut v = std::mem::ManuallyDrop::new(v);
+    Vec::from_raw_parts(v.as_mut_ptr() as *mut R, v.len(), v.capacity())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Both dispatch modes at the given width — every combinator contract
+    /// must hold identically for pooled and scoped execution.
+    fn both_modes(workers: usize) -> [Executor; 2] {
+        [
+            Executor::with_mode(Some(workers), true),
+            Executor::with_mode(Some(workers), false),
+        ]
+    }
+
     #[test]
     fn map_ranges_covers_everything_in_order() {
         for workers in [1, 2, 7] {
-            let exec = Executor::new(Some(workers));
-            let got = exec.map_ranges(10, 3, |r| r.collect::<Vec<_>>());
-            assert_eq!(
-                got,
-                vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8], vec![9]],
-                "workers = {workers}"
-            );
+            for exec in both_modes(workers) {
+                let got = exec.map_ranges(10, 3, |r| r.collect::<Vec<_>>());
+                assert_eq!(
+                    got,
+                    vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8], vec![9]],
+                    "{exec:?}"
+                );
+            }
         }
     }
 
     #[test]
     fn map_chunks_mut_writes_disjoint_chunks() {
         for workers in [1, 3, 16] {
-            let exec = Executor::new(Some(workers));
-            let mut data = vec![0usize; 100];
-            let offsets = exec.map_chunks_mut(&mut data, 7, |offset, chunk| {
-                for (i, x) in chunk.iter_mut().enumerate() {
-                    *x = offset + i;
-                }
-                offset
-            });
-            assert_eq!(data, (0..100).collect::<Vec<_>>(), "workers = {workers}");
-            assert_eq!(offsets, (0..100).step_by(7).collect::<Vec<_>>());
+            for exec in both_modes(workers) {
+                let mut data = vec![0usize; 100];
+                let offsets = exec.map_chunks_mut(&mut data, 7, |offset, chunk| {
+                    for (i, x) in chunk.iter_mut().enumerate() {
+                        *x = offset + i;
+                    }
+                    offset
+                });
+                assert_eq!(data, (0..100).collect::<Vec<_>>(), "{exec:?}");
+                assert_eq!(offsets, (0..100).step_by(7).collect::<Vec<_>>());
+            }
         }
     }
 
     #[test]
-    fn reductions_are_identical_across_worker_counts() {
+    fn reductions_are_identical_across_worker_counts_and_modes() {
         // the floating-point sum must associate identically for any width
+        // and either dispatch backend
         let values: Vec<f64> = (0..10_000).map(|i| (i as f64).sin() * 1e-3).collect();
-        let reduce = |workers: usize| -> f64 {
-            Executor::new(Some(workers))
-                .map_ranges(values.len(), POINT_CHUNK, |r| {
-                    r.map(|i| values[i]).sum::<f64>()
-                })
-                .iter()
-                .sum()
+        let reduce = |exec: &Executor| -> f64 {
+            exec.map_ranges(values.len(), POINT_CHUNK, |r| {
+                r.map(|i| values[i]).sum::<f64>()
+            })
+            .iter()
+            .sum()
         };
-        let reference = reduce(1);
+        let reference = reduce(&Executor::sequential());
         for workers in [2, 3, 8] {
-            assert_eq!(reduce(workers).to_bits(), reference.to_bits());
+            for exec in both_modes(workers) {
+                assert_eq!(reduce(&exec).to_bits(), reference.to_bits(), "{exec:?}");
+            }
         }
     }
 
     #[test]
     fn all_matches_sequential_verdict() {
         for workers in [1, 4] {
-            let exec = Executor::new(Some(workers));
-            assert!(exec.all(5000, 64, |i| i < 5000));
-            assert!(!exec.all(5000, 64, |i| i != 4321));
-            assert!(exec.all(0, 64, |_| false), "vacuous truth on empty domain");
+            for exec in both_modes(workers) {
+                assert!(exec.all(5000, 64, |i| i < 5000));
+                assert!(!exec.all(5000, 64, |i| i != 4321));
+                assert!(exec.all(0, 64, |_| false), "vacuous truth on empty domain");
+            }
         }
     }
 
     #[test]
     fn empty_inputs() {
-        let exec = Executor::new(Some(4));
-        assert!(exec.map_ranges(0, 8, |_| 0u32).is_empty());
-        let mut empty: Vec<u64> = Vec::new();
-        assert!(exec.map_chunks_mut(&mut empty, 8, |_, _| 0u32).is_empty());
-        let mut out = [0u32; 4];
-        assert_eq!(exec.map_ranges_into(0, 8, &mut out, |_| 1u32), 0);
-        assert_eq!(out, [0; 4]);
+        for exec in both_modes(4) {
+            assert!(exec.map_ranges(0, 8, |_| 0u32).is_empty());
+            let mut empty: Vec<u64> = Vec::new();
+            assert!(exec.map_chunks_mut(&mut empty, 8, |_, _| 0u32).is_empty());
+            let mut out = [0u32; 4];
+            assert_eq!(exec.map_ranges_into(0, 8, &mut out, |_| 1u32), 0);
+            assert_eq!(out, [0; 4]);
+        }
     }
 
     #[test]
     fn map_ranges_into_matches_map_ranges() {
         for workers in [1, 3, 8] {
-            let exec = Executor::new(Some(workers));
-            let expected = exec.map_ranges(100, 7, |r| r.sum::<usize>());
-            let mut out = vec![0usize; expected.len() + 2];
-            let n_chunks = exec.map_ranges_into(100, 7, &mut out, |r| r.sum::<usize>());
-            assert_eq!(n_chunks, expected.len(), "workers = {workers}");
-            assert_eq!(&out[..n_chunks], &expected[..]);
+            for exec in both_modes(workers) {
+                let expected = exec.map_ranges(100, 7, |r| r.sum::<usize>());
+                let mut out = vec![0usize; expected.len() + 2];
+                let n_chunks = exec.map_ranges_into(100, 7, &mut out, |r| r.sum::<usize>());
+                assert_eq!(n_chunks, expected.len(), "{exec:?}");
+                assert_eq!(&out[..n_chunks], &expected[..]);
+            }
         }
     }
 
@@ -381,18 +730,19 @@ mod tests {
         let n = 1000usize;
         let perm: Vec<usize> = (0..n).map(|i| (i * 7) % n).collect();
         for workers in [1, 4] {
-            let exec = Executor::new(Some(workers));
-            let mut data = vec![0usize; n];
-            let writer = ScatterWriter::new(&mut data);
-            let writer = &writer;
-            let perm = &perm;
-            exec.map_ranges(n, 64, |range| {
-                for e in range {
-                    let row = perm[e];
-                    unsafe { writer.row_mut(row, 1)[0] = row + 1 };
-                }
-            });
-            assert_eq!(data, (1..=n).collect::<Vec<_>>(), "workers = {workers}");
+            for exec in both_modes(workers) {
+                let mut data = vec![0usize; n];
+                let writer = ScatterWriter::new(&mut data);
+                let writer = &writer;
+                let perm = &perm;
+                exec.map_ranges(n, 64, |range| {
+                    for e in range {
+                        let row = perm[e];
+                        unsafe { writer.row_mut(row, 1)[0] = row + 1 };
+                    }
+                });
+                assert_eq!(data, (1..=n).collect::<Vec<_>>(), "{exec:?}");
+            }
         }
     }
 
@@ -401,5 +751,82 @@ mod tests {
         assert!(Executor::new(None).workers() >= 1);
         assert_eq!(Executor::new(Some(0)).workers(), 1);
         assert_eq!(Executor::sequential().workers(), 1);
+        assert!(!Executor::sequential().is_pooled());
+        assert!(!Executor::scoped(Some(4)).is_pooled());
+        assert!(Executor::with_mode(Some(4), true).is_pooled());
+        // one worker never needs a pool, whatever the requested mode
+        assert!(!Executor::with_mode(Some(1), true).is_pooled());
+    }
+
+    #[test]
+    fn threads_env_parse() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 12 "), Some(12));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-3"), None);
+        assert_eq!(parse_threads("many"), None);
+        assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    fn dispatch_stats_count_parallel_dispatches_only() {
+        let exec = Executor::with_mode(Some(4), true);
+        assert_eq!(exec.dispatch_count(), 0);
+        exec.map_ranges(10, 100, |r| r.len()); // one chunk: inline
+        assert_eq!(exec.dispatch_count(), 0);
+        exec.map_ranges(1000, 10, |r| r.len());
+        assert_eq!(exec.dispatch_count(), 1);
+        let mut out = vec![0usize; 128];
+        exec.map_ranges_into(1000, 10, &mut out, |r| r.len());
+        assert_eq!(exec.dispatch_count(), 2);
+        // clones share the dispatch instrumentation (and the pool)
+        let clone = exec.clone();
+        clone.all(1000, 10, |_| true);
+        assert_eq!(exec.dispatch_count(), 3);
+    }
+
+    #[test]
+    fn pool_reuse_across_many_tiny_dispatches() {
+        // the steady-state shape: hundreds of dispatches on one executor;
+        // every epoch must retire cleanly (no lost wakeups, no deadlock)
+        let exec = Executor::with_mode(Some(8), true);
+        let mut out = vec![0usize; 16];
+        for round in 0..500 {
+            let n_chunks = exec.map_ranges_into(256, 16, &mut out, |r| r.start + round);
+            assert_eq!(n_chunks, 16);
+            assert_eq!(out[3], 48 + round);
+        }
+        assert_eq!(exec.dispatch_count(), 500);
+    }
+
+    #[test]
+    fn pooled_worker_panic_propagates_and_pool_survives() {
+        let exec = Executor::with_mode(Some(4), true);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.map_ranges(1000, 10, |r| {
+                assert!(r.start != 500, "intentional test panic");
+                r.len()
+            })
+        }));
+        assert!(caught.is_err(), "chunk panic must propagate to the caller");
+        // the pool must still dispatch correctly afterwards
+        let sums = exec.map_ranges(100, 7, |r| r.sum::<usize>());
+        assert_eq!(sums.iter().sum::<usize>(), (0..100).sum::<usize>());
+    }
+
+    #[test]
+    fn pooled_and_scoped_agree_bitwise_on_fp_reductions() {
+        let values: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.37).cos()).collect();
+        for workers in [2, 4, 8] {
+            let run = |exec: &Executor| {
+                exec.map_ranges(values.len(), 64, |r| r.map(|i| values[i]).sum::<f64>())
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>()
+            };
+            let pooled = run(&Executor::with_mode(Some(workers), true));
+            let scoped = run(&Executor::with_mode(Some(workers), false));
+            assert_eq!(pooled, scoped, "workers = {workers}");
+        }
     }
 }

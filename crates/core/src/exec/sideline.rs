@@ -1,0 +1,247 @@
+//! A single persistent helper thread for overlapping one side task with
+//! the caller's own compute — the shard pipeline runs halo-mover
+//! collection and edit-buffer merging here while the main thread updates
+//! interior cells.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Type-erased one-shot job. The fat pointer is only dereferenced between
+/// [`Sideline::start`] and the matching [`Sideline::wait`], which together
+/// outlive the borrow it erases.
+#[derive(Clone, Copy)]
+struct JobPtr(*mut (dyn FnMut() + Send));
+unsafe impl Send for JobPtr {}
+
+struct State {
+    /// Job generation; bumped once per `start` so the worker never runs
+    /// the same job twice.
+    epoch: u64,
+    job: Option<JobPtr>,
+    /// A job has been published and not yet retired.
+    busy: bool,
+    /// The current (or last) job panicked on the worker.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// The worker parks here between jobs.
+    work: Condvar,
+    /// `wait` callers park here until the job retires.
+    done: Condvar,
+    /// Nanoseconds the worker spent actually running jobs.
+    busy_nanos: AtomicU64,
+}
+
+fn lock(m: &Mutex<State>) -> std::sync::MutexGuard<'_, State> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One long-lived parked worker that runs a single borrowed closure per
+/// [`Sideline::start`]/[`Sideline::wait`] pair. Steady-state dispatch is
+/// allocation-free; the thread is joined on [`Drop`].
+pub struct Sideline {
+    shared: Arc<Shared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sideline {
+    /// Spawn the worker thread, parked until the first [`Sideline::start`].
+    pub fn new() -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                busy: false,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            busy_nanos: AtomicU64::new(0),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("egg-sideline".into())
+            .spawn(move || Self::worker_loop(&worker_shared))
+            .expect("spawn sideline worker");
+        Self {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    fn worker_loop(shared: &Shared) {
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut st = lock(&shared.state);
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if let Some(ptr) = st.job {
+                        if st.epoch != seen {
+                            seen = st.epoch;
+                            break ptr;
+                        }
+                    }
+                    st = shared
+                        .work
+                        .wait(st)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+            };
+            let t0 = Instant::now();
+            // SAFETY: the publishing `start` call's matching `wait` blocks
+            // until `busy` clears, so the erased borrow is live. Catching
+            // keeps this worker alive for subsequent jobs and guarantees
+            // the retirement below runs, so `wait` never hangs.
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*job.0)() }));
+            shared
+                .busy_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let mut st = lock(&shared.state);
+            if result.is_err() {
+                st.panicked = true;
+            }
+            st.busy = false;
+            st.job = None;
+            drop(st);
+            shared.done.notify_all();
+        }
+    }
+
+    /// Hand `job` to the worker and return immediately.
+    ///
+    /// # Safety
+    /// The worker holds `job` — and therefore everything it captures —
+    /// until the matching [`Sideline::wait`] returns. Between the two
+    /// calls the caller must neither drop the closure nor touch any state
+    /// it captures (the borrow checker cannot see past this boundary).
+    ///
+    /// # Panics
+    /// Panics if a previous job was started without an intervening `wait`.
+    pub unsafe fn start(&self, job: &mut (dyn FnMut() + Send)) {
+        // SAFETY (lifetime erasure): `wait` blocks until the job retires,
+        // and every `start` caller pairs the two before the borrow ends
+        let job_static: *mut (dyn FnMut() + Send) = unsafe { std::mem::transmute(job) };
+        let mut st = lock(&self.shared.state);
+        assert!(!st.busy, "sideline: start() while a job is in flight");
+        st.epoch = st.epoch.wrapping_add(1);
+        st.job = Some(JobPtr(job_static));
+        st.busy = true;
+        st.panicked = false;
+        drop(st);
+        self.shared.work.notify_all();
+    }
+
+    /// Block until the in-flight job (if any) has retired.
+    ///
+    /// # Panics
+    /// Panics if the job panicked on the worker.
+    pub fn wait(&self) {
+        let mut st = lock(&self.shared.state);
+        while st.busy {
+            st = self
+                .shared
+                .done
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        let panicked = std::mem::replace(&mut st.panicked, false);
+        drop(st);
+        if panicked {
+            panic!("sideline job panicked");
+        }
+    }
+
+    /// Total seconds the worker spent running jobs (the overlapped time).
+    pub fn busy_seconds(&self) -> f64 {
+        self.shared.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+}
+
+impl Default for Sideline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Sideline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sideline").finish_non_exhaustive()
+    }
+}
+
+impl Drop for Sideline {
+    fn drop(&mut self) {
+        lock(&self.shared.state).shutdown = true;
+        self.shared.work.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_borrowed_job_and_waits() {
+        let sideline = Sideline::new();
+        let mut acc = vec![0u64; 0];
+        for round in 0..200u64 {
+            let mut job = || acc.push(round * 2);
+            // SAFETY: `wait` follows immediately; `job` outlives it
+            unsafe { sideline.start(&mut job) };
+            sideline.wait();
+        }
+        assert_eq!(acc.len(), 200);
+        assert_eq!(acc[199], 398);
+        assert!(sideline.busy_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn wait_without_start_is_a_noop() {
+        let sideline = Sideline::new();
+        sideline.wait();
+        sideline.wait();
+    }
+
+    #[test]
+    fn overlaps_with_caller_work() {
+        let sideline = Sideline::new();
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        let mut job = || flag.store(true, Ordering::SeqCst);
+        // SAFETY: `wait` follows; `flag` is only read after it
+        unsafe { sideline.start(&mut job) };
+        // caller-side work proceeds while the job runs
+        let local: u64 = (0..1000).sum();
+        sideline.wait();
+        assert!(flag.load(Ordering::SeqCst));
+        assert_eq!(local, 499_500);
+    }
+
+    #[test]
+    fn job_panic_surfaces_in_wait_and_worker_survives() {
+        let sideline = Sideline::new();
+        let mut boom = || panic!("intentional test panic");
+        // SAFETY: `wait` follows immediately
+        unsafe { sideline.start(&mut boom) };
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sideline.wait()));
+        assert!(caught.is_err());
+        // the worker must accept further jobs
+        let mut ok = false;
+        let mut job = || ok = true;
+        // SAFETY: `wait` follows; `ok` is only read after it
+        unsafe { sideline.start(&mut job) };
+        sideline.wait();
+        assert!(ok);
+    }
+}

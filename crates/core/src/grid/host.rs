@@ -171,11 +171,13 @@ pub struct CellGrid {
     /// they stay zero from the initial sizing.
     point_trig: Vec<f64>,
     /// Lane-blocked sin table for the SIMD pair-term kernel: block `b`
-    /// covers grid-sorted slots `4b..4b+4`, and `lane_sin[(b·dim + i)·4 +
-    /// j]` is `sin` of dimension `i` of the point in slot `4b + j` (zero
-    /// in the padding lanes past `n`). A pure relayout of `point_trig`,
-    /// refreshed by copy — never by recomputing transcendentals — so it is
-    /// bitwise consistent with the trig table by construction.
+    /// covers **lane indices** `4b..4b+4`, where slot `s` lives at lane
+    /// index `lane_phase + s`, and `lane_sin[(b·dim + i)·4 + j]` is `sin`
+    /// of dimension `i` of the point at lane index `4b + j` (zero in the
+    /// `lane_phase` leading pad lanes and the padding lanes past the last
+    /// point). A pure relayout of `point_trig`, refreshed by copy — never
+    /// by recomputing transcendentals — so it is bitwise consistent with
+    /// the trig table by construction.
     lane_sin: Vec<f64>,
     /// Lane-blocked cos table, same layout as `lane_sin`.
     lane_cos: Vec<f64>,
@@ -184,6 +186,14 @@ pub struct CellGrid {
     /// neighbors contiguously instead of gathering through the order
     /// permutation.
     lane_coords: Vec<f64>,
+    /// Leading pad lanes of the lane-blocked tables, in `0..LANES`. The
+    /// lane index of grid-sorted slot `s` is `lane_phase + s`, so block
+    /// boundaries fall where `lane_phase + s ≡ 0 (mod LANES)`. A sharded
+    /// engine sets this to the shard's global slot base mod `LANES`
+    /// ([`CellGrid::set_lane_phase`]), which makes the SIMD pair-term's
+    /// lane grouping — and therefore its reduction order — identical to
+    /// the single grid's for every cell. 0 for a standalone grid.
+    lane_phase: usize,
     /// Per-cell point MBR `[lo_0.. lo_{d-1}, hi_0.. hi_{d-1}]`, rows of
     /// stride `2·dim` in sorted cell order. Recomputed from the final CSR
     /// layout and raw coordinates after every rebuild/refresh — a pure
@@ -255,6 +265,7 @@ impl CellGrid {
             lane_sin: Vec::new(),
             lane_cos: Vec::new(),
             lane_coords: Vec::new(),
+            lane_phase: 0,
             cell_bounds: Vec::new(),
             outer_index: Vec::new(),
             point_keys: Vec::new(),
@@ -857,15 +868,18 @@ impl CellGrid {
     /// Rebuild the lane-blocked SoA tables (`lane_sin`, `lane_cos`,
     /// `lane_coords`) from the freshly maintained trig table and the
     /// grid-sorted order. A pure relayout — block `b` copies the rows of
-    /// slots `4b..4b+4` into dimension-major lane groups, padding lanes
-    /// past `n` stay zero — so the tables are bitwise consistent with
-    /// `point_trig`/`coords` whether the grid was rebuilt or refreshed,
-    /// and the pass is deterministic for any worker count.
+    /// lane indices `4b..4b+4` (slot `s` lives at lane `lane_phase + s`)
+    /// into dimension-major lane groups, the leading `lane_phase` pad
+    /// lanes and the padding lanes past `n` stay zero — so the tables are
+    /// bitwise consistent with `point_trig`/`coords` whether the grid was
+    /// rebuilt or refreshed, and the pass is deterministic for any worker
+    /// count.
     fn rebuild_lane_tables(&mut self, exec: &Executor, coords: &[f64]) {
         let dim = self.geometry.dim;
         let ts = self.trig_stride();
         let n = self.cell_points.len();
-        let n_blocks = n.div_ceil(LANES);
+        let phase = self.lane_phase;
+        let n_blocks = (phase + n).div_ceil(LANES);
         let len = n_blocks * dim * LANES;
         self.lane_sin.clear();
         self.lane_sin.resize(len, 0.0);
@@ -889,8 +903,15 @@ impl CellGrid {
                         xyz_w.row_mut(b * dim * LANES, dim * LANES),
                     )
                 };
-                for j in 0..LANES.min(n - b * LANES) {
-                    let slot = b * LANES + j;
+                for j in 0..LANES {
+                    let lane = b * LANES + j;
+                    if lane < phase {
+                        continue;
+                    }
+                    let slot = lane - phase;
+                    if slot >= n {
+                        break;
+                    }
                     let t = &trig[slot * ts..(slot + 1) * ts];
                     let p = row(coords, dim, order[slot] as usize);
                     for i in 0..dim {
@@ -916,11 +937,29 @@ impl CellGrid {
     }
 
     /// Lane-blocked `sin` table: `lane_sin()[(b·dim + i)·LANES + j]` is
-    /// `sin` of dimension `i` of the point in grid-sorted slot `4b + j`
-    /// (zero in the padding lanes past the last point). The SIMD
-    /// pair-term kernel's row layout.
+    /// `sin` of dimension `i` of the point at lane index `4b + j`, where
+    /// slot `s` lives at lane index [`CellGrid::lane_phase`]` + s` (zero
+    /// in the pad lanes). The SIMD pair-term kernel's row layout.
     pub fn lane_sin(&self) -> &[f64] {
         &self.lane_sin
+    }
+
+    /// Leading pad lanes of the lane-blocked tables: the lane index of
+    /// grid-sorted slot `s` is `lane_phase() + s`. Consumers striping a
+    /// slot range through the lane tables must offset by this.
+    pub fn lane_phase(&self) -> usize {
+        self.lane_phase
+    }
+
+    /// Set the lane phase (taken mod [`LANES`]) used by the next rebuild
+    /// or refresh. A sharded engine passes its shard's global grid-sorted
+    /// slot base, so lane-block boundaries — and with them the SIMD
+    /// pair-term's reduction grouping — land exactly where the single
+    /// grid's would for every resident cell, keeping the lane sums
+    /// bitwise invariant under sharding. Must be set **before** the
+    /// [`CellGrid::rebuild`]/[`CellGrid::refresh`] that should honor it.
+    pub fn set_lane_phase(&mut self, global_slot_base: usize) {
+        self.lane_phase = global_slot_base % LANES;
     }
 
     /// Lane-blocked `cos` table, same layout as [`CellGrid::lane_sin`].
@@ -1336,6 +1375,95 @@ mod tests {
             grid.refresh(&exec, &coords, Some(&moved));
             check(&grid, &coords, n, dim);
         }
+    }
+
+    /// A suffix grid whose lane phase is set to the suffix's global slot
+    /// base must drive `pair_term_cell` to bitwise the accumulation the
+    /// full grid produces for the shared cells: lane-block boundaries
+    /// line up, so the SIMD reduction associates identically. This is the
+    /// invariant the sharded engine relies on for S=1 bitwise parity.
+    #[test]
+    fn phased_suffix_grid_matches_global_pair_term_bitwise() {
+        use crate::kernels::{pair_term_cell, F64x4};
+        let (n, dim) = (700, 3);
+        let eps = 0.12;
+        let g = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+        let exec = Executor::sequential();
+        let coords = pseudo_cloud(n, dim);
+        let full = CellGrid::build(&exec, g, &coords);
+        let probe = row(&coords, dim, 0);
+        let sin_p: Vec<f64> = probe.iter().map(|x| x.sin()).collect();
+        let cos_p: Vec<f64> = probe.iter().map(|x| x.cos()).collect();
+        let eps_sq = eps * eps;
+        let mut phases_seen = [false; LANES];
+        // split at cell boundaries, as the shard planner does
+        for k in 1..full.num_cells().min(32) {
+            let base = full.cell_starts[k] as usize;
+            phases_seen[base % LANES] = true;
+            // suffix points in ascending global index order (the member-
+            // list order the sharded engine feeds its local grids)
+            let mut idxs: Vec<u32> = full.cell_points[base..].to_vec();
+            idxs.sort_unstable();
+            let sub_coords: Vec<f64> = idxs
+                .iter()
+                .flat_map(|&p| {
+                    coords[p as usize * dim..(p as usize + 1) * dim]
+                        .iter()
+                        .copied()
+                })
+                .collect();
+            let mut sub = CellGrid::new(g);
+            sub.set_lane_phase(base);
+            sub.refresh(&exec, &sub_coords, None);
+            assert_eq!(sub.num_cells(), full.num_cells() - k, "split at cell {k}");
+            for c in 0..sub.num_cells() {
+                let full_slots = full.cell_range(c + k);
+                let sub_slots = sub.cell_range(c);
+                assert_eq!(full_slots.len(), sub_slots.len());
+                let mut acc_full = vec![F64x4::splat(0.0); dim];
+                let hits_full = pair_term_cell(
+                    full.lane_coords(),
+                    full.lane_sin(),
+                    full.lane_cos(),
+                    dim,
+                    full_slots.start,
+                    full_slots.end,
+                    probe,
+                    &sin_p,
+                    &cos_p,
+                    eps_sq,
+                    &mut acc_full,
+                    false,
+                );
+                let mut acc_sub = vec![F64x4::splat(0.0); dim];
+                let phase = sub.lane_phase();
+                let hits_sub = pair_term_cell(
+                    sub.lane_coords(),
+                    sub.lane_sin(),
+                    sub.lane_cos(),
+                    dim,
+                    phase + sub_slots.start,
+                    phase + sub_slots.end,
+                    probe,
+                    &sin_p,
+                    &cos_p,
+                    eps_sq,
+                    &mut acc_sub,
+                    false,
+                );
+                assert_eq!(hits_full, hits_sub, "split {k} cell {c}");
+                for i in 0..dim {
+                    for j in 0..LANES {
+                        assert_eq!(
+                            acc_full[i].0[j].to_bits(),
+                            acc_sub[i].0[j].to_bits(),
+                            "split {k} cell {c} dim {i} lane {j}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(phases_seen.iter().all(|&s| s), "want every phase covered");
     }
 
     #[test]

@@ -30,11 +30,23 @@ pub enum Stage {
     /// locals, scattering owned results back, and the halo-mover
     /// membership exchange between iterations.
     HaloExchange,
+    /// Diagnostic: seconds spent inside the executor's dispatch machinery
+    /// (pooled job publication, scoped spawn loops; join waits are other
+    /// workers working and are not charged) — *contained in* the
+    /// wall-clock stages above, so excluded from
+    /// [`StageTimings::total`]. The number the persistent pool shrinks.
+    ExecDispatch,
+    /// Diagnostic: seconds the shard pipeline's sideline worker spent on
+    /// halo-mover collection and edit-buffer merging *concurrently with*
+    /// interior compute — overlapped time, excluded from
+    /// [`StageTimings::total`]. Zero on serial (non-pipelined) runs.
+    HaloOverlap,
 }
 
 impl Stage {
-    /// All stages: Table 1 column order, then the sharding extras.
-    pub const ALL: [Stage; 7] = [
+    /// All stages: Table 1 column order, the sharding extras, then the
+    /// diagnostic (non-wall-clock) stages.
+    pub const ALL: [Stage; 9] = [
         Stage::Allocating,
         Stage::BuildStructure,
         Stage::Update,
@@ -42,7 +54,14 @@ impl Stage {
         Stage::Clustering,
         Stage::FreeMemory,
         Stage::HaloExchange,
+        Stage::ExecDispatch,
+        Stage::HaloOverlap,
     ];
+
+    /// The wall-clock stages that partition a run's elapsed time; the
+    /// diagnostic tail of [`Stage::ALL`] (dispatch overhead, overlapped
+    /// sideline time) is measured *inside* these and would double-count.
+    pub const WALL_CLOCK: usize = 7;
 
     /// Column header as printed in Table 1.
     pub fn name(&self) -> &'static str {
@@ -54,6 +73,8 @@ impl Stage {
             Stage::Clustering => "Clustering",
             Stage::FreeMemory => "Free Memory",
             Stage::HaloExchange => "Halo exchange",
+            Stage::ExecDispatch => "Exec dispatch",
+            Stage::HaloOverlap => "Halo overlap",
         }
     }
 }
@@ -61,7 +82,7 @@ impl Stage {
 /// Accumulated seconds per stage.
 #[derive(Debug, Clone, Copy, Default, Serialize)]
 pub struct StageTimings {
-    seconds: [f64; 7],
+    seconds: [f64; 9],
 }
 
 impl StageTimings {
@@ -75,9 +96,12 @@ impl StageTimings {
         self.seconds[stage as usize]
     }
 
-    /// Sum over all stages.
+    /// Sum over the wall-clock stages. The diagnostic stages
+    /// ([`Stage::ExecDispatch`], [`Stage::HaloOverlap`]) are contained in
+    /// or overlapped with the wall-clock ones and are deliberately left
+    /// out — including them would double-count elapsed time.
     pub fn total(&self) -> f64 {
-        self.seconds.iter().sum()
+        self.seconds[..Stage::WALL_CLOCK].iter().sum()
     }
 }
 
@@ -129,6 +153,11 @@ pub struct UpdateCounters {
     /// Ghost (halo) cells resident across all shards, accumulated per
     /// iteration — the memory overhead sharding pays for locality.
     pub halo_cells: u64,
+    /// Parallel dispatches issued by the host execution engine over the
+    /// whole run (inline single-chunk fast paths don't count). Each one is
+    /// a thread-spawn round under the scoped oracle and a pool wakeup
+    /// under pooled dispatch — the multiplier on per-dispatch overhead.
+    pub exec_dispatches: u64,
 }
 
 impl UpdateCounters {
@@ -145,6 +174,7 @@ impl UpdateCounters {
         self.shard_count = self.shard_count.max(other.shard_count);
         self.halo_movers += other.halo_movers;
         self.halo_cells += other.halo_cells;
+        self.exec_dispatches += other.exec_dispatches;
     }
 }
 
@@ -265,16 +295,27 @@ mod tests {
         assert_eq!(t.get(Stage::Update), 2.0);
         assert_eq!(t.get(Stage::Allocating), 0.0);
         assert_eq!(t.total(), 2.25);
+        // diagnostic stages accumulate but never inflate the total
+        t.add(Stage::ExecDispatch, 0.5);
+        t.add(Stage::HaloOverlap, 0.75);
+        assert_eq!(t.get(Stage::ExecDispatch), 0.5);
+        assert_eq!(t.get(Stage::HaloOverlap), 0.75);
+        assert_eq!(t.total(), 2.25);
     }
 
     #[test]
     fn stage_names_match_table1() {
         assert_eq!(Stage::BuildStructure.name(), "Build structure");
-        assert_eq!(Stage::ALL.len(), 7);
+        assert_eq!(Stage::ALL.len(), 9);
         // The first six are Table 1's columns; HaloExchange is the
-        // sharding extra tacked onto the end.
+        // sharding extra, then the diagnostic (non-wall-clock) stages.
         assert_eq!(Stage::ALL[6], Stage::HaloExchange);
         assert_eq!(Stage::HaloExchange.name(), "Halo exchange");
+        assert_eq!(Stage::WALL_CLOCK, 7);
+        assert_eq!(Stage::ALL[7], Stage::ExecDispatch);
+        assert_eq!(Stage::ExecDispatch.name(), "Exec dispatch");
+        assert_eq!(Stage::ALL[8], Stage::HaloOverlap);
+        assert_eq!(Stage::HaloOverlap.name(), "Halo overlap");
     }
 
     #[test]
@@ -301,6 +342,7 @@ mod tests {
             shard_count: 4,
             halo_movers: 9,
             halo_cells: 12,
+            exec_dispatches: 20,
         };
         a.merge(&UpdateCounters {
             summary_cells: 1,
@@ -314,6 +356,7 @@ mod tests {
             shard_count: 2,
             halo_movers: 1,
             halo_cells: 3,
+            exec_dispatches: 5,
         });
         assert_eq!(a.summary_cells, 4);
         assert_eq!(a.point_pairs, 15);
@@ -327,6 +370,7 @@ mod tests {
         assert_eq!(a.shard_count, 4);
         assert_eq!(a.halo_movers, 10);
         assert_eq!(a.halo_cells, 15);
+        assert_eq!(a.exec_dispatches, 25);
     }
 
     #[test]

@@ -223,6 +223,79 @@ fn device_steady_state_does_not_allocate() {
 }
 
 #[test]
+fn pooled_dispatch_steady_state_does_not_allocate() {
+    // the worker-pool contract: after construction spawns the long-lived
+    // workers, a parallel dispatch is pure synchronization — publishing
+    // the shared closure pointer and blocking on a condvar — so repeated
+    // dispatches must never touch the heap. (The scoped fallback cannot
+    // promise this: `thread::scope` allocates per spawn, which is exactly
+    // the per-call overhead the pool removes.)
+    let exec = Executor::with_mode(Some(4), true);
+    assert!(exec.is_pooled());
+    let mut out = vec![0usize; 64];
+
+    // warm-up: first dispatches size nothing, but let lazy thread-local
+    // or lock state settle before the measured window
+    for _ in 0..3 {
+        exec.map_ranges_into(4096, 128, &mut out, |r| r.sum::<usize>());
+        exec.all(4096, 128, |i| i < 4096);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..100 {
+        exec.map_ranges_into(4096, 128, &mut out, |r| r.sum::<usize>());
+        exec.all(4096, 128, |i| i < 4096);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "pooled dispatch must not touch the heap");
+
+    // and the whole iteration loop inherits the guarantee: the sequential
+    // executor's exemption in the module docs is obsolete under the pool —
+    // grid rebuild, update and termination stay allocation-free even while
+    // fanning out over 4 pooled workers
+    let (n, dim, eps) = (3000, 2, 0.05);
+    let geometry = GridGeometry::new(dim, eps, n, GridVariant::Auto);
+    let mut coords_cur = cloud(n, dim);
+    let mut coords_next = vec![0.0f64; n * dim];
+    let mut grid = CellGrid::new(geometry);
+    let mut chunk_stats: Vec<(bool, UpdateCounters)> = Vec::new();
+
+    let mut iterate = |coords_cur: &mut Vec<f64>, coords_next: &mut Vec<f64>| {
+        grid.rebuild(&exec, coords_cur);
+        let (first_term, _) = egg_update_host(
+            &exec,
+            &grid,
+            coords_cur,
+            coords_next,
+            eps,
+            UpdateOptions::default(),
+            &mut chunk_stats,
+            None,
+            None,
+        );
+        if first_term {
+            second_term_holds_host(&exec, &grid, coords_cur, eps, None, true);
+        }
+        std::mem::swap(coords_cur, coords_next);
+    };
+
+    for _ in 0..2 {
+        iterate(&mut coords_cur, &mut coords_next);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..5 {
+        iterate(&mut coords_cur, &mut coords_next);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "pooled steady-state iterations must not touch the heap"
+    );
+}
+
+#[test]
 fn sharded_steady_state_does_not_allocate() {
     // the sharding contract's steady-state clause: once converged, member
     // lists are stable, the exchange buffer stays empty, and a full

@@ -172,6 +172,32 @@ class MainTests(unittest.TestCase):
         after["stages_ns"]["halo_exchange"] = 5_000_000
         self.assertEqual(self.run_main([before, after]), 0)
 
+    def test_dispatch_and_overlap_are_accepted_stages(self):
+        # host-backend rows now carry the executor-dispatch and halo-
+        # overlap diagnostic clocks; the schema whitelist must accept both
+        ok = row(50_000_000)
+        ok["stages_ns"]["exec_dispatch"] = 5_000_000
+        ok["stages_ns"]["halo_overlap"] = 5_000_000
+        self.assertEqual(self.run_main([ok]), 0)
+
+    def test_exec_dispatch_regression_is_caught(self):
+        # dispatch time is pure overhead — the stage the worker pool
+        # exists to shrink — so a jump must fail the gate
+        before = row(50_000_000, ts=1)
+        before["stages_ns"]["exec_dispatch"] = 10_000_000
+        after = row(50_000_000, ts=2)
+        after["stages_ns"]["exec_dispatch"] = 20_000_000
+        self.assertEqual(self.run_main([before, after], "--fail-over", "0.40"), 1)
+
+    def test_halo_overlap_growth_is_not_a_regression(self):
+        # overlap time growing means more bookkeeping was hidden behind
+        # interior compute — exempt from the diff by design
+        before = row(50_000_000, ts=1)
+        before["stages_ns"]["halo_overlap"] = 10_000_000
+        after = row(50_000_000, ts=2)
+        after["stages_ns"]["halo_overlap"] = 40_000_000
+        self.assertEqual(self.run_main([before, after], "--fail-over", "0.40"), 0)
+
     def test_non_array_ledger_fails(self):
         self.assertEqual(self.run_main({"rows": []}), 1)
 
